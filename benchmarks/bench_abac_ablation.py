@@ -1,0 +1,105 @@
+"""Ablation — ABAC tag policies vs explicit per-table policies.
+
+Measures the cost of computing *effective* policies (tag lookups + policy
+compilation at resolution time) against explicitly attached filters/masks,
+as tables and policies scale. The point: tag-driven governance costs
+microseconds per resolution while collapsing N-tables × M-policies
+administration into M policy definitions.
+"""
+
+import pytest
+
+from harness import best_time, print_table
+
+from repro.catalog.abac import TagMaskPolicy, TagRowFilterPolicy, redact_builder
+from repro.platform import Workspace
+from repro.sql.parser import parse_expression
+
+NUM_TABLES = 20
+
+
+def build(num_tag_policies: int, explicit: bool):
+    ws = Workspace()
+    ws.add_user("admin", admin=True)
+    ws.add_user("alice")
+    ws.add_group("analysts", ["alice"])
+    cat = ws.catalog
+    cat.create_catalog("m", owner="admin")
+    cat.create_schema("m.s", owner="admin")
+    cluster = ws.create_standard_cluster()
+    admin = cluster.connect("admin")
+    for i in range(NUM_TABLES):
+        admin.sql(f"CREATE TABLE m.s.t{i} (id int, pii_col string, region string)")
+        admin.sql(f"INSERT INTO m.s.t{i} VALUES (1,'x','US'),(2,'y','EU')")
+        admin.sql(f"GRANT SELECT ON m.s.t{i} TO analysts")
+        if explicit:
+            admin.sql(f"ALTER TABLE m.s.t{i} SET ROW FILTER (region = 'US')")
+            admin.sql(f"ALTER TABLE m.s.t{i} ALTER COLUMN pii_col SET MASK ('***')")
+        else:
+            cat.tags.tag_table(f"m.s.t{i}", "regional")
+            cat.tags.tag_column(f"m.s.t{i}", "pii_col", "pii")
+    admin.sql("GRANT USE CATALOG ON m TO analysts")
+    admin.sql("GRANT USE SCHEMA ON m.s TO analysts")
+    if not explicit:
+        cat.tags.register(
+            TagRowFilterPolicy("r0", "regional", parse_expression("region = 'US'"))
+        )
+        cat.tags.register(TagMaskPolicy("m0", "pii", redact_builder("***")))
+        # Extra inert policies to scale the lookup work.
+        for i in range(1, num_tag_policies):
+            cat.tags.register(
+                TagMaskPolicy(f"m{i}", f"other_tag_{i}", redact_builder("x"))
+            )
+    return ws, cluster
+
+
+def query_all(cluster):
+    alice = cluster.connect("alice")
+    for i in range(NUM_TABLES):
+        alice.sql(f"SELECT id FROM m.s.t{i}").collect()
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    ws_explicit, cluster_explicit = build(0, explicit=True)
+    explicit_time = best_time(lambda: query_all(cluster_explicit), repeats=3)
+    rows.append(["explicit per-table policies", f"{explicit_time * 1000:.1f}"])
+    for num_policies in (2, 10, 50):
+        ws, cluster = build(num_policies, explicit=False)
+        t = best_time(lambda c=cluster: query_all(c), repeats=3)
+        rows.append([f"ABAC, {num_policies} registered tag policies", f"{t * 1000:.1f}"])
+    print_table(
+        f"ABAC vs explicit policies ({NUM_TABLES} governed tables, full query sweep)",
+        ["configuration", "sweep ms"],
+        rows,
+    )
+    return rows
+
+
+def test_abac_results_match_explicit():
+    ws_a, cluster_a = build(2, explicit=False)
+    ws_b, cluster_b = build(0, explicit=True)
+    rows_a = cluster_a.connect("alice").sql("SELECT * FROM m.s.t0").collect()
+    rows_b = cluster_b.connect("alice").sql("SELECT * FROM m.s.t0").collect()
+    assert rows_a == rows_b == [(1, "***", "US")]
+
+
+def test_abac_overhead_bounded(sweep):
+    explicit = float(sweep[0][1])
+    worst_abac = max(float(r[1]) for r in sweep[1:])
+    assert worst_abac < explicit * 3, (
+        f"ABAC resolution cost blew up: {worst_abac}ms vs {explicit}ms"
+    )
+
+
+def test_benchmark_abac_resolution(benchmark):
+    ws, cluster = build(10, explicit=False)
+    alice = cluster.connect("alice")
+    benchmark(lambda: alice.sql("SELECT id FROM m.s.t0").collect())
+
+
+def test_benchmark_explicit_resolution(benchmark):
+    ws, cluster = build(0, explicit=True)
+    alice = cluster.connect("alice")
+    benchmark(lambda: alice.sql("SELECT id FROM m.s.t0").collect())

@@ -1,0 +1,156 @@
+"""E6 — Fig. 10: the workspace-wide serverless endpoint under load.
+
+Clients connect to one endpoint; the gateway forwards to warm clusters or
+provisions new ones, predictively pre-scales, migrates sessions, and scales
+down when idle. All timing uses a virtual clock, so provisioning cost is
+modelled, not slept.
+"""
+
+import pytest
+
+from harness import print_table
+
+from repro.common.clock import VirtualClock
+from repro.connect.client import SparkConnectClient
+from repro.platform import Workspace
+from repro.platform.serverless import ServerlessGateway
+
+NUM_USERS = 48
+
+
+def make_workspace():
+    ws = Workspace(clock=VirtualClock())
+    ws.add_user("admin", admin=True)
+    for i in range(NUM_USERS):
+        ws.add_user(f"user{i}")
+    ws.catalog.create_catalog("m", owner="admin")
+    ws.catalog.create_schema("m.s", owner="admin")
+    return ws
+
+
+@pytest.fixture(scope="module")
+def routing_sweep():
+    rows = []
+    for target in (1, 4, 8):
+        ws = make_workspace()
+        gateway = ServerlessGateway(
+            ws.catalog,
+            clock=ws.clock,
+            max_clusters=64,
+            target_sessions_per_cluster=target,
+            provision_seconds=30.0,
+        )
+        started = ws.clock.now()
+        clients = [
+            SparkConnectClient(gateway.channel(), user=f"user{i}")
+            for i in range(NUM_USERS)
+        ]
+        elapsed = ws.clock.now() - started
+        rows.append(
+            [
+                target,
+                gateway.cluster_count(),
+                gateway.stats.forwarded,
+                gateway.stats.provisioned,
+                f"{elapsed:.0f}s",
+            ]
+        )
+        for c in clients:
+            c.close()
+    print_table(
+        f"Gateway routing for {NUM_USERS} connections (30s provisioning)",
+        ["target sessions/cluster", "clusters", "forwarded", "provisioned",
+         "total provisioning time"],
+        rows,
+    )
+    return rows
+
+
+def test_higher_packing_fewer_clusters(routing_sweep):
+    clusters = [r[1] for r in routing_sweep]
+    assert clusters == sorted(clusters, reverse=True)
+    assert clusters[-1] == NUM_USERS // 8
+
+
+def test_forwarding_dominates_at_high_packing(routing_sweep):
+    target8 = routing_sweep[-1]
+    assert target8[2] > target8[3]  # forwarded > provisioned
+
+
+def test_predictive_prescaling_cuts_wait():
+    """With a steady arrival rate, the forecast pre-provisions capacity so
+    later arrivals connect instantly."""
+    ws = make_workspace()
+    gateway = ServerlessGateway(
+        ws.catalog, clock=ws.clock, max_clusters=64,
+        target_sessions_per_cluster=4, provision_seconds=30.0,
+    )
+    waits = []
+    for wave in range(4):
+        for i in range(8):
+            before = ws.clock.now()
+            client = SparkConnectClient(
+                gateway.channel(), user=f"user{wave * 8 + i}"
+            )
+            waits.append(ws.clock.now() - before)
+            client.close()
+        gateway.autoscale()
+        gateway.scale_down_idle() if False else None
+    first_wave = sum(waits[:8])
+    last_wave = sum(waits[-8:])
+    print_table(
+        "Predictive autoscaling: connection wait per wave",
+        ["wave", "total wait (s)"],
+        [[i, f"{sum(waits[i * 8:(i + 1) * 8]):.0f}"] for i in range(4)],
+    )
+    assert last_wave <= first_wave
+
+
+def test_migration_preserves_throughput():
+    ws = make_workspace()
+    gateway = ServerlessGateway(
+        ws.catalog, clock=ws.clock, target_sessions_per_cluster=8
+    )
+    client = SparkConnectClient(gateway.channel(), user="user0")
+    assert client.range(5).collect() == [(i,) for i in range(5)]
+    gateway.migrate_session(client.session_id)
+    assert client.range(5).collect() == [(i,) for i in range(5)]
+    assert gateway.stats.migrations == 1
+
+
+def test_scale_down_returns_capacity():
+    ws = make_workspace()
+    gateway = ServerlessGateway(
+        ws.catalog, clock=ws.clock, target_sessions_per_cluster=1
+    )
+    clients = [
+        SparkConnectClient(gateway.channel(), user=f"user{i}") for i in range(6)
+    ]
+    assert gateway.cluster_count() == 6
+    for c in clients:
+        c.close()
+    gateway.scale_down_idle()
+    assert gateway.cluster_count() == 0
+
+
+def test_benchmark_gateway_connection(benchmark):
+    ws = make_workspace()
+    gateway = ServerlessGateway(
+        ws.catalog, clock=ws.clock, max_clusters=4096,
+        target_sessions_per_cluster=8,
+    )
+    counter = iter(range(10_000_000))
+
+    def connect():
+        user = f"user{next(counter) % NUM_USERS}"
+        client = SparkConnectClient(gateway.channel(), user=user)
+        client.close()
+
+    benchmark(connect)
+
+
+def test_benchmark_query_through_gateway(benchmark):
+    ws = make_workspace()
+    gateway = ServerlessGateway(ws.catalog, clock=ws.clock)
+    client = SparkConnectClient(gateway.channel(), user="user0")
+    benchmark(lambda: client.range(100).collect())

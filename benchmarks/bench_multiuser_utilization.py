@@ -1,0 +1,108 @@
+"""E8 — utilization: Lakeguard multi-user vs Membrane split vs per-user.
+
+Quantifies the §7 arguments:
+- Membrane's static two-domain split under-utilizes variable workloads;
+- per-user clusters waste capacity on idle interactive sessions;
+- Lakeguard's shared Standard cluster pays only a small isolation overhead.
+"""
+
+import pytest
+
+from harness import print_table
+
+from repro.baselines.membrane import MembraneClusterModel, WorkloadPhase, bursty_phases
+from repro.baselines.per_user_clusters import (
+    simulate_per_user_clusters,
+    simulate_shared_cluster,
+    working_day_sessions,
+)
+
+
+class TestMembraneComparison:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        model = MembraneClusterModel(total_nodes=20, user_domain_nodes=8)
+        rows = []
+        scenarios = {
+            "steady 60/40 (matches split)": [
+                WorkloadPhase(60, 40) for _ in range(10)
+            ],
+            "engine-heavy 90/10": [WorkloadPhase(90, 10) for _ in range(10)],
+            "udf-heavy 20/80": [WorkloadPhase(20, 80) for _ in range(10)],
+            "bursty alternating": bursty_phases(10, 100, 100),
+        }
+        for label, phases in scenarios.items():
+            outcome = model.compare(phases)
+            rows.append(
+                [
+                    label,
+                    f"{outcome['membrane'].utilization * 100:.0f}%",
+                    f"{outcome['lakeguard'].utilization * 100:.0f}%",
+                    f"{outcome['membrane'].makespan / outcome['lakeguard'].makespan:.2f}x",
+                ]
+            )
+        print_table(
+            "Membrane (static split) vs Lakeguard (colocated sandboxes)",
+            ["workload", "membrane util", "lakeguard util", "membrane slowdown"],
+            rows,
+        )
+        return rows
+
+    def test_lakeguard_always_full(self, sweep):
+        assert all(r[2] == "100%" for r in sweep)
+
+    def test_membrane_loses_on_skewed_and_bursty(self, sweep):
+        by_label = {r[0]: r for r in sweep}
+        for label in ("engine-heavy 90/10", "udf-heavy 20/80", "bursty alternating"):
+            slowdown = float(by_label[label][3].rstrip("x"))
+            assert slowdown > 1.2, f"{label}: expected Membrane slowdown"
+
+    def test_membrane_fine_when_split_matches(self, sweep):
+        slowdown = float(sweep[0][3].rstrip("x"))
+        assert slowdown < 1.2
+
+
+class TestPerUserClusters:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        rows = []
+        for num_users in (5, 20, 50):
+            sessions = working_day_sessions(num_users, busy_fraction=0.15)
+            per_user = simulate_per_user_clusters(sessions)
+            shared = simulate_shared_cluster(sessions)
+            rows.append(
+                [
+                    num_users,
+                    f"{per_user.node_hours:.0f}",
+                    f"{shared.node_hours:.0f}",
+                    f"{per_user.node_hours / shared.node_hours:.1f}x",
+                    f"{per_user.utilization * 100:.0f}%",
+                    f"{shared.utilization * 100:.0f}%",
+                ]
+            )
+        print_table(
+            "Per-user clusters vs shared multi-user Standard cluster "
+            "(8h day, 4h sessions, 15% busy)",
+            ["users", "per-user node-h", "shared node-h", "cost ratio",
+             "per-user util", "shared util"],
+            rows,
+        )
+        return rows
+
+    def test_shared_cheaper_at_every_scale(self, sweep):
+        for row in sweep:
+            assert float(row[3].rstrip("x")) > 1.0
+
+    def test_savings_grow_with_users(self, sweep):
+        ratios = [float(r[3].rstrip("x")) for r in sweep]
+        assert ratios == sorted(ratios)
+
+
+def test_benchmark_utilization_sweep(benchmark):
+    sessions = working_day_sessions(100, busy_fraction=0.15)
+
+    def sweep():
+        simulate_per_user_clusters(sessions)
+        simulate_shared_cluster(sessions)
+
+    benchmark(sweep)

@@ -1,0 +1,107 @@
+"""E9 — §2.2: the cost of replica-based governance vs catalog FGAC.
+
+Actually materializes per-audience replicas through the engine and measures
+storage amplification, refresh compute, and staleness as audience count
+grows — against zero marginal cost for row filters.
+"""
+
+import pytest
+
+from harness import build_sales_workspace, print_table
+
+from repro.baselines.replicas import ReplicaGovernance
+
+NUM_ROWS = 5_000
+
+
+def audience_filters(num_audiences: int) -> dict[str, str]:
+    """Audiences with varied selectivity, like real departmental subsets."""
+    filters = {}
+    regions = ["US", "EU", "APAC"]
+    for i in range(num_audiences):
+        if i < 3:
+            filters[f"team_{i}"] = f"region = '{regions[i]}'"
+        else:
+            filters[f"team_{i}"] = f"amount > {i * 40}"
+    return filters
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for num_audiences in (1, 2, 4, 8):
+        ws, cluster, admin = build_sales_workspace(num_rows=NUM_ROWS)
+        governance = ReplicaGovernance(
+            cluster=cluster,
+            admin_client=admin,
+            source_table="main.s.sales",
+            audience_filters=audience_filters(num_audiences),
+        )
+        governance.create_replicas()
+        # The source keeps changing; replicas go stale until re-refreshed.
+        admin.sql("INSERT INTO main.s.sales VALUES (999999, 'US', 1.0, 1, 1)")
+        costs = governance.measure()
+        rows.append(
+            [
+                num_audiences,
+                f"{costs.storage_amplification:.2f}x",
+                costs.refresh_rows_processed,
+                costs.stale_replicas,
+            ]
+        )
+    print_table(
+        f"Replica-based governance costs ({NUM_ROWS}-row source)",
+        ["audiences", "storage amplification", "refresh rows processed",
+         "stale replicas after 1 update"],
+        rows,
+    )
+    print("catalog FGAC reference: 1.00x storage, 0 refresh rows, 0 staleness")
+    return rows
+
+
+def test_amplification_grows_with_audiences(sweep):
+    amps = [float(r[1].rstrip("x")) for r in sweep]
+    assert amps == sorted(amps)
+    assert amps[-1] > 1.5  # 8 audiences: >50% extra storage for copies
+
+
+def test_all_replicas_go_stale_on_update(sweep):
+    for row in sweep:
+        assert row[3] == row[0]
+
+
+def test_refresh_compute_grows(sweep):
+    refreshes = [r[2] for r in sweep]
+    assert refreshes == sorted(refreshes)
+
+
+def test_fgac_zero_marginal_storage():
+    ws, cluster, admin = build_sales_workspace(num_rows=NUM_ROWS)
+    source = ws.catalog.get_table("main.s.sales")
+    before = ws.catalog.store.total_bytes(source.storage_root)
+    admin.sql("ALTER TABLE main.s.sales SET ROW FILTER (region = 'US')")
+    admin.sql(
+        "ALTER TABLE main.s.sales ALTER COLUMN amount SET MASK "
+        "(CASE WHEN is_account_group_member('finance') THEN amount ELSE 0.0 END)"
+    )
+    after = ws.catalog.store.total_bytes(source.storage_root)
+    assert after == before
+
+
+def test_benchmark_replica_refresh(benchmark):
+    ws, cluster, admin = build_sales_workspace(num_rows=2_000)
+    governance = ReplicaGovernance(
+        cluster=cluster,
+        admin_client=admin,
+        source_table="main.s.sales",
+        audience_filters=audience_filters(3),
+    )
+    governance.create_replicas()
+    benchmark(governance.refresh_all)
+
+
+def test_benchmark_fgac_query(benchmark):
+    ws, cluster, admin = build_sales_workspace(num_rows=2_000)
+    admin.sql("ALTER TABLE main.s.sales SET ROW FILTER (region = 'US')")
+    alice = cluster.connect("alice")
+    benchmark(lambda: alice.sql("SELECT count(*) AS n FROM main.s.sales").collect())

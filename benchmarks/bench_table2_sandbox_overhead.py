@@ -1,0 +1,144 @@
+"""E2 — Table 2: relative overhead of sandboxed vs in-engine Python UDFs.
+
+Paper's setup: a fixed number of rows, a UDF per row; 'Simple UDF'
+(sum(a+b), worst case: overhead dominated by moving batches into the
+sandbox) and 'Hash UDF' (100×SHA-256, CPU-dense: overhead amortized);
+1/2/5/10 chained UDFs to validate fusion.
+
+Paper's numbers: ~9.5-12% (simple), ~3.4-4.8% (hash), roughly flat in the
+number of UDFs. We reproduce the *shape*: simple-UDF overhead strictly
+larger than hash-UDF overhead, both bounded, and flat-ish growth with the
+UDF count thanks to fusion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import best_time, hash_udf_fn, print_table, simple_udf_fn
+
+from repro.engine.analyzer import DictResolver
+from repro.engine.executor import ExecutionConfig, QueryEngine
+from repro.engine.expressions import Alias, UDFRuntime, col
+from repro.engine.logical import LocalRelation, Project, UnresolvedRelation
+from repro.engine.types import INT, Field, Schema
+from repro.engine.udf import PythonUDF
+from repro.sandbox import ClusterManager, Dispatcher, SandboxedUDFRuntime
+
+SIMPLE_ROWS = 40_000
+HASH_ROWS = 1_500
+UDF_COUNTS = (1, 2, 5, 10)
+
+
+def make_engine(num_rows: int) -> QueryEngine:
+    schema = Schema((Field("a", INT), Field("b", INT)))
+    data = LocalRelation(
+        schema,
+        [[i % 97 for i in range(num_rows)], [i % 31 for i in range(num_rows)]],
+    )
+    return QueryEngine(
+        DictResolver({"t": data}), config=ExecutionConfig(batch_size=8192)
+    )
+
+
+def udf_query(fn, return_type: str, num_udfs: int):
+    udf_obj = PythonUDF("bench_udf", fn, _type(return_type), owner="alice")
+    exprs = [
+        Alias(udf_obj(col("a"), col("b")), f"c{i}") for i in range(num_udfs)
+    ]
+    return Project(UnresolvedRelation("t"), exprs)
+
+
+def _type(name: str):
+    from repro.engine.types import type_from_name
+
+    return type_from_name(name)
+
+
+def run_query(engine: QueryEngine, plan, runtime: UDFRuntime) -> None:
+    engine.execute(plan, user="alice", udf_runtime=runtime)
+
+
+def sandboxed_runtime() -> SandboxedUDFRuntime:
+    return SandboxedUDFRuntime(Dispatcher(ClusterManager()), "bench-session")
+
+
+def measure_overhead(fn, return_type: str, num_rows: int, num_udfs: int) -> float:
+    engine = make_engine(num_rows)
+    plan = udf_query(fn, return_type, num_udfs)
+    inline = best_time(lambda: run_query(engine, plan, UDFRuntime()))
+    runtime = sandboxed_runtime()  # warm one sandbox across repeats
+    run_query(engine, plan, runtime)  # pay the cold start outside timing
+    sandboxed = best_time(lambda: run_query(engine, plan, runtime))
+    return (sandboxed - inline) / inline * 100.0
+
+
+@pytest.fixture(scope="module")
+def overhead_table():
+    rows = []
+    for num_udfs in UDF_COUNTS:
+        simple = measure_overhead(simple_udf_fn, "int", SIMPLE_ROWS, num_udfs)
+        hashed = measure_overhead(hash_udf_fn, "string", HASH_ROWS, num_udfs)
+        rows.append((num_udfs, simple, hashed))
+    print_table(
+        "Table 2 — relative worst-case overhead of sandboxed Python UDFs",
+        ["Num UDF", "Simple UDF sum(a+b)", "Hash UDF 100x SHA256"],
+        [[n, f"{s:+.2f}%", f"{h:+.2f}%"] for n, s, h in rows],
+    )
+    print(
+        "paper reference:  1 -> 9.53% / 3.37%   2 -> 8.44% / 4.29%   "
+        "5 -> 11.19% / 4.77%   10 -> 12.02% / 4.15%"
+    )
+    return rows
+
+
+def test_shape_simple_overhead_exceeds_hash(overhead_table):
+    """CPU-dense UDFs amortize the isolation cost (paper: 10% vs ~4.8%)."""
+    avg_simple = sum(r[1] for r in overhead_table) / len(overhead_table)
+    avg_hash = sum(r[2] for r in overhead_table) / len(overhead_table)
+    assert avg_simple > avg_hash
+
+
+def test_shape_fusion_keeps_growth_bounded(overhead_table):
+    """10 fused UDFs must not cost 10x the single-UDF overhead."""
+    by_count = {r[0]: r[1] for r in overhead_table}
+    assert by_count[10] < max(by_count[1], 1.0) * 10
+
+
+def test_shape_hash_overhead_small(overhead_table):
+    """CPU-dense isolation overhead stays small (paper: ~3-5%).
+
+    Wall-clock noise under parallel load can inflate individual cells, so
+    the check uses the *best* cell: if even that is large, isolation is
+    genuinely expensive for CPU-dense UDFs and the paper's claim fails.
+    """
+    best_hash = min(r[2] for r in overhead_table)
+    assert best_hash < 15.0, f"hash UDF overhead unexpectedly high: {best_hash:.1f}%"
+
+
+def test_benchmark_sandboxed_simple_udf(benchmark, overhead_table):
+    engine = make_engine(SIMPLE_ROWS)
+    plan = udf_query(simple_udf_fn, "int", 1)
+    runtime = sandboxed_runtime()
+    run_query(engine, plan, runtime)  # warm
+    benchmark(lambda: run_query(engine, plan, runtime))
+
+
+def test_benchmark_inline_simple_udf(benchmark):
+    engine = make_engine(SIMPLE_ROWS)
+    plan = udf_query(simple_udf_fn, "int", 1)
+    benchmark(lambda: run_query(engine, plan, UDFRuntime()))
+
+
+def test_benchmark_sandboxed_hash_udf(benchmark):
+    engine = make_engine(HASH_ROWS)
+    plan = udf_query(hash_udf_fn, "string", 1)
+    runtime = sandboxed_runtime()
+    run_query(engine, plan, runtime)
+    benchmark(lambda: run_query(engine, plan, runtime))
+
+
+def test_benchmark_inline_hash_udf(benchmark):
+    engine = make_engine(HASH_ROWS)
+    plan = udf_query(hash_udf_fn, "string", 1)
+    benchmark(lambda: run_query(engine, plan, UDFRuntime()))

@@ -1,0 +1,111 @@
+"""E12 — §6.3: versionless Spark workloads.
+
+A compatibility matrix of client protocol versions against the current
+server, plus workload-environment pinning, plus timing old vs new clients —
+backward compatibility must be free.
+"""
+
+import pytest
+
+from harness import best_time, build_sales_workspace, print_table
+
+from repro.connect.proto import PROTOCOL_VERSION
+from repro.errors import VersionIncompatibleError
+from repro.platform.workload_env import standard_environments
+
+OPERATIONS = {
+    "sql select": lambda c: c.sql("SELECT count(*) AS n FROM main.s.sales").collect(),
+    "dataframe filter": lambda c: c.table("main.s.sales").filter("amount > 400").collect(),
+    "aggregate": lambda c: c.sql(
+        "SELECT region, sum(amount) AS t FROM main.s.sales GROUP BY region"
+    ).collect(),
+    "analyze schema": lambda c: c.table("main.s.sales").schema(),
+}
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return build_sales_workspace(num_rows=5_000)
+
+
+@pytest.fixture(scope="module")
+def matrix(stack):
+    ws, cluster, admin = stack
+    rows = []
+    for version in range(1, PROTOCOL_VERSION + 1):
+        client = cluster.connect("alice", client_version=version)
+        cells = [version]
+        for op in OPERATIONS.values():
+            try:
+                op(client)
+                cells.append("ok")
+            except Exception as exc:  # noqa: BLE001 - matrix cell
+                cells.append(f"FAIL:{type(exc).__name__}")
+        rows.append(cells)
+    print_table(
+        f"Versionless matrix — clients v1..v{PROTOCOL_VERSION} against "
+        f"server v{PROTOCOL_VERSION}",
+        ["client version"] + list(OPERATIONS),
+        rows,
+    )
+    return rows
+
+
+def test_every_supported_version_runs_everything(matrix):
+    for row in matrix:
+        assert all(cell == "ok" for cell in row[1:]), row
+
+
+def test_future_client_rejected_cleanly(stack):
+    ws, cluster, admin = stack
+    with pytest.raises(VersionIncompatibleError):
+        cluster.connect("alice", client_version=PROTOCOL_VERSION + 1)
+
+
+def test_workload_environment_pins_are_all_compatible():
+    registry = standard_environments()
+    rows = []
+    for version in registry.versions():
+        env = registry.get(version)
+        rows.append(
+            [
+                env.version,
+                env.python_version,
+                env.client_protocol_version,
+                "yes" if env.is_compatible_with_server(PROTOCOL_VERSION) else "NO",
+            ]
+        )
+    print_table(
+        "Workload environments vs current server",
+        ["env", "python", "client protocol", "compatible"],
+        rows,
+    )
+    assert all(r[3] == "yes" for r in rows)
+
+
+def test_old_client_not_slower(stack):
+    """Backward compatibility costs nothing measurable."""
+    ws, cluster, admin = stack
+    old = cluster.connect("alice", client_version=1)
+    new = cluster.connect("alice", client_version=PROTOCOL_VERSION)
+    query = "SELECT count(*) AS n FROM main.s.sales"
+    t_old = best_time(lambda: old.sql(query).collect(), repeats=5)
+    t_new = best_time(lambda: new.sql(query).collect(), repeats=5)
+    print_table(
+        "Old vs new client latency",
+        ["client", "best ms"],
+        [["v1", f"{t_old * 1000:.2f}"], [f"v{PROTOCOL_VERSION}", f"{t_new * 1000:.2f}"]],
+    )
+    assert t_old < t_new * 3  # generous: they should be ~equal
+
+
+def test_benchmark_v1_client_query(benchmark, stack):
+    ws, cluster, admin = stack
+    client = cluster.connect("alice", client_version=1)
+    benchmark(lambda: client.sql("SELECT count(*) AS n FROM main.s.sales").collect())
+
+
+def test_benchmark_current_client_query(benchmark, stack):
+    ws, cluster, admin = stack
+    client = cluster.connect("alice", client_version=PROTOCOL_VERSION)
+    benchmark(lambda: client.sql("SELECT count(*) AS n FROM main.s.sales").collect())

@@ -1,0 +1,100 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper (see
+DESIGN.md §4 and EXPERIMENTS.md). Benchmarks print their reproduction table
+to stdout; run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+
+from repro.platform import Workspace
+
+
+def build_sales_workspace(
+    num_rows: int = 10_000,
+    regions: tuple[str, ...] = ("US", "EU", "APAC"),
+    sandbox_backend: str = "inprocess",
+) -> tuple[Workspace, object, object]:
+    """A workspace with a populated, granted ``main.s.sales`` table.
+
+    Returns (workspace, standard_cluster, admin_client).
+    """
+    ws = Workspace(sandbox_backend=sandbox_backend)
+    ws.add_user("admin", admin=True)
+    ws.add_user("alice")
+    ws.add_group("analysts", ["alice"])
+    ws.catalog.create_catalog("main", owner="admin")
+    ws.catalog.create_schema("main.s", owner="admin")
+    cluster = ws.create_standard_cluster()
+    admin = cluster.connect("admin")
+    admin.sql(
+        "CREATE TABLE main.s.sales (id int, region string, amount float, a int, b int)"
+    )
+    ctx = ws.catalog.principals.context_for("admin")
+    ws.catalog.write_table(
+        "main.s.sales",
+        {
+            "id": list(range(num_rows)),
+            "region": [regions[i % len(regions)] for i in range(num_rows)],
+            "amount": [float(i % 500) for i in range(num_rows)],
+            "a": [i % 97 for i in range(num_rows)],
+            "b": [i % 31 for i in range(num_rows)],
+        },
+        ctx,
+    )
+    admin.sql("GRANT USE CATALOG ON main TO analysts")
+    admin.sql("GRANT USE SCHEMA ON main.s TO analysts")
+    admin.sql("GRANT SELECT ON main.s.sales TO analysts")
+    return ws, cluster, admin
+
+
+def simple_udf_fn(a, b):
+    """Table 2's 'Simple UDF': sum(a+b) — negligible compute per row."""
+    return a + b
+
+
+def hash_udf_fn(a, b):
+    """Table 2's 'Hash UDF': 100 iterations of SHA-256 — CPU-dense."""
+    data = f"{a}:{b}".encode()
+    for _ in range(100):
+        data = hashlib.sha256(data).digest()
+    return data.hex()
+
+
+def median_time(fn, repeats: int = 5) -> float:
+    """Median wall time of ``fn()`` over ``repeats`` runs (seconds)."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def best_time(fn, repeats: int = 7) -> float:
+    """Minimum wall time of ``fn()`` — the standard noise-robust estimator."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """ASCII table matching the style of the paper's tables."""
+    str_rows = [[str(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    print(f"\n=== {title} ===")
+    print(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        print(" | ".join(v.ljust(w) for v, w in zip(row, widths)))

@@ -1,0 +1,20 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical project metadata lives in pyproject.toml; this file only
+enables legacy `pip install -e .` in offline environments.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Databricks Lakeguard (SIGMOD 2025): fine-grained "
+        "access control and multi-user capabilities for Spark-like workloads"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["cloudpickle"],
+)

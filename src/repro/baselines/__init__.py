@@ -1,0 +1,31 @@
+"""Executable baselines the paper compares against (Table 1, §7, §2.2).
+
+- :mod:`repro.baselines.membrane` — AWS EMR Membrane: a cluster statically
+  split into a trusted domain and a user-code domain, single-user only.
+- :mod:`repro.baselines.external_filter` — AWS LakeFormation-style data
+  filtering: only scans/filters/projections execute externally; everything
+  else ships rows back.
+- :mod:`repro.baselines.replicas` — the legacy "copy the data per audience"
+  approach, with measured storage amplification and staleness.
+- :mod:`repro.baselines.per_user_clusters` — one cluster per user:
+  the utilization/cost model Lakeguard's multi-user compute replaces.
+"""
+
+from repro.baselines.membrane import MembraneClusterModel, WorkloadPhase
+from repro.baselines.external_filter import external_filter_rules
+from repro.baselines.replicas import ReplicaGovernance
+from repro.baselines.per_user_clusters import (
+    InteractiveSession,
+    simulate_per_user_clusters,
+    simulate_shared_cluster,
+)
+
+__all__ = [
+    "MembraneClusterModel",
+    "WorkloadPhase",
+    "external_filter_rules",
+    "ReplicaGovernance",
+    "InteractiveSession",
+    "simulate_per_user_clusters",
+    "simulate_shared_cluster",
+]

@@ -1,0 +1,30 @@
+"""LakeFormation-style external filtering baseline (§7, Table 1).
+
+AWS LakeFormation's data filtering "only supports simple scans and
+expressions": the external service can apply row/column filters but cannot
+execute aggregations, joins, limits, or views. Everything beyond a filtered
+scan ships rows back to the requesting engine.
+
+Because our eFGAC machinery is rule-driven, the baseline is simply the same
+RemoteScan pipeline with the aggregate and limit pushdown rules removed —
+so benchmarks can compare rows/bytes shipped under identical queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.efgac import (
+    PushFilterIntoRemoteScan,
+    PushProjectIntoRemoteScan,
+)
+
+
+def external_filter_rules() -> list[Any]:
+    """Pushdown rules available to a scans-only external filtering service."""
+    return [
+        PushFilterIntoRemoteScan(),
+        PushProjectIntoRemoteScan(),
+        # No PushPartialAggIntoRemoteScan, no PushLimitIntoRemoteScan:
+        # aggregations and limits run on the origin over shipped rows.
+    ]

@@ -1,0 +1,120 @@
+"""AWS EMR Membrane baseline (§7).
+
+Membrane splits an Apache Spark cluster into two *static* security domains —
+a trusted engine domain and a user-code domain — exchanging data via shuffle.
+The paper's criticism, made measurable here:
+
+1. the two domains "can never overlap due to potentially residual data",
+   so capacity cannot shift with the workload mix → lower utilization;
+2. the cluster remains single-user.
+
+The model executes a sequence of workload phases (each with an engine-work
+share and a user-code-work share) against (a) a statically split cluster and
+(b) a Lakeguard-style shared cluster where sandboxes are colocated with the
+engine, and reports makespan and utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One phase of a workload: node-seconds of work per domain."""
+
+    engine_work: float
+    udf_work: float
+
+    @property
+    def total(self) -> float:
+        return self.engine_work + self.udf_work
+
+
+@dataclass(frozen=True)
+class PhaseOutcome:
+    makespan: float
+    utilization: float
+
+
+@dataclass
+class MembraneClusterModel:
+    """Cost model of a cluster with a fixed engine/user-domain split."""
+
+    total_nodes: int
+    #: Nodes statically assigned to the user-code domain (Membrane only).
+    user_domain_nodes: int
+    #: Relative slowdown of sandboxed user code under Lakeguard (Table 2:
+    #: ~1.05-1.10 depending on the UDF's compute density).
+    lakeguard_isolation_overhead: float = 1.08
+    #: Membrane exchanges data between domains via shuffle; charge a fixed
+    #: relative cost on user-domain work for the extra materialization.
+    membrane_shuffle_overhead: float = 1.05
+
+    def __post_init__(self) -> None:
+        if not 0 < self.user_domain_nodes < self.total_nodes:
+            raise ConfigurationError(
+                "user domain must hold between 1 and total_nodes-1 nodes"
+            )
+
+    # -- Membrane ---------------------------------------------------------------
+
+    def membrane_phase(self, phase: WorkloadPhase) -> PhaseOutcome:
+        """Both domains run concurrently; the slower one gates the phase."""
+        engine_nodes = self.total_nodes - self.user_domain_nodes
+        engine_time = phase.engine_work / engine_nodes
+        udf_time = (
+            phase.udf_work * self.membrane_shuffle_overhead / self.user_domain_nodes
+        )
+        makespan = max(engine_time, udf_time)
+        used = phase.engine_work + phase.udf_work * self.membrane_shuffle_overhead
+        capacity = makespan * self.total_nodes
+        return PhaseOutcome(makespan, used / capacity if capacity else 0.0)
+
+    def membrane_run(self, phases: list[WorkloadPhase]) -> PhaseOutcome:
+        """Total makespan and utilization of a phase sequence on Membrane."""
+        makespan = sum(self.membrane_phase(p).makespan for p in phases)
+        used = sum(
+            p.engine_work + p.udf_work * self.membrane_shuffle_overhead
+            for p in phases
+        )
+        capacity = makespan * self.total_nodes
+        return PhaseOutcome(makespan, used / capacity if capacity else 0.0)
+
+    # -- Lakeguard ----------------------------------------------------------------
+
+    def lakeguard_phase(self, phase: WorkloadPhase) -> PhaseOutcome:
+        """Sandboxes are colocated: all nodes process whatever work exists."""
+        work = (
+            phase.engine_work
+            + phase.udf_work * self.lakeguard_isolation_overhead
+        )
+        makespan = work / self.total_nodes
+        return PhaseOutcome(makespan, 1.0)
+
+    def lakeguard_run(self, phases: list[WorkloadPhase]) -> PhaseOutcome:
+        makespan = sum(self.lakeguard_phase(p).makespan for p in phases)
+        return PhaseOutcome(makespan, 1.0 if makespan else 0.0)
+
+    # -- comparison -----------------------------------------------------------------
+
+    def compare(self, phases: list[WorkloadPhase]) -> dict[str, PhaseOutcome]:
+        return {
+            "membrane": self.membrane_run(phases),
+            "lakeguard": self.lakeguard_run(phases),
+        }
+
+
+def bursty_phases(
+    num_phases: int, engine_heavy_work: float, udf_heavy_work: float
+) -> list[WorkloadPhase]:
+    """An alternating workload: exactly the 'highly variable' case in §7."""
+    phases = []
+    for i in range(num_phases):
+        if i % 2 == 0:
+            phases.append(WorkloadPhase(engine_work=engine_heavy_work, udf_work=0.0))
+        else:
+            phases.append(WorkloadPhase(engine_work=0.0, udf_work=udf_heavy_work))
+    return phases

@@ -1,0 +1,112 @@
+"""Per-user cluster utilization baseline (§2.5, §2.6 choice 2).
+
+Interactive users are bursty: a notebook session holds a cluster for hours
+while issuing seconds of actual compute. With per-user clusters every
+session pays for its own idle capacity; Lakeguard's multi-user Standard
+cluster packs sessions onto shared nodes.
+
+The simulation places interactive sessions (attach time, detach time, busy
+fraction) onto either fleet and reports node-hours and utilization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InteractiveSession:
+    """One user's interactive attachment to compute."""
+
+    user: str
+    start: float
+    end: float
+    #: Fraction of attached time actually consuming compute.
+    busy_fraction: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def busy_time(self) -> float:
+        return self.duration * self.busy_fraction
+
+
+@dataclass(frozen=True)
+class FleetOutcome:
+    node_hours: float
+    busy_node_hours: float
+    peak_nodes: int
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_node_hours / self.node_hours if self.node_hours else 0.0
+
+
+def simulate_per_user_clusters(
+    sessions: list[InteractiveSession], nodes_per_cluster: int = 2
+) -> FleetOutcome:
+    """Each session provisions its own cluster for its whole duration."""
+    node_hours = sum(s.duration * nodes_per_cluster for s in sessions)
+    busy = sum(s.busy_time * nodes_per_cluster for s in sessions)
+    peak = _peak_concurrency(sessions) * nodes_per_cluster
+    return FleetOutcome(node_hours, busy, peak)
+
+
+def simulate_shared_cluster(
+    sessions: list[InteractiveSession],
+    sessions_per_node: int = 4,
+    min_nodes: int = 1,
+) -> FleetOutcome:
+    """One multi-user cluster autoscaled to concurrent-session demand."""
+    if not sessions:
+        return FleetOutcome(0.0, 0.0, 0)
+    events = sorted(
+        [(s.start, 1) for s in sessions] + [(s.end, -1) for s in sessions]
+    )
+    node_hours = 0.0
+    peak_nodes = min_nodes
+    concurrent = 0
+    last_time = events[0][0]
+    for time, delta in events:
+        nodes = max(min_nodes, math.ceil(concurrent / sessions_per_node))
+        node_hours += nodes * (time - last_time)
+        peak_nodes = max(peak_nodes, nodes)
+        concurrent += delta
+        last_time = time
+    busy = sum(s.busy_time for s in sessions)
+    return FleetOutcome(node_hours, busy, peak_nodes)
+
+
+def _peak_concurrency(sessions: list[InteractiveSession]) -> int:
+    events = sorted(
+        [(s.start, 1) for s in sessions] + [(s.end, -1) for s in sessions]
+    )
+    peak = current = 0
+    for _, delta in events:
+        current += delta
+        peak = max(peak, current)
+    return peak
+
+
+def working_day_sessions(
+    num_users: int,
+    day_hours: float = 8.0,
+    session_hours: float = 4.0,
+    busy_fraction: float = 0.15,
+) -> list[InteractiveSession]:
+    """A deterministic staggered working-day workload."""
+    sessions = []
+    for i in range(num_users):
+        offset = (i / max(1, num_users)) * (day_hours - session_hours)
+        sessions.append(
+            InteractiveSession(
+                user=f"user{i}",
+                start=offset,
+                end=offset + session_hours,
+                busy_fraction=busy_fraction,
+            )
+        )
+    return sessions

@@ -1,0 +1,62 @@
+"""Unity Catalog simulator: the central governance layer (§3.1).
+
+Everything Lakeguard enforces is *defined* here — securables in a
+three-level namespace, user/group principals, grants with ownership,
+row filters, column masks, dynamic views, cataloged Python UDFs, privilege
+scopes per compute type, and temporary credential vending.
+"""
+
+from repro.catalog.privileges import (
+    ALL_PRIVILEGES,
+    EXECUTE,
+    MANAGE,
+    MODIFY,
+    SELECT,
+    USE_CATALOG,
+    USE_SCHEMA,
+    PrincipalDirectory,
+    UserContext,
+)
+from repro.catalog.securables import (
+    CatalogObject,
+    FunctionObject,
+    SchemaObject,
+    TableObject,
+    ViewObject,
+    VolumeObject,
+)
+from repro.catalog.policies import ColumnMask, RowFilter
+from repro.catalog.scopes import (
+    COMPUTE_DEDICATED,
+    COMPUTE_EXTERNAL,
+    COMPUTE_SERVERLESS,
+    COMPUTE_STANDARD,
+    ComputeCapabilities,
+)
+from repro.catalog.metastore import UnityCatalog
+
+__all__ = [
+    "ALL_PRIVILEGES",
+    "EXECUTE",
+    "MANAGE",
+    "MODIFY",
+    "SELECT",
+    "USE_CATALOG",
+    "USE_SCHEMA",
+    "PrincipalDirectory",
+    "UserContext",
+    "CatalogObject",
+    "SchemaObject",
+    "TableObject",
+    "ViewObject",
+    "FunctionObject",
+    "VolumeObject",
+    "RowFilter",
+    "ColumnMask",
+    "ComputeCapabilities",
+    "COMPUTE_STANDARD",
+    "COMPUTE_DEDICATED",
+    "COMPUTE_SERVERLESS",
+    "COMPUTE_EXTERNAL",
+    "UnityCatalog",
+]

@@ -1,0 +1,67 @@
+"""Fine-grained access policies: row filters and column masks.
+
+Policies are stored as *unbound* expression trees over the target table's
+columns (plus the dynamic-view primitives ``CURRENT_USER()`` and
+``IS_ACCOUNT_GROUP_MEMBER()``). The Lakeguard enforcement layer binds and
+injects them under a ``SecureView`` during analysis — never at the storage
+layer, which is object-granular (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.expressions import Expression, contains_user_code
+from repro.engine.types import Schema
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class RowFilter:
+    """Rows are visible iff ``condition`` evaluates to TRUE for the user."""
+
+    table: str
+    condition: Expression
+    created_by: str
+
+    def validate(self, schema: Schema) -> None:
+        _validate_policy_expression(self.condition, schema, "row filter")
+
+
+@dataclass(frozen=True)
+class ColumnMask:
+    """Column values are replaced by ``mask`` (may reference other columns).
+
+    A typical mask: ``CASE WHEN is_account_group_member('hr') THEN ssn
+    ELSE '***' END``.
+    """
+
+    table: str
+    column: str
+    mask: Expression
+    created_by: str
+
+    def validate(self, schema: Schema) -> None:
+        if not schema.contains(self.column):
+            raise PolicyError(
+                f"column mask targets unknown column '{self.column}' "
+                f"of '{self.table}'"
+            )
+        _validate_policy_expression(self.mask, schema, "column mask")
+
+
+def _validate_policy_expression(expr: Expression, schema: Schema, what: str) -> None:
+    """Policies must be trusted: engine expressions only, no user code."""
+    if contains_user_code(expr):
+        raise PolicyError(
+            f"{what} must not contain user code (Python UDFs); policies are "
+            "evaluated inside the trusted engine"
+        )
+    from repro.engine.expressions import UnresolvedColumn
+
+    for node in expr.walk():
+        if isinstance(node, UnresolvedColumn) and not schema.contains(node.name):
+            raise PolicyError(
+                f"{what} references unknown column '{node.name}'; "
+                f"table columns: {schema.names}"
+            )

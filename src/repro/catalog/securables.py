@@ -1,0 +1,139 @@
+"""Securable objects in the three-level namespace.
+
+``catalog.schema.object`` — tables, views, materialized views, functions
+(cataloged UDFs) and volumes (governed storage paths). Every securable has
+an owner; ownership implies all privileges on the object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.types import Schema
+from repro.engine.udf import PythonUDF
+from repro.errors import SecurableNotFound
+
+TABLE = "TABLE"
+VIEW = "VIEW"
+MATERIALIZED_VIEW = "MATERIALIZED_VIEW"
+FUNCTION = "FUNCTION"
+VOLUME = "VOLUME"
+
+
+def split_name(full_name: str) -> tuple[str, str, str]:
+    """Split ``cat.schema.object`` into its three parts."""
+    parts = full_name.split(".")
+    if len(parts) != 3:
+        raise SecurableNotFound(
+            f"'{full_name}' is not a fully qualified three-level name "
+            "(expected catalog.schema.object)"
+        )
+    return parts[0], parts[1], parts[2]
+
+
+@dataclass
+class TableObject:
+    """A managed or external table backed by versioned cloud storage."""
+
+    full_name: str
+    schema: Schema
+    storage_root: str
+    owner: str
+    comment: str = ""
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    kind: str = TABLE
+
+
+@dataclass
+class ViewObject:
+    """A (dynamic) view: SQL text evaluated with the definer's policies.
+
+    Views are *dynamic* when their text uses ``CURRENT_USER()`` or
+    ``IS_ACCOUNT_GROUP_MEMBER()`` — the same definition yields different
+    rows per querying user.
+    """
+
+    full_name: str
+    sql_text: str
+    owner: str
+    comment: str = ""
+
+    kind: str = VIEW
+
+
+@dataclass
+class MaterializedViewObject:
+    """A view whose results are precomputed into managed storage.
+
+    ``materialized_root`` holds the refreshed data; ``stale`` tracks whether
+    the sources changed since the last refresh (the replica-cost baseline
+    measures exactly this effect at scale).
+    """
+
+    full_name: str
+    sql_text: str
+    owner: str
+    materialized_root: str
+    schema: Schema | None = None
+    refreshed_at_version: dict[str, int] = field(default_factory=dict)
+    stale: bool = True
+    comment: str = ""
+
+    kind: str = MATERIALIZED_VIEW
+
+
+@dataclass
+class FunctionObject:
+    """A cataloged UDF (§3.3): reusable, governed user code.
+
+    The trust domain of a cataloged function is its *owner*, not the caller:
+    two users' functions never share a sandbox even within one query.
+    """
+
+    full_name: str
+    udf: PythonUDF
+    owner: str
+    comment: str = ""
+
+    kind: str = FUNCTION
+
+    def resolved_udf(self) -> PythonUDF:
+        """The UDF stamped with its catalog identity and owner trust domain."""
+        return self.udf.as_cataloged(self.owner)
+
+
+@dataclass
+class VolumeObject:
+    """A governed storage location for non-tabular files."""
+
+    full_name: str
+    storage_root: str
+    owner: str
+    comment: str = ""
+
+    kind: str = VOLUME
+
+
+Securable = TableObject | ViewObject | MaterializedViewObject | FunctionObject | VolumeObject
+
+
+@dataclass
+class SchemaObject:
+    """Second namespace level; holds securables by bare name."""
+
+    full_name: str  # catalog.schema
+    owner: str
+    objects: dict[str, Securable] = field(default_factory=dict)
+    comment: str = ""
+
+
+@dataclass
+class CatalogObject:
+    """Top namespace level; holds schemas by bare name."""
+
+    name: str
+    owner: str
+    schemas: dict[str, SchemaObject] = field(default_factory=dict)
+    comment: str = ""

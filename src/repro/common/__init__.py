@@ -1,0 +1,14 @@
+"""Shared low-level utilities: clocks, id generation, audit events."""
+
+from repro.common.clock import Clock, SystemClock, VirtualClock
+from repro.common.ids import new_id
+from repro.common.audit import AuditEvent, AuditLog
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+    "new_id",
+    "AuditEvent",
+    "AuditLog",
+]

@@ -1,0 +1,91 @@
+"""Audit events.
+
+Every governance-relevant action — privilege check, credential vend, query
+submission, sandbox creation, egress attempt — is recorded as an
+:class:`AuditEvent`. The paper stresses that multi-user compute enables "full
+auditing of all individual user actions" (§3.2.3); the audit log is where that
+materializes in this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One immutable audit record."""
+
+    timestamp: float
+    principal: str
+    action: str
+    resource: str
+    allowed: bool
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        verdict = "ALLOW" if self.allowed else "DENY"
+        return (
+            f"[{self.timestamp:.3f}] {verdict} {self.principal} "
+            f"{self.action} {self.resource} {self.details}"
+        )
+
+
+class AuditLog:
+    """Append-only in-memory audit log with simple querying."""
+
+    def __init__(self) -> None:
+        self._events: list[AuditEvent] = []
+
+    def record(
+        self,
+        timestamp: float,
+        principal: str,
+        action: str,
+        resource: str,
+        allowed: bool,
+        **details: Any,
+    ) -> AuditEvent:
+        """Append one event; extra keyword arguments become details."""
+        event = AuditEvent(
+            timestamp=timestamp,
+            principal=principal,
+            action=action,
+            resource=resource,
+            allowed=allowed,
+            details=details,
+        )
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AuditEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        principal: str | None = None,
+        action: str | None = None,
+        allowed: bool | None = None,
+        predicate: Callable[[AuditEvent], bool] | None = None,
+    ) -> list[AuditEvent]:
+        """Return events matching all provided filters."""
+        out = []
+        for event in self._events:
+            if principal is not None and event.principal != principal:
+                continue
+            if action is not None and event.action != action:
+                continue
+            if allowed is not None and event.allowed != allowed:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def denials(self, principal: str | None = None) -> list[AuditEvent]:
+        """All DENY events, optionally for one principal."""
+        return self.events(principal=principal, allowed=False)

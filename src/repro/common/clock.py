@@ -1,0 +1,58 @@
+"""Clock abstraction.
+
+Latency-sensitive components (sandbox cold start, network channel, serverless
+provisioning) take a :class:`Clock` so that tests and cost models can run on a
+deterministic :class:`VirtualClock` while benchmarks use the real
+:class:`SystemClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Minimal clock interface used across the library."""
+
+    def now(self) -> float:
+        """Current time in (possibly virtual) seconds."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Advance time by ``seconds`` (blocking for real clocks)."""
+        ...
+
+
+class SystemClock:
+    """Wall-clock backed by :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock:
+    """Deterministic clock that advances only when told to.
+
+    ``sleep`` advances time instantly, which lets cost models "charge" a
+    2-second sandbox cold start without actually waiting.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Alias for :meth:`sleep`, clearer at call sites driving simulations."""
+        self.sleep(seconds)

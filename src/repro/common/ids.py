@@ -1,0 +1,30 @@
+"""Prefixed unique identifiers.
+
+All entities in the system (sessions, operations, sandboxes, credentials,
+clusters) carry ids of the form ``<prefix>-<12 hex chars>`` so that log lines
+and audit events are self-describing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+
+_COUNTER = itertools.count(1)
+_LOCK = threading.Lock()
+
+
+def new_id(prefix: str) -> str:
+    """Return a globally unique id such as ``session-3f2a9c81d7e4``."""
+    return f"{prefix}-{uuid.uuid4().hex[:12]}"
+
+
+def sequential_id(prefix: str) -> str:
+    """Return a process-unique, *ordered* id such as ``op-000017``.
+
+    Used where deterministic ordering matters (operation ids in tests).
+    """
+    with _LOCK:
+        value = next(_COUNTER)
+    return f"{prefix}-{value:06d}"

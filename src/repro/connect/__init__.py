@@ -1,0 +1,31 @@
+"""Spark Connect (§3.2): client / protocol / service, decoupled.
+
+- :mod:`repro.connect.proto` — the wire format: versioned, forward-compatible
+  message trees for relations, expressions and commands, with extension
+  points (the protobuf stand-in).
+- :mod:`repro.connect.channel` — the transport: an in-process gRPC-like
+  channel that round-trips every message through encoded bytes, with fault
+  injection for reattach testing.
+- :mod:`repro.connect.sessions` — server-side session and operation
+  lifecycle: per-user state, idle eviction, reattach, tombstoning.
+- :mod:`repro.connect.service` — the Spark Connect service: ExecutePlan /
+  AnalyzePlan / ReattachExecute / ReleaseExecute / Interrupt.
+- :mod:`repro.connect.client` — the DataFrame client: builds *unresolved
+  plans* as protocol messages; it has no dependency on the engine.
+"""
+
+from repro.connect.proto import PROTOCOL_VERSION
+from repro.connect.channel import InProcessChannel, LatencyModel
+from repro.connect.client import SparkConnectClient
+from repro.connect.service import SparkConnectService, ExecutionBackend
+from repro.connect.sessions import SessionManager
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "InProcessChannel",
+    "LatencyModel",
+    "SparkConnectClient",
+    "SparkConnectService",
+    "ExecutionBackend",
+    "SessionManager",
+]

@@ -1,0 +1,134 @@
+"""The transport: an in-process gRPC-like channel.
+
+Every request and every streamed response is round-tripped through
+:func:`~repro.connect.proto.encode_message` /
+:func:`~repro.connect.proto.decode_message`, so client and server only ever
+exchange wire bytes — exactly the coupling surface of the real protocol.
+
+Fault injection simulates what HTTP/2 load balancers do to long streams
+(§3.2.2): connections are cut after N stream items, and the client must
+recover via ReattachExecute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Protocol
+
+from repro.common.clock import Clock, SystemClock
+from repro.connect import proto
+from repro.errors import TransportError
+
+
+@dataclass
+class LatencyModel:
+    """Charged against the channel's clock per message (for Fig. 5 studies)."""
+
+    request_seconds: float = 0.0
+    per_response_seconds: float = 0.0
+    #: Extra cost per KiB of payload in either direction.
+    per_kib_seconds: float = 0.0
+
+    def request_cost(self, num_bytes: int) -> float:
+        return self.request_seconds + self.per_kib_seconds * num_bytes / 1024.0
+
+    def response_cost(self, num_bytes: int) -> float:
+        return self.per_response_seconds + self.per_kib_seconds * num_bytes / 1024.0
+
+
+@dataclass
+class FaultInjector:
+    """Cuts connections to exercise the reattach path."""
+
+    #: Drop the stream after this many items (-1 = never).
+    drop_stream_after: int = -1
+    #: How many times to drop before letting streams complete.
+    times: int = 0
+
+    def should_drop(self, items_sent: int) -> bool:
+        if self.times <= 0 or self.drop_stream_after < 0:
+            return False
+        if items_sent >= self.drop_stream_after:
+            self.times -= 1
+            return True
+        return False
+
+
+class Channel(Protocol):
+    """Client-side view of the transport."""
+
+    def call(self, method: str, request: dict[str, Any]) -> dict[str, Any]: ...
+
+    def call_stream(
+        self, method: str, request: dict[str, Any]
+    ) -> Iterator[dict[str, Any]]: ...
+
+
+@dataclass
+class ChannelStats:
+    requests: int = 0
+    responses: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    connections_dropped: int = 0
+
+
+class InProcessChannel:
+    """Connects a client to a service object living in the same process."""
+
+    def __init__(
+        self,
+        service: "ServiceLike",
+        clock: Clock | None = None,
+        latency: LatencyModel | None = None,
+        faults: FaultInjector | None = None,
+    ):
+        self._service = service
+        self._clock = clock or SystemClock()
+        self._latency = latency or LatencyModel()
+        self._faults = faults or FaultInjector()
+        self.stats = ChannelStats()
+
+    def _send(self, request: dict[str, Any]) -> dict[str, Any]:
+        wire = proto.encode_message(request)
+        self.stats.requests += 1
+        self.stats.bytes_sent += len(wire)
+        self._clock.sleep(self._latency.request_cost(len(wire)))
+        return proto.decode_message(wire)
+
+    def _receive(self, response: dict[str, Any]) -> dict[str, Any]:
+        wire = proto.encode_message(response)
+        self.stats.responses += 1
+        self.stats.bytes_received += len(wire)
+        self._clock.sleep(self._latency.response_cost(len(wire)))
+        return proto.decode_message(wire)
+
+    def call(self, method: str, request: dict[str, Any]) -> dict[str, Any]:
+        decoded = self._send(request)
+        response = self._service.handle(method, decoded)
+        return self._receive(response)
+
+    def call_stream(
+        self, method: str, request: dict[str, Any]
+    ) -> Iterator[dict[str, Any]]:
+        """Streaming RPC; may raise TransportError mid-stream (reattach!)."""
+        decoded = self._send(request)
+        items_sent = 0
+        for response in self._service.handle_stream(method, decoded):
+            if self._faults.should_drop(items_sent):
+                self.stats.connections_dropped += 1
+                raise TransportError(
+                    f"connection reset after {items_sent} stream items"
+                )
+            items_sent += 1
+            yield self._receive(response)
+
+
+class ServiceLike(Protocol):
+    """What a channel needs from the server side."""
+
+    def handle(self, method: str, request: dict[str, Any]) -> dict[str, Any]: ...
+
+    def handle_stream(
+        self, method: str, request: dict[str, Any]
+    ) -> Iterator[dict[str, Any]]: ...

@@ -1,0 +1,314 @@
+"""The Spark Connect wire format (protobuf stand-in).
+
+Messages are dict trees with an ``@type`` discriminator, encoded to bytes as
+JSON (binary values wrapped as ``{"@bytes": <base64>}``). Two protobuf
+properties the paper's versionless story (§6.3) depends on are preserved:
+
+- **forward compatibility** — decoders access known keys and ignore unknown
+  ones, so an older server tolerates messages with newer optional fields;
+- **version negotiation** — every request carries ``client_version``; a
+  server accepts any client at or below its own ``PROTOCOL_VERSION``.
+
+Extension points (§3.2.2): ``relation.extension`` / ``command.extension``
+carry a namespaced name plus an opaque payload; servers dispatch them through
+a registry, so plugins (e.g. a Delta extension) extend the protocol without
+modifying it.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+from repro.errors import ProtocolError, VersionIncompatibleError
+
+#: Current protocol version of this library build.
+PROTOCOL_VERSION = 4
+
+#: Oldest client version the server still understands.
+MIN_SUPPORTED_CLIENT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Byte-level encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, (bytes, bytearray)):
+        return {"@bytes": base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, dict):
+        return {k: _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value.keys()) == {"@bytes"}:
+            return base64.b64decode(value["@bytes"])
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """Serialize a message tree to wire bytes."""
+    try:
+        return json.dumps(_encode_value(message)).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not wire-serializable: {exc}") from exc
+
+
+def decode_message(data: bytes) -> dict[str, Any]:
+    """Deserialize wire bytes into a message tree."""
+    try:
+        decoded = _decode_value(json.loads(data.decode("utf-8")))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed wire message: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise ProtocolError("wire message must be an object")
+    return decoded
+
+
+def check_client_version(client_version: int, server_version: int = PROTOCOL_VERSION) -> None:
+    """Enforce backward (not forward) compatibility."""
+    if client_version > server_version:
+        raise VersionIncompatibleError(
+            f"client protocol version {client_version} is newer than the "
+            f"server's {server_version}"
+        )
+    if client_version < MIN_SUPPORTED_CLIENT_VERSION:
+        raise VersionIncompatibleError(
+            f"client protocol version {client_version} is no longer supported "
+            f"(minimum {MIN_SUPPORTED_CLIENT_VERSION})"
+        )
+
+
+def message_type(message: dict[str, Any]) -> str:
+    try:
+        return message["@type"]
+    except (KeyError, TypeError):
+        raise ProtocolError(f"message lacks '@type': {message!r}") from None
+
+
+def is_command(plan: dict[str, Any]) -> bool:
+    return message_type(plan).startswith("command.")
+
+
+def is_relation(plan: dict[str, Any]) -> bool:
+    return message_type(plan).startswith("relation.")
+
+
+# ---------------------------------------------------------------------------
+# Relation constructors (shared by client and tests; the server only reads)
+# ---------------------------------------------------------------------------
+
+
+def read_table(name: str) -> dict[str, Any]:
+    return {"@type": "relation.read", "table": name}
+
+
+def sql_relation(query: str) -> dict[str, Any]:
+    return {"@type": "relation.sql", "query": query}
+
+
+def local_relation(schema: list[dict[str, str]], columns: list[list[Any]]) -> dict[str, Any]:
+    return {"@type": "relation.local", "schema": schema, "columns": columns}
+
+
+def range_relation(start: int, end: int, step: int = 1) -> dict[str, Any]:
+    return {"@type": "relation.range", "start": start, "end": end, "step": step}
+
+
+def project(input_rel: dict, expressions: list[dict]) -> dict[str, Any]:
+    return {"@type": "relation.project", "input": input_rel, "expressions": expressions}
+
+
+def filter_relation(input_rel: dict, condition: dict) -> dict[str, Any]:
+    return {"@type": "relation.filter", "input": input_rel, "condition": condition}
+
+
+def join(left: dict, right: dict, how: str, condition: dict | None) -> dict[str, Any]:
+    """Join relation; ``condition`` is None only for cross joins."""
+    return {
+        "@type": "relation.join",
+        "left": left,
+        "right": right,
+        "how": how,
+        "condition": condition,
+    }
+
+
+def aggregate(input_rel: dict, groupings: list[dict], aggregates: list[dict]) -> dict[str, Any]:
+    return {
+        "@type": "relation.aggregate",
+        "input": input_rel,
+        "groupings": groupings,
+        "aggregates": aggregates,
+    }
+
+
+def sort(input_rel: dict, orders: list[dict]) -> dict[str, Any]:
+    return {"@type": "relation.sort", "input": input_rel, "orders": orders}
+
+
+def limit(input_rel: dict, n: int, offset: int = 0) -> dict[str, Any]:
+    return {"@type": "relation.limit", "input": input_rel, "limit": n, "offset": offset}
+
+
+def distinct(input_rel: dict) -> dict[str, Any]:
+    return {"@type": "relation.distinct", "input": input_rel}
+
+
+def union(inputs: list[dict]) -> dict[str, Any]:
+    return {"@type": "relation.union", "inputs": inputs}
+
+
+def subquery_alias(input_rel: dict, alias: str) -> dict[str, Any]:
+    return {"@type": "relation.subquery_alias", "input": input_rel, "alias": alias}
+
+
+def relation_extension(name: str, payload: dict[str, Any]) -> dict[str, Any]:
+    return {"@type": "relation.extension", "name": name, "payload": payload}
+
+
+# ---------------------------------------------------------------------------
+# Expression constructors
+# ---------------------------------------------------------------------------
+
+
+def literal(value: Any) -> dict[str, Any]:
+    return {"@type": "expr.literal", "value": value}
+
+
+def column(name: str) -> dict[str, Any]:
+    return {"@type": "expr.column", "name": name}
+
+
+def star(qualifier: str | None = None) -> dict[str, Any]:
+    return {"@type": "expr.star", "qualifier": qualifier}
+
+
+def alias(child: dict, name: str) -> dict[str, Any]:
+    return {"@type": "expr.alias", "child": child, "name": name}
+
+
+def binary(op: str, left: dict, right: dict) -> dict[str, Any]:
+    return {"@type": "expr.binary", "op": op, "left": left, "right": right}
+
+
+def not_(child: dict) -> dict[str, Any]:
+    return {"@type": "expr.not", "child": child}
+
+
+def isnull(child: dict, negated: bool = False) -> dict[str, Any]:
+    return {"@type": "expr.isnull", "child": child, "negated": negated}
+
+
+def in_list(child: dict, values: list[Any], negated: bool = False) -> dict[str, Any]:
+    return {"@type": "expr.in", "child": child, "values": values, "negated": negated}
+
+
+def like(child: dict, pattern: str, negated: bool = False) -> dict[str, Any]:
+    return {"@type": "expr.like", "child": child, "pattern": pattern, "negated": negated}
+
+
+def case_when(branches: list[tuple[dict, dict]], otherwise: dict | None) -> dict[str, Any]:
+    return {
+        "@type": "expr.case",
+        "branches": [[c, v] for c, v in branches],
+        "otherwise": otherwise,
+    }
+
+
+def cast(child: dict, to: str) -> dict[str, Any]:
+    return {"@type": "expr.cast", "child": child, "to": to}
+
+
+def func(name: str, args: list[dict]) -> dict[str, Any]:
+    return {"@type": "expr.func", "name": name, "args": args}
+
+
+def agg(name: str, child: dict | None, distinct_: bool = False) -> dict[str, Any]:
+    return {"@type": "expr.agg", "name": name, "child": child, "distinct": distinct_}
+
+
+def current_user() -> dict[str, Any]:
+    return {"@type": "expr.current_user"}
+
+
+def group_member(group: str) -> dict[str, Any]:
+    return {"@type": "expr.group_member", "group": group}
+
+
+def sql_expr(text: str) -> dict[str, Any]:
+    return {"@type": "expr.sql", "text": text}
+
+
+def python_udf(
+    name: str,
+    return_type: str,
+    func_blob: bytes,
+    args: list[dict],
+    deterministic: bool = True,
+) -> dict[str, Any]:
+    """An *ephemeral* UDF: the client ships the pickled function itself."""
+    return {
+        "@type": "expr.python_udf",
+        "name": name,
+        "return_type": return_type,
+        "func_blob": func_blob,
+        "args": args,
+        "deterministic": deterministic,
+    }
+
+
+def catalog_function(name: str, args: list[dict]) -> dict[str, Any]:
+    """A call to a Unity-Catalog function, resolved and checked server-side."""
+    return {"@type": "expr.catalog_function", "name": name, "args": args}
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def sql_command(sql: str) -> dict[str, Any]:
+    return {"@type": "command.sql", "sql": sql}
+
+
+def write_table_command(
+    table: str, columns: dict[str, list[Any]], overwrite: bool = False
+) -> dict[str, Any]:
+    """Write local column data into a governed table (INSERT path)."""
+    return {
+        "@type": "command.write_table",
+        "table": table,
+        "columns": columns,
+        "overwrite": overwrite,
+    }
+
+
+def create_temp_view_command(name: str, relation: dict[str, Any]) -> dict[str, Any]:
+    return {"@type": "command.create_temp_view", "name": name, "relation": relation}
+
+
+def register_function_command(
+    name: str, return_type: str, func_blob: bytes, deterministic: bool = True
+) -> dict[str, Any]:
+    """Register a session-temporary UDF so SQL text can call it by name."""
+    return {
+        "@type": "command.register_function",
+        "name": name,
+        "return_type": return_type,
+        "func_blob": func_blob,
+        "deterministic": deterministic,
+    }
+
+
+def command_extension(name: str, payload: dict[str, Any]) -> dict[str, Any]:
+    return {"@type": "command.extension", "name": name, "payload": payload}

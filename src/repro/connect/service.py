@@ -1,0 +1,305 @@
+"""The Spark Connect service (§3.2.3).
+
+Runs next to the driver; owns sessions and operations; executes plans through
+a pluggable :class:`ExecutionBackend` (Lakeguard provides the governed one).
+Errors travel in-band as typed messages so the client can re-raise them.
+
+Streamed results are fully buffered per operation: this is what makes
+ReattachExecute trivially correct — after a dropped connection the client
+resumes from the last index it saw, and ReleaseExecute frees the buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Protocol
+
+from repro.catalog.privileges import UserContext
+from repro.common.clock import Clock, SystemClock
+from repro.connect import proto
+from repro.connect.sessions import (
+    OP_FINISHED,
+    OperationState,
+    SessionManager,
+    SessionState,
+)
+from repro.errors import (
+    AnalysisError,
+    ClusterAttachDenied,
+    ClusterError,
+    EgressDenied,
+    ExecutionError,
+    LakeguardError,
+    OperationGoneError,
+    ParseError,
+    PermissionDenied,
+    ProtocolError,
+    SecurableAlreadyExists,
+    SecurableNotFound,
+    SessionError,
+    UnsupportedOperationError,
+    UserCodeError,
+    VersionIncompatibleError,
+)
+
+#: Rows per streamed result batch ("Arrow IPC message" stand-in).
+RESULT_BATCH_ROWS = 1024
+
+#: error_class names the client maps back to exceptions.
+_ERROR_CLASSES: dict[str, type[LakeguardError]] = {
+    cls.__name__: cls
+    for cls in (
+        AnalysisError,
+        ClusterAttachDenied,
+        ClusterError,
+        EgressDenied,
+        ExecutionError,
+        LakeguardError,
+        OperationGoneError,
+        ParseError,
+        ProtocolError,
+        SecurableAlreadyExists,
+        SecurableNotFound,
+        SessionError,
+        UnsupportedOperationError,
+        UserCodeError,
+        VersionIncompatibleError,
+    )
+}
+
+
+def error_to_message(exc: LakeguardError) -> dict[str, Any]:
+    """Serialize an exception as an in-band error message."""
+    name = type(exc).__name__
+    if name == "PermissionDenied":
+        return {
+            "@type": "error",
+            "error_class": "PermissionDenied",
+            "message": str(exc),
+            "principal": exc.principal,
+            "privilege": exc.privilege,
+            "securable": exc.securable,
+        }
+    if name not in _ERROR_CLASSES:
+        name = "LakeguardError"
+    return {"@type": "error", "error_class": name, "message": str(exc)}
+
+
+def raise_from_message(message: dict[str, Any]) -> None:
+    """Re-raise a server error on the client side."""
+    if message.get("@type") != "error":
+        return
+    name = message.get("error_class", "LakeguardError")
+    if name == "PermissionDenied":
+        raise PermissionDenied(
+            message.get("principal", "?"),
+            message.get("privilege", "?"),
+            message.get("securable", "?"),
+        )
+    cls = _ERROR_CLASSES.get(name, LakeguardError)
+    raise cls(message.get("message", "remote error"))
+
+
+class ExecutionBackend(Protocol):
+    """What the Connect service delegates query semantics to."""
+
+    def authenticate(self, user: str) -> UserContext: ...
+
+    def execute_relation(
+        self, session: SessionState, relation: dict[str, Any]
+    ) -> tuple[list[dict[str, str]], list[list[Any]]]:
+        """Return (schema message, column-major result data)."""
+        ...
+
+    def execute_command(
+        self, session: SessionState, command: dict[str, Any]
+    ) -> dict[str, Any]: ...
+
+    def analyze_relation(
+        self, session: SessionState, relation: dict[str, Any]
+    ) -> list[dict[str, str]]: ...
+
+    def on_session_closed(self, session: SessionState) -> None: ...
+
+
+class SparkConnectService:
+    """Protocol front-end: sessions, operations, streaming, reattach."""
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        clock: Clock | None = None,
+        sessions: SessionManager | None = None,
+        server_version: int = proto.PROTOCOL_VERSION,
+        result_batch_rows: int = RESULT_BATCH_ROWS,
+    ):
+        self._backend = backend
+        self._clock = clock or SystemClock()
+        self.sessions = sessions or SessionManager(clock=self._clock)
+        self.server_version = server_version
+        self._result_batch_rows = result_batch_rows
+
+    def housekeeping(self) -> dict[str, list[str]]:
+        """Periodic maintenance (§3.2.3): evict idle sessions, tombstone
+        abandoned operations. The platform calls this on a schedule."""
+        expired = self.sessions.expire_idle_sessions()
+        for session_id in expired:
+            # Sessions are already closed; release backend resources too.
+            try:
+                self._backend.on_session_closed(
+                    SessionState(
+                        session_id=session_id,
+                        user_ctx=UserContext(user="<expired>"),
+                        created_at=0.0,
+                        last_active=0.0,
+                    )
+                )
+            except LakeguardError:
+                pass
+        abandoned = self.sessions.reap_abandoned_operations()
+        return {"expired_sessions": expired, "abandoned_operations": abandoned}
+
+    # ------------------------------------------------------------------
+    # Unary methods
+    # ------------------------------------------------------------------
+
+    def handle(self, method: str, request: dict[str, Any]) -> dict[str, Any]:
+        try:
+            return self._handle(method, request)
+        except LakeguardError as exc:
+            return error_to_message(exc)
+
+    def _handle(self, method: str, request: dict[str, Any]) -> dict[str, Any]:
+        if method == "create_session":
+            proto.check_client_version(
+                int(request.get("client_version", 1)), self.server_version
+            )
+            user_ctx = self._backend.authenticate(request["user"])
+            session = self.sessions.create_session(user_ctx)
+            for key, value in (request.get("config") or {}).items():
+                session.config[key] = value
+            return {
+                "session_id": session.session_id,
+                "server_version": self.server_version,
+            }
+        if method == "close_session":
+            session = self._session(request)
+            self.sessions.close_session(session.session_id)
+            self._backend.on_session_closed(session)
+            return {"closed": True}
+        if method == "config":
+            session = self._session(request)
+            for key, value in (request.get("set") or {}).items():
+                session.config[key] = value
+            wanted = request.get("get") or []
+            return {"values": {k: session.config.get(k) for k in wanted}}
+        if method == "analyze_plan":
+            session = self._session(request)
+            schema = self._backend.analyze_relation(session, request["plan"])
+            return {"schema": schema}
+        if method == "interrupt":
+            session = self._session(request)
+            self.sessions.interrupt_operation(
+                request["operation_id"], session.session_id
+            )
+            return {"interrupted": True}
+        if method == "release_execute":
+            session = self._session(request)
+            self.sessions.release_operation(
+                request["operation_id"], session.session_id
+            )
+            return {"released": True}
+        raise ProtocolError(f"unknown unary method '{method}'")
+
+    def _session(self, request: dict[str, Any]) -> SessionState:
+        return self.sessions.get_session(request["session_id"], request["user"])
+
+    # ------------------------------------------------------------------
+    # Streaming methods
+    # ------------------------------------------------------------------
+
+    def handle_stream(
+        self, method: str, request: dict[str, Any]
+    ) -> Iterator[dict[str, Any]]:
+        try:
+            yield from self._handle_stream(method, request)
+        except LakeguardError as exc:
+            yield error_to_message(exc)
+
+    def _handle_stream(
+        self, method: str, request: dict[str, Any]
+    ) -> Iterator[dict[str, Any]]:
+        if method == "execute_plan":
+            proto.check_client_version(
+                int(request.get("client_version", 1)), self.server_version
+            )
+            session = self._session(request)
+            op = self.sessions.start_operation(
+                session.session_id, request.get("operation_id")
+            )
+            self._run_operation(session, op, request["plan"])
+            yield from op.responses
+            return
+        if method == "reattach_execute":
+            session = self._session(request)
+            op = self.sessions.get_operation(
+                request["operation_id"], session.session_id
+            )
+            start = int(request.get("last_index", -1)) + 1
+            yield from op.remaining_from(start)
+            return
+        raise ProtocolError(f"unknown stream method '{method}'")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _run_operation(
+        self, session: SessionState, op: OperationState, plan: dict[str, Any]
+    ) -> None:
+        """Execute the plan and buffer the full response stream."""
+        responses: list[dict[str, Any]] = []
+        if proto.is_command(plan):
+            payload = self._backend.execute_command(session, plan)
+            responses.append(
+                {
+                    "@type": "command_result",
+                    "operation_id": op.operation_id,
+                    "payload": payload,
+                }
+            )
+        elif proto.is_relation(plan):
+            schema, columns = self._backend.execute_relation(session, plan)
+            responses.append(
+                {
+                    "@type": "schema",
+                    "operation_id": op.operation_id,
+                    "schema": schema,
+                }
+            )
+            num_rows = len(columns[0]) if columns else 0
+            index = 0
+            for start in range(0, max(num_rows, 1), self._result_batch_rows):
+                chunk = [
+                    col[start : start + self._result_batch_rows] for col in columns
+                ]
+                if start > 0 and (not chunk or not chunk[0]):
+                    break
+                responses.append(
+                    {
+                        "@type": "arrow_batch",
+                        "operation_id": op.operation_id,
+                        "index": index,
+                        "columns": chunk,
+                    }
+                )
+                index += 1
+        else:
+            raise ProtocolError(
+                f"plan must be a relation or a command, got "
+                f"'{proto.message_type(plan)}'"
+            )
+        responses.append(
+            {"@type": "result_complete", "operation_id": op.operation_id}
+        )
+        op.responses = responses
+        op.status = OP_FINISHED

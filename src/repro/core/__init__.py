@@ -1,0 +1,19 @@
+"""Lakeguard: the paper's primary contribution, assembled.
+
+- :mod:`repro.core.plan_codec` — Spark Connect plan ⇄ engine plan.
+- :mod:`repro.core.enforcement` — the governed relation resolver: privilege
+  checks, view expansion with definer rights, row-filter / column-mask
+  injection under ``SecureView``.
+- :mod:`repro.core.datasource` — executor-side scans with per-user
+  credential vending.
+- :mod:`repro.core.efgac` — external fine-grained access control: RemoteScan
+  rewriting, filter/projection/partial-aggregate pushdown, dual result modes.
+- :mod:`repro.core.lakeguard` — :class:`LakeguardCluster`, the execution
+  backend behind the Spark Connect service for every compute type.
+"""
+
+from repro.core.lakeguard import LakeguardCluster
+from repro.core.enforcement import GovernedResolver
+from repro.core.efgac import RemoteQueryExecutor
+
+__all__ = ["LakeguardCluster", "GovernedResolver", "RemoteQueryExecutor"]

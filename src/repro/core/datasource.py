@@ -1,0 +1,95 @@
+"""Governed data source: executor-side scans with credential vending (Fig. 2).
+
+Every scan task exchanges the session identity for a temporary, table-scoped
+credential before touching storage — data access is *user-bound*, never
+cluster-bound. Files of a snapshot are distributed round-robin across
+simulated executors, each of which performs its reads under the vended
+credential, so the audit log shows per-user, per-object access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.catalog.metastore import UnityCatalog
+from repro.catalog.privileges import UserContext
+from repro.catalog.scopes import ComputeCapabilities
+from repro.engine.batch import ColumnBatch
+from repro.engine.expressions import EvalContext
+from repro.engine.logical import TableRef
+from repro.errors import ExecutionError
+from repro.storage.credentials import LIST, READ
+from repro.storage.table_format import LakeTableStorage
+
+
+@dataclass
+class ScanStats:
+    files_read: int = 0
+    credentials_vended: int = 0
+    executor_tasks: int = 0
+
+
+class GovernedDataSource:
+    """DataSource implementation backed by Unity Catalog storage."""
+
+    def __init__(
+        self,
+        catalog: UnityCatalog,
+        caps: ComputeCapabilities,
+        num_executors: int = 2,
+    ):
+        self._catalog = catalog
+        self._caps = caps
+        self._num_executors = max(1, num_executors)
+        self.stats = ScanStats()
+
+    def _delegate_context(self, delegate: str) -> UserContext:
+        if self._catalog.principals.is_user(delegate):
+            return self._catalog.principals.context_for(delegate)
+        return UserContext(user=delegate)
+
+    def scan(self, table: TableRef, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        ctx = eval_ctx.auth
+        if not isinstance(ctx, UserContext):
+            raise ExecutionError(
+                f"scan of '{table.full_name}' has no authenticated user context"
+            )
+        if table.storage_root is None:
+            raise ExecutionError(
+                f"'{table.full_name}' has no storage visible to this compute"
+            )
+        if table.auth_delegate is not None:
+            # Definer-rights scan (view body): the credential is vended under
+            # the definer's authority; the session user stays in the audit.
+            vend_ctx = self._delegate_context(table.auth_delegate)
+            on_behalf_of = ctx.user
+        else:
+            vend_ctx = ctx
+            on_behalf_of = None
+        credential = self._catalog.vend_credential(
+            vend_ctx, table.full_name, {READ, LIST}, self._caps,
+            on_behalf_of=on_behalf_of,
+        )
+        self.stats.credentials_vended += 1
+        storage = LakeTableStorage(self._catalog.store, table.storage_root)
+        snapshot = storage.snapshot(credential, version=table.snapshot_version)
+
+        # Distribute files over simulated executor tasks round-robin; each
+        # task reads with the same user-bound credential.
+        assignments: list[list] = [[] for _ in range(self._num_executors)]
+        for i, data_file in enumerate(snapshot.files):
+            assignments[i % self._num_executors].append(data_file)
+
+        produced = False
+        for task_files in assignments:
+            if not task_files:
+                continue
+            self.stats.executor_tasks += 1
+            for data_file in task_files:
+                columns = storage.read_file(data_file, credential)
+                self.stats.files_read += 1
+                produced = True
+                yield ColumnBatch.from_dict(table.schema, columns)
+        if not produced:
+            yield ColumnBatch.empty(table.schema)

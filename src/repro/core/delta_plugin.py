@@ -1,0 +1,125 @@
+"""The Delta extension for Spark Connect (§3.2.2's named example).
+
+Provides the Delta-specific relation and command types as protocol
+extensions, without modifying the core protocol:
+
+- relation ``delta.time_travel`` — read a table at a historical version;
+  governance is *not* bypassed: resolution goes through the ordinary
+  governed path, so row filters, masks and eFGAC routing apply to old
+  versions exactly as to the latest.
+- command ``delta.history`` — the table's commit history (SELECT-checked).
+- command ``delta.vacuum`` — physically delete data files no longer
+  referenced by the latest snapshot (ownership-checked).
+
+Client-side helpers (:func:`time_travel_relation`, :func:`history_command`,
+:func:`vacuum_command`) build the wire messages; they depend only on the
+protocol, mirroring how a real Connect plugin ships a thin client.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.connect import proto
+from repro.engine.logical import LogicalPlan, SubqueryAlias, UnresolvedRelation
+from repro.errors import ProtocolError
+from repro.storage.table_format import LakeTableStorage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.connect.sessions import SessionState
+    from repro.core.extensions import ExtensionRegistry
+    from repro.core.lakeguard import LakeguardCluster
+    from repro.core.plan_codec import PlanDecoder
+
+
+# ---------------------------------------------------------------------------
+# Client-side message builders
+# ---------------------------------------------------------------------------
+
+
+def time_travel_relation(table: str, version: int) -> dict[str, Any]:
+    """Wire message for ``spark.read.option("versionAsOf", v).table(t)``."""
+    return proto.relation_extension(
+        "delta.time_travel", {"table": table, "version": int(version)}
+    )
+
+
+def history_command(table: str) -> dict[str, Any]:
+    return proto.command_extension("delta.history", {"table": table})
+
+
+def vacuum_command(table: str) -> dict[str, Any]:
+    return proto.command_extension("delta.vacuum", {"table": table})
+
+
+# ---------------------------------------------------------------------------
+# Server-side handlers
+# ---------------------------------------------------------------------------
+
+
+def _decode_time_travel(payload: dict[str, Any], decoder: "PlanDecoder") -> LogicalPlan:
+    try:
+        table = payload["table"]
+        version = int(payload["version"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed delta.time_travel payload: {exc}") from exc
+    relation = UnresolvedRelation(table, {"version": version})
+    return SubqueryAlias(relation, table.split(".")[-1])
+
+
+def _history(
+    payload: dict[str, Any], session: "SessionState", backend: "LakeguardCluster"
+) -> dict[str, Any]:
+    table_name = payload["table"]
+    catalog = backend.catalog
+    catalog.check_privilege(session.user_ctx, "SELECT", table_name)
+    table = catalog.get_table(table_name)
+    storage = LakeTableStorage(catalog.store, table.storage_root)
+    credential = catalog._service_credential
+    latest = storage.latest_version(credential)
+    history = []
+    for version in range(latest + 1):
+        snapshot = storage.snapshot(credential, version)
+        history.append(
+            {
+                "version": version,
+                "num_files": len(snapshot.files),
+                "num_rows": snapshot.num_rows,
+                "size_bytes": snapshot.size_bytes,
+            }
+        )
+    return {"table": table_name, "history": history}
+
+
+def _vacuum(
+    payload: dict[str, Any], session: "SessionState", backend: "LakeguardCluster"
+) -> dict[str, Any]:
+    table_name = payload["table"]
+    catalog = backend.catalog
+    table = catalog.get_table(table_name)
+    catalog._require_owner_or_admin(
+        session.user_ctx, table.owner, table_name, "vacuum"
+    )
+    storage = LakeTableStorage(catalog.store, table.storage_root)
+    credential = catalog._service_credential
+    live = {f.path for f in storage.snapshot(credential).files}
+    all_files = catalog.store.list(f"{table.storage_root}/data/", credential)
+    removed = 0
+    bytes_reclaimed = 0
+    for path in all_files:
+        if path not in live:
+            bytes_reclaimed += catalog.store.size_of(path, credential)
+            catalog.store.delete(path, credential)
+            removed += 1
+    return {
+        "table": table_name,
+        "files_removed": removed,
+        "bytes_reclaimed": bytes_reclaimed,
+    }
+
+
+def install(registry: "ExtensionRegistry") -> None:
+    """Install the Delta plugin into a server's extension registry."""
+    registry.register_relation("delta.time_travel", _decode_time_travel)
+    registry.register_command("delta.history", _history)
+    registry.register_command("delta.vacuum", _vacuum)

@@ -1,0 +1,270 @@
+"""The governed relation resolver: where FGAC is injected (§3.4, Fig. 8).
+
+When the analyzer resolves a relation name, this resolver:
+
+1. authorizes the access against Unity Catalog (SELECT plus namespace
+   privileges) under the *acting* context — the querying user at the top
+   level, the view **owner** inside view bodies (definer rights);
+2. for tables, injects the row filter (``Filter``) and column masks
+   (``Project``) beneath a :class:`~repro.engine.logical.SecureView`
+   barrier, so no unsafe expression can later be pushed below the policy;
+3. for views, parses the definition, resolves it recursively with the
+   owner's privileges, and wraps it in a ``SecureView``;
+4. for relations annotated ``requires_external_fgac`` (privileged compute),
+   emits a :class:`~repro.engine.logical.RemoteScan` leaf instead — the
+   compute never receives policy details or storage credentials.
+
+``CURRENT_USER()`` / ``IS_ACCOUNT_GROUP_MEMBER()`` inside policies and view
+bodies still evaluate against the *querying* session at run time; only
+privilege checks use definer rights. That is exactly Unity Catalog's
+dynamic-view semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable
+
+from repro.catalog.metastore import RelationMetadata, UnityCatalog
+from repro.catalog.privileges import UserContext
+from repro.catalog.scopes import (
+    ANNOTATION_REQUIRES_EXTERNAL_FGAC,
+    ComputeCapabilities,
+)
+from repro.engine.analyzer import Analyzer
+from repro.engine.expressions import Alias, UnresolvedColumn
+from repro.engine.logical import (
+    Filter,
+    LogicalPlan,
+    Project,
+    RemoteScan,
+    Scan,
+    SecureView,
+    TableRef,
+)
+from repro.engine.types import Schema
+from repro.engine.udf import PythonUDF
+from repro.errors import AnalysisError, SecurableNotFound
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement
+from repro.sql.to_plan import PlanBuilder
+
+#: Resolves a relation's output schema via the remote endpoint when the
+#: local compute is not allowed to know anything beyond "it exists".
+RemoteSchemaResolver = Callable[[str, UserContext], Schema]
+
+
+class GovernedResolver:
+    """RelationResolver implementation enforcing Unity Catalog governance."""
+
+    def __init__(
+        self,
+        catalog: UnityCatalog,
+        user_ctx: UserContext,
+        caps: ComputeCapabilities,
+        remote_schema_resolver: RemoteSchemaResolver | None = None,
+    ):
+        self._catalog = catalog
+        self._caps = caps
+        self._remote_schema_resolver = remote_schema_resolver
+        #: Acting-context stack: top is used for privilege checks. View
+        #: expansion pushes the view owner (definer rights).
+        self._acting: list[UserContext] = [user_ctx]
+
+    @property
+    def session_ctx(self) -> UserContext:
+        return self._acting[0]
+
+    @property
+    def acting_ctx(self) -> UserContext:
+        return self._acting[-1]
+
+    # ------------------------------------------------------------------
+    # RelationResolver interface
+    # ------------------------------------------------------------------
+
+    #: The queryable audit log (admins only), like UC's system tables.
+    AUDIT_TABLE = "system.access.audit"
+
+    def resolve_relation(
+        self, name: str, options: dict | None = None
+    ) -> LogicalPlan:
+        options = options or {}
+        if name == self.AUDIT_TABLE:
+            return self._resolve_audit_table()
+        metadata = self._catalog.relation_metadata(
+            name, self.acting_ctx, self._caps
+        )
+        if ANNOTATION_REQUIRES_EXTERNAL_FGAC in metadata.annotations:
+            return self._resolve_remote(name, metadata, options)
+        if metadata.kind == "TABLE":
+            return self._resolve_table(metadata, options)
+        if options.get("version") is not None:
+            raise AnalysisError(
+                f"time travel is only supported on tables, not on '{name}' "
+                f"({metadata.kind})"
+            )
+        if metadata.kind == "MATERIALIZED_VIEW":
+            return self._resolve_materialized_view(metadata)
+        if metadata.kind == "VIEW":
+            return self._resolve_view(metadata)
+        raise SecurableNotFound(f"'{name}' is not a readable relation")
+
+    # ------------------------------------------------------------------
+    # Tables: row filter + column masks under a SecureView
+    # ------------------------------------------------------------------
+
+    def _resolve_table(
+        self, metadata: RelationMetadata, options: dict | None = None
+    ) -> LogicalPlan:
+        options = options or {}
+        table_ref = self._catalog.table_ref(metadata)
+        if len(self._acting) > 1:
+            # Inside a view body: runtime credentials use the definer's
+            # rights (the analysis already authorized this acting context).
+            table_ref = replace(table_ref, auth_delegate=self.acting_ctx.user)
+        version = options.get("version")
+        if version is not None:
+            # Delta time travel: pin the scan, policies still apply below.
+            table_ref = replace(table_ref, snapshot_version=int(version))
+        plan: LogicalPlan = Scan(table_ref)
+
+        if metadata.row_filter is not None:
+            plan = Filter(plan, metadata.row_filter.condition)
+
+        if metadata.column_masks:
+            masks = {m.column: m.mask for m in metadata.column_masks}
+            exprs = []
+            for field in metadata.schema:
+                if field.name in masks:
+                    exprs.append(Alias(masks[field.name], field.name))
+                else:
+                    exprs.append(UnresolvedColumn(field.name))
+            plan = Project(plan, exprs)
+
+        if metadata.has_policies:
+            plan = SecureView(plan, metadata.full_name, metadata.owner)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Views: definer-rights expansion
+    # ------------------------------------------------------------------
+
+    def _parse_view_body(self, metadata: RelationMetadata) -> LogicalPlan:
+        stmt = parse_statement(metadata.view_text)
+        if not isinstance(stmt, (ast.SelectStatement, ast.UnionStatement)):
+            raise AnalysisError(
+                f"view '{metadata.full_name}' definition is not a query"
+            )
+        builder = PlanBuilder(self._owner_function_lookup(metadata.owner))
+        return builder.build(stmt)
+
+    def _resolve_view(self, metadata: RelationMetadata) -> LogicalPlan:
+        body = self._parse_view_body(metadata)
+        owner_ctx = self._owner_context(metadata.owner)
+        self._acting.append(owner_ctx)
+        try:
+            analyzed = Analyzer(self).analyze(body)
+        finally:
+            self._acting.pop()
+        return SecureView(analyzed, metadata.full_name, metadata.owner)
+
+    def _resolve_materialized_view(self, metadata: RelationMetadata) -> LogicalPlan:
+        if not metadata.materialized_stale and metadata.schema is not None:
+            table_ref = TableRef(
+                full_name=metadata.full_name,
+                schema=metadata.schema,
+                storage_root=metadata.materialized_root,
+                owner=metadata.owner,
+                auth_delegate=(
+                    self.acting_ctx.user if len(self._acting) > 1 else None
+                ),
+            )
+            return SecureView(
+                Scan(table_ref), metadata.full_name, metadata.owner
+            )
+        # Stale (or never refreshed): fall back to live expansion.
+        return self._resolve_view(metadata)
+
+    def _owner_context(self, owner: str) -> UserContext:
+        if self._catalog.principals.is_user(owner):
+            return self._catalog.principals.context_for(owner)
+        # Owners may be groups or service principals not in the directory.
+        return UserContext(user=owner)
+
+    def _owner_function_lookup(self, owner: str):
+        """Catalog functions inside view bodies resolve with owner rights."""
+
+        def lookup(name: str) -> PythonUDF | None:
+            if name.count(".") != 2:
+                return None
+            try:
+                return self._catalog.get_function(name, self._owner_context(owner))
+            except SecurableNotFound:
+                return None
+
+        return lookup
+
+    # ------------------------------------------------------------------
+    # System tables
+    # ------------------------------------------------------------------
+
+    def _resolve_audit_table(self) -> LogicalPlan:
+        """``system.access.audit`` as a queryable relation (admins only)."""
+        from repro.catalog.privileges import MANAGE
+        from repro.engine.logical import LocalRelation
+        from repro.engine.types import BOOL, FLOAT, STRING, Field
+        from repro.errors import PermissionDenied
+
+        ctx = self.session_ctx
+        is_admin = (
+            not ctx.is_down_scoped
+            and self._catalog.principals.is_admin(ctx.user)
+        )
+        if not is_admin:
+            raise PermissionDenied(ctx.user, MANAGE, self.AUDIT_TABLE)
+        events = list(self._catalog.audit)
+        schema = Schema(
+            (
+                Field("event_time", FLOAT),
+                Field("principal", STRING),
+                Field("action", STRING),
+                Field("resource", STRING),
+                Field("allowed", BOOL),
+                Field("details", STRING),
+            )
+        )
+        columns: list[list] = [
+            [e.timestamp for e in events],
+            [e.principal for e in events],
+            [e.action for e in events],
+            [e.resource for e in events],
+            [e.allowed for e in events],
+            [str(e.details) for e in events],
+        ]
+        return LocalRelation(schema, columns)
+
+    # ------------------------------------------------------------------
+    # Remote (eFGAC) relations
+    # ------------------------------------------------------------------
+
+    def _resolve_remote(
+        self, name: str, metadata: RelationMetadata, options: dict | None = None
+    ) -> LogicalPlan:
+        options = options or {}
+        schema = metadata.schema
+        if schema is None:
+            if self._remote_schema_resolver is None:
+                raise AnalysisError(
+                    f"'{name}' must be processed externally but no remote "
+                    "endpoint is configured for this compute"
+                )
+            schema = self._remote_schema_resolver(name, self.session_ctx)
+        payload: dict[str, Any] = {"@type": "relation.read", "table": name}
+        if options.get("version") is not None:
+            payload["options"] = {"version": int(options["version"])}
+        return RemoteScan(
+            payload=payload,
+            schema=schema,
+            source_tables=(name,),
+        )

@@ -1,0 +1,90 @@
+"""Spark Connect extension points, server side (§3.2.2).
+
+"All major interfaces for relations, expressions, and commands provide
+explicit extension points ... a mechanism to transparently embed custom
+message types as part of the execution." Plugins register decoders for
+namespaced ``relation.extension`` / ``command.extension`` messages; clients
+ship those messages without the core protocol changing.
+
+The canonical example — exactly the one the paper names — is the **Delta**
+plugin in :mod:`repro.core.delta_plugin`: time travel reads, table history,
+and VACUUM.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Protocol
+
+from repro.engine.logical import LogicalPlan
+from repro.errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.connect.sessions import SessionState
+    from repro.core.lakeguard import LakeguardCluster
+    from repro.core.plan_codec import PlanDecoder
+
+#: Decodes a relation-extension payload into a (possibly unresolved) plan.
+RelationHandler = Callable[[dict[str, Any], "PlanDecoder"], LogicalPlan]
+
+#: Executes a command-extension payload; returns the command result payload.
+CommandHandler = Callable[[dict[str, Any], "SessionState", "LakeguardCluster"], dict[str, Any]]
+
+
+class ExtensionRegistry:
+    """Named relation/command extension handlers for one server."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, RelationHandler] = {}
+        self._commands: dict[str, CommandHandler] = {}
+
+    # -- registration --------------------------------------------------------------
+
+    def register_relation(self, name: str, handler: RelationHandler) -> None:
+        self._relations[name] = handler
+
+    def register_command(self, name: str, handler: CommandHandler) -> None:
+        self._commands[name] = handler
+
+    def relation_names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def command_names(self) -> list[str]:
+        return sorted(self._commands)
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def decode_relation(
+        self, name: str, payload: dict[str, Any], decoder: "PlanDecoder"
+    ) -> LogicalPlan:
+        """Dispatch a relation-extension payload to its registered plugin."""
+        handler = self._relations.get(name)
+        if handler is None:
+            raise ProtocolError(
+                f"unknown relation extension '{name}'; "
+                f"installed: {self.relation_names()}"
+            )
+        return handler(payload, decoder)
+
+    def execute_command(
+        self,
+        name: str,
+        payload: dict[str, Any],
+        session: "SessionState",
+        backend: "LakeguardCluster",
+    ) -> dict[str, Any]:
+        handler = self._commands.get(name)
+        if handler is None:
+            raise ProtocolError(
+                f"unknown command extension '{name}'; "
+                f"installed: {self.command_names()}"
+            )
+        return handler(payload, session, backend)
+
+
+def default_registry() -> ExtensionRegistry:
+    """The registry shipped with every Lakeguard cluster (Delta installed)."""
+    from repro.core.delta_plugin import install as install_delta
+
+    registry = ExtensionRegistry()
+    install_delta(registry)
+    return registry

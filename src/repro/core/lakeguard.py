@@ -1,0 +1,481 @@
+"""LakeguardCluster: the governed execution backend for every compute type.
+
+One instance is the trusted driver-side half of a cluster (Fig. 7/9). It
+implements the Spark Connect :class:`~repro.connect.service.ExecutionBackend`
+and assembles, per session:
+
+- a :class:`~repro.core.enforcement.GovernedResolver` (privileges, views,
+  row filters, column masks, eFGAC routing),
+- a :class:`~repro.core.datasource.GovernedDataSource` (per-user credential
+  vending on every scan),
+- a UDF runtime: sandboxed via the Dispatcher on compute that isolates user
+  code (Standard/Serverless), inline on privileged compute (Dedicated) —
+  which is precisely why Dedicated compute gets eFGAC instead of policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.catalog.metastore import UnityCatalog
+from repro.catalog.policies import ColumnMask, RowFilter
+from repro.catalog.privileges import CREATE_TABLE, UserContext
+from repro.catalog.scopes import COMPUTE_STANDARD, ComputeCapabilities
+from repro.common.clock import Clock, SystemClock
+from repro.common.ids import new_id
+from repro.connect.sessions import SessionState
+from repro.core.datasource import GovernedDataSource
+from repro.core.efgac import RemoteQueryExecutor, RemoteSubmit, efgac_rules
+from repro.core.enforcement import GovernedResolver
+from repro.core.plan_codec import PlanDecoder
+from repro.engine.executor import ExecutionConfig, QueryEngine, QueryResult
+from repro.engine.expressions import UDFRuntime
+from repro.engine.logical import LogicalPlan
+from repro.engine.optimizer import OptimizerConfig
+from repro.engine.types import Field, Schema, type_from_name
+from repro.engine.udf import PythonUDF
+from repro.errors import (
+    AnalysisError,
+    SecurableNotFound,
+    UnsupportedOperationError,
+)
+from repro.sandbox.cluster_manager import Backend, ClusterManager
+from repro.sandbox.dispatcher import Dispatcher, SandboxedUDFRuntime
+from repro.sandbox.policy import SandboxPolicy
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement
+
+
+def schema_to_message(schema: Schema) -> list[dict[str, str]]:
+    return [{"name": f.qualified_name(), "type": f.dtype.name} for f in schema]
+
+
+def message_to_schema(message: list[dict[str, str]]) -> Schema:
+    return Schema(
+        tuple(Field(f["name"], type_from_name(f["type"])) for f in message)
+    )
+
+
+#: Optional hook transforming the authenticated context (e.g. group
+#: down-scoping on shared dedicated clusters, §4.2).
+ContextTransform = Callable[[UserContext], UserContext]
+
+
+class LakeguardCluster:
+    """Trusted driver-side state of one governed cluster."""
+
+    def __init__(
+        self,
+        catalog: UnityCatalog,
+        compute_type: str = COMPUTE_STANDARD,
+        cluster_id: str | None = None,
+        clock: Clock | None = None,
+        sandbox_backend: Backend = "inprocess",
+        sandbox_policy: SandboxPolicy | None = None,
+        optimizer_config: OptimizerConfig | None = None,
+        num_executors: int = 2,
+        batch_size: int = 4096,
+        remote_submit: RemoteSubmit | None = None,
+        remote_analyze: Callable[[str, dict[str, Any]], list[dict[str, str]]] | None = None,
+        provision_seconds: float = 0.0,
+        interpreter_start_seconds: float = 0.0,
+        context_transform: ContextTransform | None = None,
+    ):
+        self.catalog = catalog
+        self.clock = clock or SystemClock()
+        self.cluster_id = cluster_id or new_id("cluster")
+        self.caps = ComputeCapabilities(self.cluster_id, compute_type)
+        self.optimizer_config = optimizer_config or OptimizerConfig()
+        self.num_executors = num_executors
+        self.batch_size = batch_size
+        self._context_transform = context_transform
+
+        self.cluster_manager = ClusterManager(
+            backend=sandbox_backend,
+            clock=self.clock,
+            default_policy=sandbox_policy or SandboxPolicy(),
+            provision_seconds=provision_seconds,
+            interpreter_start_seconds=interpreter_start_seconds,
+        )
+        self.dispatcher = Dispatcher(self.cluster_manager)
+
+        self.data_source = GovernedDataSource(catalog, self.caps, num_executors)
+        self._remote_analyze = remote_analyze
+        self.remote_executor: RemoteQueryExecutor | None = None
+        if remote_submit is not None:
+            self.remote_executor = RemoteQueryExecutor(remote_submit, catalog)
+
+        from repro.core.extensions import default_registry
+
+        #: Spark Connect protocol extensions installed on this server
+        #: (Delta plugin by default; §3.2.2).
+        self.extensions = default_registry()
+
+        #: Most recent QueryResult (plans + metrics), for tests/benchmarks.
+        self.last_result: QueryResult | None = None
+
+    # ------------------------------------------------------------------
+    # ExecutionBackend interface
+    # ------------------------------------------------------------------
+
+    def authenticate(self, user: str) -> UserContext:
+        try:
+            ctx = self.catalog.principals.context_for(user)
+        except SecurableNotFound as exc:
+            from repro.errors import ClusterAttachDenied
+
+            raise ClusterAttachDenied(str(exc)) from exc
+        if self._context_transform is not None:
+            ctx = self._context_transform(ctx)
+        return ctx
+
+    def on_session_closed(self, session: SessionState) -> None:
+        self.dispatcher.release_session(session.session_id)
+
+    # -- per-session machinery ----------------------------------------------------
+
+    def _function_lookup(self, session: SessionState):
+        def lookup(name: str) -> PythonUDF | None:
+            temp = session.temp_udfs.get(name)
+            if temp is not None:
+                # Ephemeral code runs in the session user's trust domain.
+                return temp.with_owner(session.user_ctx.user)
+            if name.count(".") == 2:
+                try:
+                    return self.catalog.get_function(name, session.user_ctx)
+                except SecurableNotFound:
+                    return None
+            return None
+
+        return lookup
+
+    def _decoder(self, session: SessionState) -> PlanDecoder:
+        return PlanDecoder(
+            session_user=session.user_ctx.user,
+            function_lookup=self._function_lookup(session),
+            temp_views=session.temp_views,
+            extensions=self.extensions,
+        )
+
+    def _remote_schema_resolver(self):
+        if self._remote_analyze is None:
+            return None
+
+        def resolve(name: str, ctx: UserContext) -> Schema:
+            message = self._remote_analyze(
+                ctx.user, {"@type": "relation.read", "table": name}
+            )
+            return message_to_schema(message)
+
+        return resolve
+
+    def _udf_runtime(self, session: SessionState) -> UDFRuntime:
+        if self.caps.isolates_user_code:
+            # The session's pinned workload environment is loaded inside the
+            # sandbox (§6.3) — sandboxes never mix environment versions.
+            return SandboxedUDFRuntime(
+                self.dispatcher,
+                session.session_id,
+                environment=session.config.get("workload_env"),
+            )
+        # Privileged compute: legacy inline execution inside the engine.
+        return UDFRuntime()
+
+    def engine_for(self, session: SessionState) -> QueryEngine:
+        """Assemble the governed query engine for one session."""
+        resolver = GovernedResolver(
+            self.catalog,
+            session.user_ctx,
+            self.caps,
+            remote_schema_resolver=self._remote_schema_resolver(),
+        )
+        extra_rules = () if self.caps.can_enforce_fgac_locally else tuple(efgac_rules())
+        return QueryEngine(
+            resolver=resolver,
+            data_source=self.data_source,
+            config=ExecutionConfig(
+                batch_size=self.batch_size, num_executors=self.num_executors
+            ),
+            optimizer_config=self.optimizer_config,
+            extra_rules=extra_rules,
+            udf_runtime=self._udf_runtime(session),
+            remote_executor=self.remote_executor,
+        )
+
+    # -- relations --------------------------------------------------------------
+
+    def execute_relation(
+        self, session: SessionState, relation: dict[str, Any]
+    ) -> tuple[list[dict[str, str]], list[list[Any]]]:
+        plan = self._decoder(session).relation(relation)
+        result = self._execute_plan(session, plan)
+        return schema_to_message(result.batch.schema), result.batch.columns
+
+    def _execute_plan(self, session: SessionState, plan: LogicalPlan) -> QueryResult:
+        engine = self.engine_for(session)
+        result = engine.execute(
+            plan,
+            user=session.user_ctx.user,
+            groups=session.user_ctx.groups,
+            auth=session.user_ctx,
+        )
+        self.last_result = result
+        return result
+
+    def analyze_relation(
+        self, session: SessionState, relation: dict[str, Any]
+    ) -> list[dict[str, str]]:
+        plan = self._decoder(session).relation(relation)
+        analyzed = self.engine_for(session).analyze(plan)
+        return schema_to_message(analyzed.schema)
+
+    # ------------------------------------------------------------------
+    # Commands (DDL / DML / DCL)
+    # ------------------------------------------------------------------
+
+    def execute_command(
+        self, session: SessionState, command: dict[str, Any]
+    ) -> dict[str, Any]:
+        kind = command.get("@type")
+        if kind == "command.sql":
+            return self._execute_sql_command(session, command["sql"])
+        if kind == "command.write_table":
+            self.catalog.write_table(
+                command["table"],
+                command["columns"],
+                session.user_ctx,
+                overwrite=bool(command.get("overwrite")),
+            )
+            return {"status": "ok", "operation": "write_table"}
+        if kind == "command.create_temp_view":
+            session.temp_views[command["name"]] = command["relation"]
+            return {"status": "ok", "operation": "create_temp_view"}
+        if kind == "command.register_function":
+            import cloudpickle
+
+            from repro.errors import ProtocolError
+
+            try:
+                func = cloudpickle.loads(command["func_blob"])
+            except Exception as exc:  # noqa: BLE001 - hostile blobs
+                raise ProtocolError(
+                    f"function '{command.get('name')}' has an undeserializable "
+                    f"payload: {type(exc).__name__}"
+                ) from exc
+            udf_obj = PythonUDF(
+                name=command["name"],
+                func=func,
+                return_type=type_from_name(command["return_type"]),
+                owner=session.user_ctx.user,
+                deterministic=bool(command.get("deterministic", True)),
+            )
+            session.temp_udfs[udf_obj.name] = udf_obj
+            return {
+                "status": "ok",
+                "operation": "register_function",
+                "name": udf_obj.name,
+            }
+        if kind == "command.extension":
+            return self.extensions.execute_command(
+                command.get("name", ""), command.get("payload", {}), session, self
+            )
+        raise UnsupportedOperationError(f"unknown command type '{kind}'")
+
+    def _execute_sql_command(
+        self, session: SessionState, sql: str
+    ) -> dict[str, Any]:
+        ctx = session.user_ctx
+        stmt = parse_statement(sql)
+
+        if isinstance(stmt, ast.CreateTableStatement):
+            schema_name = stmt.name.rsplit(".", 1)[0]
+            self.catalog.check_privilege(ctx, CREATE_TABLE, schema_name)
+            fields = tuple(
+                Field(name, type_from_name(type_name))
+                for name, type_name in stmt.columns
+            )
+            self.catalog.create_table(stmt.name, Schema(fields), owner=ctx.user)
+            return {"status": "ok", "operation": "create_table", "name": stmt.name}
+
+        if isinstance(stmt, ast.CreateTableAsSelectStatement):
+            schema_name = stmt.name.rsplit(".", 1)[0]
+            self.catalog.check_privilege(ctx, CREATE_TABLE, schema_name)
+            query = parse_statement(stmt.query_sql)
+            from repro.sql.to_plan import PlanBuilder
+
+            plan = PlanBuilder(self._function_lookup(session)).build(query)
+            result = self._execute_plan(session, plan)
+            bare = Schema(
+                tuple(Field(f.name, f.dtype) for f in result.batch.schema)
+            )
+            self.catalog.create_table(stmt.name, bare, owner=ctx.user)
+            columns = {
+                f.name: col
+                for f, col in zip(result.batch.schema, result.batch.columns)
+            }
+            self.catalog.write_table(stmt.name, columns, ctx)
+            return {
+                "status": "ok",
+                "operation": "create_table_as_select",
+                "name": stmt.name,
+                "rows": result.batch.num_rows,
+            }
+
+        if isinstance(stmt, ast.DropObjectStatement):
+            obj = self.catalog.get_object(stmt.name)
+            if stmt.kind == "TABLE" and obj.kind != "TABLE":
+                raise AnalysisError(f"'{stmt.name}' is not a table ({obj.kind})")
+            if stmt.kind == "VIEW" and obj.kind not in ("VIEW", "MATERIALIZED_VIEW"):
+                raise AnalysisError(f"'{stmt.name}' is not a view ({obj.kind})")
+            self.catalog.drop_object(stmt.name, ctx)
+            return {"status": "ok", "operation": "drop", "name": stmt.name}
+
+        if isinstance(stmt, ast.ShowGrantsStatement):
+            self.catalog._require_manage(ctx, stmt.securable, "show_grants")
+            grants = [
+                {"principal": g.principal, "privilege": g.privilege}
+                for g in self.catalog.grants.grants_on(stmt.securable)
+            ]
+            return {
+                "status": "ok",
+                "operation": "show_grants",
+                "securable": stmt.securable,
+                "grants": grants,
+            }
+
+        if isinstance(stmt, ast.DescribeStatement):
+            self.catalog.check_privilege(ctx, "SELECT", stmt.name)
+            table = self.catalog.get_table(stmt.name)
+            masked = {m.column for m in self.catalog.column_masks_of(stmt.name)}
+            columns = [
+                {
+                    "name": f.name,
+                    "type": f.dtype.name,
+                    "masked": f.name in masked,
+                    "tags": sorted(self.catalog.tags.column_tags(stmt.name, f.name)),
+                }
+                for f in table.schema
+            ]
+            return {
+                "status": "ok",
+                "operation": "describe",
+                "name": stmt.name,
+                "columns": columns,
+                "row_filter": self.catalog.row_filter_of(stmt.name) is not None,
+            }
+
+        if isinstance(stmt, ast.CreateViewStatement):
+            schema_name = stmt.name.rsplit(".", 1)[0]
+            self.catalog.check_privilege(ctx, CREATE_TABLE, schema_name)
+            if stmt.materialized:
+                self.catalog.create_materialized_view(
+                    stmt.name, stmt.query_sql, owner=ctx.user
+                )
+                self.refresh_materialized_view(stmt.name, session)
+            else:
+                self.catalog.create_view(stmt.name, stmt.query_sql, owner=ctx.user)
+            return {"status": "ok", "operation": "create_view", "name": stmt.name}
+
+        if isinstance(stmt, ast.InsertStatement):
+            table = self.catalog.get_table(stmt.table)
+            columns: dict[str, list[Any]] = {name: [] for name in table.schema.names}
+            for row in stmt.rows:
+                if len(row) != len(table.schema):
+                    raise AnalysisError(
+                        f"INSERT row has {len(row)} values; table has "
+                        f"{len(table.schema)} columns"
+                    )
+                for name, value in zip(table.schema.names, row):
+                    columns[name].append(value)
+            self.catalog.write_table(stmt.table, columns, ctx)
+            return {
+                "status": "ok",
+                "operation": "insert",
+                "rows": len(stmt.rows),
+            }
+
+        if isinstance(stmt, ast.GrantStatement):
+            self.catalog.grant_checked(
+                ctx, stmt.privilege, stmt.securable, stmt.principal
+            )
+            return {"status": "ok", "operation": "grant"}
+
+        if isinstance(stmt, ast.RevokeStatement):
+            self.catalog.revoke_checked(
+                ctx, stmt.privilege, stmt.securable, stmt.principal
+            )
+            return {"status": "ok", "operation": "revoke"}
+
+        if isinstance(stmt, ast.SetRowFilterStatement):
+            self.catalog.set_row_filter(
+                stmt.table,
+                RowFilter(stmt.table, stmt.condition, created_by=ctx.user),
+                ctx,
+            )
+            return {"status": "ok", "operation": "set_row_filter"}
+
+        if isinstance(stmt, ast.DropRowFilterStatement):
+            self.catalog.drop_row_filter(stmt.table, ctx)
+            return {"status": "ok", "operation": "drop_row_filter"}
+
+        if isinstance(stmt, ast.SetColumnMaskStatement):
+            self.catalog.set_column_mask(
+                stmt.table,
+                ColumnMask(stmt.table, stmt.column, stmt.mask, created_by=ctx.user),
+                ctx,
+            )
+            return {"status": "ok", "operation": "set_column_mask"}
+
+        if isinstance(stmt, ast.DropColumnMaskStatement):
+            self.catalog.drop_column_mask(stmt.table, stmt.column, ctx)
+            return {"status": "ok", "operation": "drop_column_mask"}
+
+        raise UnsupportedOperationError(
+            f"statement {type(stmt).__name__} is not an executable command"
+        )
+
+    # ------------------------------------------------------------------
+    # Materialized views
+    # ------------------------------------------------------------------
+
+    def refresh_materialized_view(self, name: str, session: SessionState) -> None:
+        """Recompute a materialized view's data as its owner."""
+        obj = self.catalog.get_object(name)
+        stmt = parse_statement(obj.sql_text)
+        from repro.sql.to_plan import PlanBuilder
+
+        plan = PlanBuilder(self._function_lookup(session)).build(stmt)
+        result = self._execute_plan(session, plan)
+        columns = {
+            f.name: col for f, col in zip(result.batch.schema, result.batch.columns)
+        }
+        # Strip any qualifiers: materialized storage uses bare names.
+        bare = Schema(tuple(Field(f.name, f.dtype) for f in result.batch.schema))
+        self.catalog.store_materialization(name, bare, columns)
+
+    # ------------------------------------------------------------------
+    # Direct submission (used by the serverless pool for eFGAC subqueries)
+    # ------------------------------------------------------------------
+
+    def run_relation_for_user(
+        self, user: str, relation: dict[str, Any]
+    ) -> tuple[list[dict[str, str]], list[list[Any]]]:
+        """Execute a relation for ``user`` without a Connect session."""
+        session = self._ephemeral_session(user)
+        return self.execute_relation(session, relation)
+
+    def analyze_relation_for_user(
+        self, user: str, relation: dict[str, Any]
+    ) -> list[dict[str, str]]:
+        session = self._ephemeral_session(user)
+        return self.analyze_relation(session, relation)
+
+    def _ephemeral_session(self, user: str) -> SessionState:
+        ctx = self.authenticate(user)
+        return SessionState(
+            session_id=new_id("session"),
+            user_ctx=ctx,
+            created_at=self.clock.now(),
+            last_active=self.clock.now(),
+        )

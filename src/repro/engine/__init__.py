@@ -1,0 +1,36 @@
+"""A columnar mini query engine standing in for Spark SQL.
+
+The engine mirrors the phases the paper's governance machinery hooks into:
+
+parse/build → **analyze** (name resolution, view expansion, FGAC injection)
+→ **optimize** (rule-based: pushdown with SecureView barriers, UDF fusion)
+→ **physical planning** → **execution** on simulated executors that fetch
+per-user temporary credentials before scanning storage.
+"""
+
+from repro.engine.types import (
+    BOOL,
+    BINARY,
+    FLOAT,
+    INT,
+    STRING,
+    DataType,
+    Field,
+    Schema,
+)
+from repro.engine.batch import ColumnBatch
+from repro.engine.udf import PythonUDF, udf
+
+__all__ = [
+    "BOOL",
+    "BINARY",
+    "FLOAT",
+    "INT",
+    "STRING",
+    "DataType",
+    "Field",
+    "Schema",
+    "ColumnBatch",
+    "PythonUDF",
+    "udf",
+]

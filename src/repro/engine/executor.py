@@ -1,0 +1,156 @@
+"""Query driver: ties analyzer, optimizer, planner and execution together.
+
+:class:`QueryEngine` is the in-process equivalent of a Spark driver. The
+Connect service owns one per cluster; Lakeguard configures it with a
+governed relation resolver, a credential-fetching data source, a sandboxed
+UDF runtime, and (on dedicated compute) an eFGAC remote executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.engine.analyzer import Analyzer, RelationResolver
+from repro.engine.batch import ColumnBatch
+from repro.engine.expressions import EvalContext, UDFRuntime
+from repro.engine.logical import LogicalPlan, RemoteScan, TableRef
+from repro.engine.optimizer import Optimizer, OptimizerConfig, Rule
+from repro.engine.physical import (
+    DEFAULT_BATCH_SIZE,
+    DataSource,
+    ExecContext,
+    PhysicalPlanner,
+    QueryMetrics,
+)
+from repro.errors import ExecutionError
+
+
+@dataclass
+class ExecutionConfig:
+    """Engine-level knobs."""
+
+    batch_size: int = DEFAULT_BATCH_SIZE
+    #: Number of simulated executor workers a scan is spread across.
+    num_executors: int = 2
+
+
+class LocalDataSource:
+    """Data source backed by in-memory columns, keyed by table full name."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, dict[str, list[Any]]] = {}
+
+    def register(self, full_name: str, columns: dict[str, list[Any]]) -> None:
+        self._tables[full_name] = columns
+
+    def scan(self, table: TableRef, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        try:
+            columns = self._tables[table.full_name]
+        except KeyError:
+            raise ExecutionError(f"no data registered for '{table.full_name}'") from None
+        yield ColumnBatch.from_dict(table.schema, columns)
+
+
+@dataclass
+class QueryResult:
+    """A completed query: final batch plus plans and metrics for inspection."""
+
+    batch: ColumnBatch
+    analyzed_plan: LogicalPlan
+    optimized_plan: LogicalPlan
+    metrics: QueryMetrics
+
+    def rows(self) -> list[tuple]:
+        return self.batch.to_rows()
+
+    def column(self, name: str) -> list[Any]:
+        return self.batch.column(name)
+
+
+RemoteExecutor = Callable[[RemoteScan, EvalContext], Iterator[ColumnBatch]]
+
+
+class QueryEngine:
+    """Analyze → optimize → plan → execute, with pluggable governance hooks."""
+
+    def __init__(
+        self,
+        resolver: RelationResolver,
+        data_source: DataSource | None = None,
+        config: ExecutionConfig | None = None,
+        optimizer_config: OptimizerConfig | None = None,
+        extra_rules: Sequence[Rule] = (),
+        udf_runtime: UDFRuntime | None = None,
+        remote_executor: RemoteExecutor | None = None,
+    ):
+        self.config = config or ExecutionConfig()
+        self._analyzer = Analyzer(resolver)
+        self._optimizer_config = optimizer_config or OptimizerConfig()
+        self._extra_rules = tuple(extra_rules)
+        self._planner = PhysicalPlanner()
+        self._data_source = data_source
+        self._udf_runtime = udf_runtime
+        self._remote_executor = remote_executor
+
+    # -- phases -------------------------------------------------------------------
+
+    def analyze(self, plan: LogicalPlan) -> LogicalPlan:
+        return self._analyzer.analyze(plan)
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        # A fresh Optimizer per query keeps fusion-group ids plan-local.
+        optimizer = Optimizer(self._optimizer_config, extra_rules=self._extra_rules)
+        return optimizer.optimize(plan)
+
+    def explain(self, plan: LogicalPlan, user: str = "anonymous") -> str:
+        analyzed = self.analyze(plan)
+        optimized = self.optimize(analyzed)
+        return optimized.explain()
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: LogicalPlan,
+        user: str = "anonymous",
+        groups: frozenset[str] | set[str] = frozenset(),
+        udf_runtime: UDFRuntime | None = None,
+        auth: Any = None,
+    ) -> QueryResult:
+        analyzed = self.analyze(plan)
+        optimized = self.optimize(analyzed)
+        return self.execute_optimized(
+            optimized, analyzed, user, groups, udf_runtime, auth
+        )
+
+    def execute_optimized(
+        self,
+        optimized: LogicalPlan,
+        analyzed: LogicalPlan | None = None,
+        user: str = "anonymous",
+        groups: frozenset[str] | set[str] = frozenset(),
+        udf_runtime: UDFRuntime | None = None,
+        auth: Any = None,
+    ) -> QueryResult:
+        """Run an already-optimized plan (used by eFGAC split pipelines)."""
+        eval_ctx = EvalContext(
+            user=user,
+            groups=frozenset(groups),
+            udf_runtime=udf_runtime or self._udf_runtime or UDFRuntime(),
+            auth=auth,
+        )
+        ctx = ExecContext(
+            eval_ctx=eval_ctx,
+            data_source=self._data_source,
+            remote_executor=self._remote_executor,
+            batch_size=self.config.batch_size,
+        )
+        operator = self._planner.plan(optimized)
+        batch = operator.collect(ctx)
+        return QueryResult(
+            batch=batch,
+            analyzed_plan=analyzed if analyzed is not None else optimized,
+            optimized_plan=optimized,
+            metrics=ctx.metrics,
+        )

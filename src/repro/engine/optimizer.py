@@ -1,0 +1,423 @@
+"""Rule-based logical optimizer.
+
+The governance-critical behaviours:
+
+- **SecureView is a pushdown barrier for unsafe expressions.** A filter may
+  move below a :class:`SecureView` only when it is deterministic and contains
+  no user code; otherwise a malicious UDF-predicate would observe rows the
+  policy filters out (§3.4 "prevents the propagation of unsafe expressions").
+- **UDF fusion with trust-domain pipeline breaking** (§3.3): adjacent Python
+  UDF calls belonging to the *same* trust domain are fused into one sandbox
+  round-trip; calls owned by different users never share a group.
+
+Every rule is a small class with ``apply(plan) -> plan``; the optimizer runs
+the rewrite rules to a fixed point and finishes with one fusion pass.
+Lakeguard's eFGAC rules (:mod:`repro.core.efgac`) are injected via
+``extra_rules``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.engine.batch import ONE_ROW
+from repro.engine.expressions import (
+    Alias,
+    Arithmetic,
+    BooleanOp,
+    BoundRef,
+    Cast,
+    Comparison,
+    EvalContext,
+    Expression,
+    FunctionCall,
+    IsNull,
+    Literal,
+    Not,
+    PythonUDFCall,
+    contains_user_code,
+)
+from repro.engine.logical import (
+    Filter,
+    LocalRelation,
+    LogicalPlan,
+    Project,
+    Scan,
+    SecureView,
+)
+
+MAX_PASSES = 10
+
+#: Expression node types that are safe to constant-fold when all inputs are
+#: literals. Session-dependent nodes (CurrentUser, IsAccountGroupMember) and
+#: user code are deliberately excluded.
+_FOLDABLE = (Arithmetic, Comparison, BooleanOp, Not, FunctionCall, Cast, IsNull)
+
+
+class Rule(Protocol):
+    """A whole-plan rewrite; must be a no-op when its pattern is absent."""
+
+    name: str
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        """Return the rewritten plan (or the input plan unchanged)."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Expression helpers
+# ---------------------------------------------------------------------------
+
+
+def substitute_refs(expr: Expression, mapping: dict[int, Expression]) -> Expression:
+    """Replace BoundRef positions using ``mapping`` (for pushdown remapping)."""
+
+    def rewrite(node: Expression) -> Expression:
+        if isinstance(node, BoundRef):
+            replacement = mapping.get(node.index)
+            if replacement is None:
+                raise KeyError(node.index)
+            return replacement
+        return node
+
+    return expr.transform(rewrite)
+
+
+def is_safe_to_push(expr: Expression) -> bool:
+    """Only deterministic, engine-only expressions may cross a barrier."""
+    return expr.deterministic and not contains_user_code(expr)
+
+
+def _simple_projection_mapping(project: Project) -> dict[int, Expression] | None:
+    """If every projection is a plain column ref (or aliased ref / literal),
+    return output-position → input-expression; else None."""
+    mapping: dict[int, Expression] = {}
+    for out_pos, expr in enumerate(project.exprs):
+        inner = expr.child if isinstance(expr, Alias) else expr
+        if isinstance(inner, (BoundRef, Literal)):
+            mapping[out_pos] = inner
+        else:
+            return None
+    return mapping
+
+
+def fold_expression(expr: Expression) -> Expression:
+    """Bottom-up constant folding."""
+
+    def fold(node: Expression) -> Expression:
+        if not isinstance(node, _FOLDABLE):
+            return node
+        if not node.children or not all(isinstance(c, Literal) for c in node.children):
+            return node
+        if not node.deterministic or contains_user_code(node):
+            return node
+        # A single-row, zero-column batch makes vectorized eval produce
+        # exactly one value to lift back into a literal.
+        values = node.eval(ONE_ROW, EvalContext())
+        return Literal(values[0])
+
+    return expr.transform(fold)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EliminateSubqueryAliases:
+    """Aliases only matter for name resolution; drop them post-analysis."""
+
+    name: str = "EliminateSubqueryAliases"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        from repro.engine.logical import SubqueryAlias
+
+        def rewrite(node: LogicalPlan) -> LogicalPlan:
+            if isinstance(node, SubqueryAlias):
+                return node.child
+            return node
+
+        return plan.transform_up(rewrite)
+
+
+@dataclass
+class FoldConstants:
+    name: str = "FoldConstants"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        def rewrite(node: LogicalPlan) -> LogicalPlan:
+            if isinstance(node, Filter):
+                return Filter(node.child, fold_expression(node.condition))
+            if isinstance(node, Project):
+                return Project(node.child, [fold_expression(e) for e in node.exprs])
+            return node
+
+        return plan.transform_up(rewrite)
+
+
+@dataclass
+class SimplifyFilters:
+    """Remove always-true filters; short-circuit always-false ones."""
+
+    name: str = "SimplifyFilters"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        def rewrite(node: LogicalPlan) -> LogicalPlan:
+            if not isinstance(node, Filter):
+                return node
+            cond = node.condition
+            if isinstance(cond, Literal):
+                if cond.value is True:
+                    return node.child
+                # False or NULL: no row ever passes.
+                schema = node.child.schema
+                return LocalRelation(schema, [[] for _ in schema])
+            return node
+
+        return plan.transform_up(rewrite)
+
+
+@dataclass
+class CombineFilters:
+    name: str = "CombineFilters"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        def rewrite(node: LogicalPlan) -> LogicalPlan:
+            if isinstance(node, Filter) and isinstance(node.child, Filter):
+                inner = node.child
+                return Filter(
+                    inner.child, BooleanOp("AND", inner.condition, node.condition)
+                )
+            return node
+
+        return plan.transform_up(rewrite)
+
+
+@dataclass
+class CollapseProjects:
+    """Merge Project(Project) when the inner one is a simple mapping."""
+
+    name: str = "CollapseProjects"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        def rewrite(node: LogicalPlan) -> LogicalPlan:
+            if not (isinstance(node, Project) and isinstance(node.child, Project)):
+                return node
+            inner = node.child
+            mapping = _simple_projection_mapping(inner)
+            if mapping is None:
+                return node
+            try:
+                merged = [substitute_refs(e, mapping) for e in node.exprs]
+            except KeyError:
+                return node
+            # Preserve output names from the outer projection.
+            named = [
+                e if e.output_name() == orig.output_name() else Alias(e, orig.output_name())
+                for e, orig in zip(merged, node.exprs)
+            ]
+            return Project(inner.child, named)
+
+        return plan.transform_up(rewrite)
+
+
+@dataclass
+class PushFilterThroughProject:
+    """Filter(Project(x)) → Project(Filter(x)) for simple projections."""
+
+    name: str = "PushFilterThroughProject"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        def rewrite(node: LogicalPlan) -> LogicalPlan:
+            if not (isinstance(node, Filter) and isinstance(node.child, Project)):
+                return node
+            project = node.child
+            mapping = _simple_projection_mapping(project)
+            if mapping is None:
+                return node
+            try:
+                pushed = substitute_refs(node.condition, mapping)
+            except KeyError:
+                return node
+            return Project(Filter(project.child, pushed), project.exprs)
+
+        return plan.transform_up(rewrite)
+
+
+@dataclass
+class PushFilterBelowSecureView:
+    """The barrier rule: only *safe* predicates may cross a SecureView.
+
+    Engine-generated deterministic predicates (e.g. the user's WHERE clause
+    on dates) can be combined with the policy's row filter for efficiency;
+    anything containing user code or non-determinism stays above the view.
+    """
+
+    name: str = "PushFilterBelowSecureView"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        def rewrite(node: LogicalPlan) -> LogicalPlan:
+            if not (isinstance(node, Filter) and isinstance(node.child, SecureView)):
+                return node
+            if not is_safe_to_push(node.condition):
+                return node
+            barrier = node.child
+            return SecureView(
+                Filter(barrier.child, node.condition), barrier.name, barrier.owner
+            )
+
+        return plan.transform_up(rewrite)
+
+
+@dataclass
+class PushFilterIntoScan:
+    """Fold safe predicates into the scan (evaluated pre-projection)."""
+
+    name: str = "PushFilterIntoScan"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        def rewrite(node: LogicalPlan) -> LogicalPlan:
+            if not (isinstance(node, Filter) and isinstance(node.child, Scan)):
+                return node
+            scan = node.child
+            if scan.required_columns is not None:
+                # Filter indices are relative to the pruned output; keep as-is.
+                return node
+            if not is_safe_to_push(node.condition):
+                return node
+            return Scan(
+                scan.table,
+                scan.required_columns,
+                scan.pushed_filters + (node.condition,),
+            )
+
+        return plan.transform_up(rewrite)
+
+
+@dataclass
+class PruneScanColumns:
+    """Project(Scan) → Project(Scan[required]) column pruning."""
+
+    name: str = "PruneScanColumns"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        def rewrite(node: LogicalPlan) -> LogicalPlan:
+            if not (isinstance(node, Project) and isinstance(node.child, Scan)):
+                return node
+            scan = node.child
+            if scan.required_columns is not None:
+                return node
+            needed = sorted({i for e in node.exprs for i in e.references()})
+            if len(needed) >= len(scan.table.schema):
+                return node
+            remap = {old: BoundRef(new, scan.table.schema[old].name,
+                                   scan.table.schema[old].dtype)
+                     for new, old in enumerate(needed)}
+            new_exprs = [substitute_refs(e, remap) for e in node.exprs]
+            return Project(
+                Scan(scan.table, tuple(needed), scan.pushed_filters), new_exprs
+            )
+
+        return plan.transform_up(rewrite)
+
+
+@dataclass
+class FuseUDFCalls:
+    """Assign fusion groups to Python UDF calls, per trust domain (§3.3).
+
+    All UDF calls inside one Project that share a trust domain get the same
+    fusion group id; the sandboxed runtime then evaluates a whole group with
+    a single sandbox round-trip. Trust domains are pipeline breakers: calls
+    owned by different users always land in different groups.
+    """
+
+    name: str = "FuseUDFCalls"
+    enabled: bool = True
+    _next_group: int = 0
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan:
+        def rewrite(node: LogicalPlan) -> LogicalPlan:
+            if not isinstance(node, Project):
+                return node
+            calls: list[PythonUDFCall] = [
+                e
+                for expr in node.exprs
+                for e in expr.walk()
+                if isinstance(e, PythonUDFCall)
+            ]
+            if not calls:
+                return node
+            if not self.enabled:
+                for call in calls:
+                    call.fusion_group = None
+                return node
+            groups: dict[str, int] = {}
+            for call in calls:
+                domain = call.udf.trust_domain
+                if domain not in groups:
+                    groups[domain] = self._next_group
+                    self._next_group += 1
+                call.fusion_group = groups[domain]
+            return node
+
+        return plan.transform_up(rewrite)
+
+
+# ---------------------------------------------------------------------------
+# The optimizer
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OptimizerConfig:
+    """Feature toggles, primarily for ablation benchmarks."""
+
+    constant_folding: bool = True
+    filter_pushdown: bool = True
+    column_pruning: bool = True
+    udf_fusion: bool = True
+    collapse_projects: bool = True
+    max_passes: int = MAX_PASSES
+
+
+class Optimizer:
+    """Runs rewrite rules to a fixed point, then the fusion pass."""
+
+    def __init__(
+        self,
+        config: OptimizerConfig | None = None,
+        extra_rules: Sequence[Rule] = (),
+    ):
+        self.config = config or OptimizerConfig()
+        self._rules: list[Rule] = [EliminateSubqueryAliases()]
+        if self.config.constant_folding:
+            self._rules.append(FoldConstants())
+        self._rules.append(SimplifyFilters())
+        self._rules.append(CombineFilters())
+        if self.config.collapse_projects:
+            self._rules.append(CollapseProjects())
+        if self.config.filter_pushdown:
+            self._rules.append(PushFilterThroughProject())
+            self._rules.append(PushFilterBelowSecureView())
+            self._rules.append(PushFilterIntoScan())
+        if self.config.column_pruning:
+            self._rules.append(PruneScanColumns())
+        self._rules.extend(extra_rules)
+        self._fusion = FuseUDFCalls(enabled=self.config.udf_fusion)
+
+    @property
+    def rule_names(self) -> list[str]:
+        return [r.name for r in self._rules] + [self._fusion.name]
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        """Run rewrite rules to a fixed point, then assign fusion groups."""
+        current = plan
+        for _ in range(self.config.max_passes):
+            before = current.explain()
+            for rule in self._rules:
+                current = rule.apply(current)
+            if current.explain() == before:
+                break
+        return self._fusion.apply(current)

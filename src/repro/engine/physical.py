@@ -1,0 +1,838 @@
+"""Physical operators: columnar, batch-at-a-time execution.
+
+The governance hooks at this layer:
+
+- :class:`PhysScan` pulls batches from a :class:`DataSource`; Lakeguard's
+  governed data source fetches per-user temporary credentials before touching
+  storage, so executor-side access is always identity-bound.
+- :class:`PhysProject` executes fused Python-UDF groups through the context's
+  ``UDFRuntime`` — one sandbox round-trip per fusion group per batch.
+- :class:`PhysRemoteScan` delegates an eFGAC sub-plan to a remote endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Protocol
+
+from repro.engine.aggregates import AggregateCall
+from repro.engine.batch import ColumnBatch
+from repro.engine.expressions import (
+    BoundRef,
+    EvalContext,
+    Expression,
+    PythonUDFCall,
+    SortOrder,
+)
+from repro.engine.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LocalRelation,
+    LogicalPlan,
+    Project,
+    Range,
+    RemoteScan,
+    Scan,
+    SecureView,
+    Sort,
+    SubqueryAlias,
+    TableRef,
+    Union,
+)
+from repro.engine.types import STRING, Field, Schema
+from repro.errors import ExecutionError, UnsupportedOperationError
+
+DEFAULT_BATCH_SIZE = 4096
+
+
+class DataSource(Protocol):
+    """Provides full-schema batches for a governed table."""
+
+    def scan(self, table: TableRef, eval_ctx: EvalContext) -> Iterator[ColumnBatch]: ...
+
+
+@dataclass
+class QueryMetrics:
+    """Execution counters surfaced to benchmarks."""
+
+    rows_scanned: int = 0
+    rows_output: int = 0
+    batches_output: int = 0
+    sandbox_round_trips: int = 0
+    remote_subqueries: int = 0
+    remote_rows_received: int = 0
+
+
+@dataclass
+class ExecContext:
+    """Everything an operator tree needs at run time."""
+
+    eval_ctx: EvalContext
+    data_source: DataSource | None = None
+    remote_executor: Callable[[RemoteScan, EvalContext], Iterator[ColumnBatch]] | None = None
+    batch_size: int = DEFAULT_BATCH_SIZE
+    metrics: QueryMetrics = field(default_factory=QueryMetrics)
+
+
+class PhysicalOperator:
+    """Base physical operator."""
+
+    def __init__(self, schema: Schema, children: tuple["PhysicalOperator", ...] = ()):
+        self.schema = schema
+        self.children = children
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        """Produce this operator's output as a stream of column batches."""
+        raise NotImplementedError(type(self).__name__)
+
+    def collect(self, ctx: ExecContext) -> ColumnBatch:
+        batches = list(self.execute(ctx))
+        result = ColumnBatch.concat(self.schema, batches)
+        ctx.metrics.rows_output += result.num_rows
+        ctx.metrics.batches_output += len(batches)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class PhysLocalData(PhysicalOperator):
+    """Client-supplied in-memory data, re-chunked to the batch size."""
+
+    def __init__(self, schema: Schema, columns: list[list[Any]]):
+        super().__init__(schema)
+        self._columns = columns
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        full = ColumnBatch(self.schema, self._columns)
+        for start in range(0, max(full.num_rows, 1), ctx.batch_size):
+            chunk = full.slice(start, start + ctx.batch_size)
+            if chunk.num_rows or start == 0:
+                yield chunk
+
+
+class PhysRange(PhysicalOperator):
+    """Generated integer sequence (``spark.range``)."""
+
+    def __init__(self, node: Range):
+        super().__init__(node.schema)
+        self._node = node
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        values = list(range(self._node.start, self._node.end, self._node.step))
+        for start in range(0, max(len(values), 1), ctx.batch_size):
+            yield ColumnBatch(self.schema, [values[start : start + ctx.batch_size]])
+
+
+class PhysScan(PhysicalOperator):
+    """Governed table scan: full-object read, then pushed filters, then prune.
+
+    The read-then-filter order is deliberate and mirrors Fig. 3: cloud
+    storage is object-granular, so the engine must ingest all bytes before
+    policy or predicate evaluation can drop anything.
+    """
+
+    def __init__(self, node: Scan):
+        super().__init__(node.schema)
+        self._node = node
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        if ctx.data_source is None:
+            raise ExecutionError(
+                f"no data source configured; cannot scan {self._node.table.full_name}"
+            )
+        for batch in ctx.data_source.scan(self._node.table, ctx.eval_ctx):
+            ctx.metrics.rows_scanned += batch.num_rows
+            for predicate in self._node.pushed_filters:
+                if batch.num_rows == 0:
+                    break
+                batch = batch.filter(predicate.eval(batch, ctx.eval_ctx))
+            if self._node.required_columns is not None:
+                batch = batch.select_indices(list(self._node.required_columns))
+            yield batch
+
+
+class PhysRemoteScan(PhysicalOperator):
+    """Submit the eFGAC sub-plan to the remote endpoint and stream results."""
+
+    def __init__(self, node: RemoteScan):
+        super().__init__(node.schema)
+        self._node = node
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        if ctx.remote_executor is None:
+            raise ExecutionError(
+                "plan contains a RemoteScan but no remote executor is configured "
+                f"(tables: {self._node.source_tables})"
+            )
+        ctx.metrics.remote_subqueries += 1
+        for batch in ctx.remote_executor(self._node, ctx.eval_ctx):
+            ctx.metrics.remote_rows_received += batch.num_rows
+            yield batch
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+
+class PhysFilter(PhysicalOperator):
+    """Row filtering with SQL semantics (NULL predicate drops the row)."""
+
+    def __init__(self, child: PhysicalOperator, condition: Expression):
+        super().__init__(child.schema, (child,))
+        self._condition = condition
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        for batch in self.children[0].execute(ctx):
+            if batch.num_rows == 0:
+                yield batch
+                continue
+            yield batch.filter(self._condition.eval(batch, ctx.eval_ctx))
+
+
+class PhysProject(PhysicalOperator):
+    """Projection with fused UDF execution.
+
+    Per batch: every fusion group's UDF calls are shipped to the runtime in
+    one invocation; results land in ``ctx.eval_ctx.udf_results`` so normal
+    expression evaluation picks them up without re-running the user code.
+    """
+
+    def __init__(self, child: PhysicalOperator, exprs: tuple[Expression, ...], schema: Schema):
+        super().__init__(schema, (child,))
+        self._exprs = exprs
+        self._fusion_groups = self._collect_fusion_groups(exprs)
+
+    @staticmethod
+    def _collect_fusion_groups(
+        exprs: tuple[Expression, ...]
+    ) -> dict[int, list[PythonUDFCall]]:
+        groups: dict[int, list[PythonUDFCall]] = {}
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, PythonUDFCall) and node.fusion_group is not None:
+                    groups.setdefault(node.fusion_group, []).append(node)
+        return groups
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        eval_ctx = ctx.eval_ctx
+        for batch in self.children[0].execute(ctx):
+            eval_ctx.udf_results.clear()
+            if batch.num_rows and self._fusion_groups and eval_ctx.udf_runtime:
+                self._run_fused_groups(batch, ctx)
+            columns = [e.eval(batch, eval_ctx) for e in self._exprs]
+            eval_ctx.udf_results.clear()
+            yield ColumnBatch(self.schema, columns)
+
+    def _run_fused_groups(self, batch: ColumnBatch, ctx: ExecContext) -> None:
+        runtime = ctx.eval_ctx.udf_runtime
+        for group_calls in self._fusion_groups.values():
+            requests = []
+            for call in group_calls:
+                args = [c.eval(batch, ctx.eval_ctx) for c in call.children]
+                requests.append((call.expr_id, call.udf, args))
+            results = runtime.run_fused(requests)
+            for call in group_calls:
+                produced = results.get(call.expr_id)
+                if produced is None or len(produced) != batch.num_rows:
+                    raise ExecutionError(
+                        f"UDF '{call.udf.name}' returned "
+                        f"{0 if produced is None else len(produced)} values "
+                        f"for {batch.num_rows} rows"
+                    )
+            ctx.eval_ctx.udf_results.update(results)
+
+
+class PhysLimit(PhysicalOperator):
+    """LIMIT/OFFSET with early termination of the input stream."""
+
+    def __init__(self, child: PhysicalOperator, limit: int, offset: int = 0):
+        super().__init__(child.schema, (child,))
+        self._limit = limit
+        self._offset = offset
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        to_skip = self._offset
+        remaining = self._limit
+        for batch in self.children[0].execute(ctx):
+            if to_skip:
+                if batch.num_rows <= to_skip:
+                    to_skip -= batch.num_rows
+                    continue
+                batch = batch.slice(to_skip, batch.num_rows)
+                to_skip = 0
+            if remaining <= 0:
+                return
+            if batch.num_rows > remaining:
+                batch = batch.slice(0, remaining)
+            remaining -= batch.num_rows
+            yield batch
+            if remaining <= 0:
+                return
+
+
+class PhysDistinct(PhysicalOperator):
+    """Streaming duplicate elimination over full rows."""
+
+    def __init__(self, child: PhysicalOperator):
+        super().__init__(child.schema, (child,))
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        seen: set[tuple] = set()
+        for batch in self.children[0].execute(ctx):
+            keep = []
+            for i, row in enumerate(batch.iter_rows()):
+                if row not in seen:
+                    seen.add(row)
+                    keep.append(i)
+            yield batch.take(keep)
+
+
+class PhysSort(PhysicalOperator):
+    """Full materializing sort with per-key direction and NULL placement."""
+
+    def __init__(self, child: PhysicalOperator, orders: tuple[SortOrder, ...]):
+        super().__init__(child.schema, (child,))
+        self._orders = orders
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        full = ColumnBatch.concat(self.schema, list(self.children[0].execute(ctx)))
+        if full.num_rows == 0:
+            yield full
+            return
+        key_columns = [o.expr.eval(full, ctx.eval_ctx) for o in self._orders]
+        indices = list(range(full.num_rows))
+        # Stable sort from the least-significant key to the most significant.
+        for order, keys in reversed(list(zip(self._orders, key_columns))):
+            indices.sort(
+                key=lambda i: self._sort_key(keys[i], order),
+            )
+        yield full.take(indices)
+
+    @staticmethod
+    def _sort_key(value: Any, order: SortOrder) -> tuple:
+        if value is None:
+            # The index sort is always ascending (descending inverts the
+            # value keys), so null placement depends on nulls_first alone.
+            return (0 if order.nulls_first else 2, 0)
+        if order.ascending:
+            return (1, value)
+        return (1, _Reversed(value))
+
+
+class _Reversed:
+    """Inverts comparison for descending sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+AGG_MODE_COMPLETE = "complete"
+AGG_MODE_PARTIAL = "partial"
+AGG_MODE_FINAL = "final"
+
+
+class PhysHashAggregate(PhysicalOperator):
+    """Hash aggregation with complete / partial / final modes.
+
+    Partial mode emits ``group keys + opaque aggregate states`` (what eFGAC
+    ships across the wire); final mode merges such states. Complete mode does
+    both locally.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        groupings: tuple[Expression, ...],
+        outputs: tuple[Expression, ...],
+        schema: Schema,
+        mode: str = AGG_MODE_COMPLETE,
+    ):
+        super().__init__(schema, (child,))
+        self._groupings = groupings
+        self._outputs = outputs
+        self._mode = mode
+        # Distinct aggregate calls across all output expressions, in order.
+        self._agg_calls: list[AggregateCall] = []
+        seen: set[int] = set()
+        for expr in outputs:
+            for node in expr.walk():
+                if isinstance(node, AggregateCall) and node.expr_id not in seen:
+                    seen.add(node.expr_id)
+                    self._agg_calls.append(node)
+
+    # -- state accumulation ------------------------------------------------------
+
+    def _accumulate(self, ctx: ExecContext) -> dict[tuple, list[Any]]:
+        groups: dict[tuple, list[Any]] = {}
+        for batch in self.children[0].execute(ctx):
+            if batch.num_rows == 0:
+                continue
+            if self._mode == AGG_MODE_FINAL:
+                # Partial batches arrive laid out as [keys..., states...].
+                key_cols = batch.columns[: len(self._groupings)]
+                self._merge_partial_batch(batch, key_cols, groups)
+            else:
+                key_cols = [g.eval(batch, ctx.eval_ctx) for g in self._groupings]
+                self._update_from_rows(batch, key_cols, groups, ctx)
+        if not groups and not self._groupings:
+            # Global aggregate over empty input still yields one row.
+            groups[()] = [call.func.create() for call in self._agg_calls]
+        return groups
+
+    def _update_from_rows(
+        self,
+        batch: ColumnBatch,
+        key_cols: list[list[Any]],
+        groups: dict[tuple, list[Any]],
+        ctx: ExecContext,
+    ) -> None:
+        value_cols = []
+        for call in self._agg_calls:
+            if call.child is None:
+                value_cols.append([True] * batch.num_rows)  # COUNT(*)
+            else:
+                value_cols.append(call.child.eval(batch, ctx.eval_ctx))
+        for row_idx in range(batch.num_rows):
+            key = tuple(col[row_idx] for col in key_cols)
+            states = groups.get(key)
+            if states is None:
+                states = [call.func.create() for call in self._agg_calls]
+                groups[key] = states
+            for j, call in enumerate(self._agg_calls):
+                value = value_cols[j][row_idx]
+                if value is None and call.func.ignores_nulls and call.child is not None:
+                    continue
+                states[j] = call.func.update(states[j], value)
+
+    def _merge_partial_batch(
+        self,
+        batch: ColumnBatch,
+        key_cols: list[list[Any]],
+        groups: dict[tuple, list[Any]],
+    ) -> None:
+        import pickle
+
+        num_keys = len(self._groupings)
+        for row_idx in range(batch.num_rows):
+            key = tuple(col[row_idx] for col in key_cols)
+            states = groups.get(key)
+            if states is None:
+                states = [call.func.create() for call in self._agg_calls]
+                groups[key] = states
+            for j, call in enumerate(self._agg_calls):
+                incoming = batch.columns[num_keys + j][row_idx]
+                if isinstance(incoming, (bytes, bytearray)):
+                    incoming = pickle.loads(incoming)
+                states[j] = call.func.merge(states[j], incoming)
+
+    # -- output -------------------------------------------------------------------
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        groups = self._accumulate(ctx)
+        keys = list(groups.keys())
+        if self._mode == AGG_MODE_PARTIAL:
+            yield self._emit_partial(keys, groups)
+            return
+        yield self._emit_final(keys, groups, ctx)
+
+    def _emit_partial(self, keys: list[tuple], groups: dict[tuple, list[Any]]) -> ColumnBatch:
+        # States are opaque to everything between partial and final — they
+        # cross the eFGAC wire as pickled bytes, never as structured values.
+        import pickle
+
+        columns: list[list[Any]] = [
+            [key[i] for key in keys] for i in range(len(self._groupings))
+        ]
+        for j in range(len(self._agg_calls)):
+            columns.append(
+                [pickle.dumps(groups[key][j], protocol=pickle.HIGHEST_PROTOCOL)
+                 for key in keys]
+            )
+        return ColumnBatch(partial_agg_schema(self._groupings, self._agg_calls), columns)
+
+    def _emit_final(
+        self, keys: list[tuple], groups: dict[tuple, list[Any]], ctx: ExecContext
+    ) -> ColumnBatch:
+        # Intermediate batch: group keys, then finalized aggregate values.
+        inter_columns: list[list[Any]] = [
+            [key[i] for key in keys] for i in range(len(self._groupings))
+        ]
+        for j, call in enumerate(self._agg_calls):
+            inter_columns.append([call.func.final(groups[key][j]) for key in keys])
+        inter_schema_fields = [
+            Field(g.output_name(), g.dtype or STRING) for g in self._groupings
+        ] + [Field(c.output_name(), c.dtype or STRING) for c in self._agg_calls]
+        inter = ColumnBatch(Schema(tuple(inter_schema_fields)), inter_columns)
+
+        # Rewrite output expressions against the intermediate layout.
+        call_position = {
+            call.expr_id: len(self._groupings) + j
+            for j, call in enumerate(self._agg_calls)
+        }
+        grouping_position = {
+            g.output_name(): i for i, g in enumerate(self._groupings)
+        }
+
+        columns = []
+        for expr in self._outputs:
+            rebased = self._rebase_output(expr, call_position, grouping_position)
+            columns.append(rebased.eval(inter, ctx.eval_ctx))
+        return ColumnBatch(self.schema, columns)
+
+    def _rebase_output(
+        self,
+        expr: Expression,
+        call_position: dict[int, int],
+        grouping_position: dict[str, int],
+    ) -> Expression:
+        """Replace AggregateCalls/grouped refs with refs into the inter batch."""
+        # Whole-expression match against a grouping (e.g. SELECT upper(d) ... GROUP BY upper(d)).
+        for i, g in enumerate(self._groupings):
+            if str(expr) == str(g):
+                return BoundRef(i, expr.output_name(), expr.dtype or STRING)
+
+        # transform() rebuilds nodes bottom-up, which can replace an
+        # AggregateCall instance (fresh expr_id); fall back to name lookup.
+        call_position_by_name = {
+            call.output_name(): len(self._groupings) + j
+            for j, call in enumerate(self._agg_calls)
+        }
+
+        def rebase(node: Expression) -> Expression:
+            if isinstance(node, AggregateCall):
+                pos = call_position.get(node.expr_id)
+                if pos is None:
+                    pos = call_position_by_name[node.output_name()]
+                return BoundRef(pos, node.output_name(), node.dtype or STRING)
+            if isinstance(node, BoundRef):
+                pos = grouping_position.get(node.name)
+                if pos is not None:
+                    return BoundRef(pos, node.name, node.dtype)
+            return node
+
+        rebased = expr.transform(rebase)
+        for i, g in enumerate(self._groupings):
+            text = str(g)
+
+            def match_group(node: Expression, i=i, text=text) -> Expression:
+                if str(node) == text:
+                    return BoundRef(i, node.output_name(), node.dtype or STRING)
+                return node
+
+            rebased = rebased.transform(match_group)
+        return rebased
+
+
+def partial_agg_schema(
+    groupings: tuple[Expression, ...], agg_calls: list[AggregateCall]
+) -> Schema:
+    """Schema of partial-aggregate exchange batches: keys then state blobs."""
+    fields = [Field(g.output_name(), g.dtype or STRING) for g in groupings]
+    fields += [Field(f"state_{j}", STRING) for j in range(len(agg_calls))]
+    return Schema(tuple(fields))
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+class PhysJoin(PhysicalOperator):
+    """Nested-loop join with a hash fast path for conjunctive equi-joins."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        how: str,
+        condition: Expression | None,
+        schema: Schema,
+    ):
+        super().__init__(schema, (left, right))
+        self._how = how
+        self._condition = condition
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        left = ColumnBatch.concat(
+            self.children[0].schema, list(self.children[0].execute(ctx))
+        )
+        right = ColumnBatch.concat(
+            self.children[1].schema, list(self.children[1].execute(ctx))
+        )
+        yield self._join(left, right, ctx)
+
+    # -- core ---------------------------------------------------------------------
+
+    def _join(self, left: ColumnBatch, right: ColumnBatch, ctx: ExecContext) -> ColumnBatch:
+        how = self._how
+        n_left, n_right = left.num_rows, right.num_rows
+        matches: list[tuple[int, int]] = []
+        left_matched = [False] * n_left
+        right_matched = [False] * n_right
+
+        if how == "cross":
+            matches = [(i, j) for i in range(n_left) for j in range(n_right)]
+        else:
+            matches = self._find_matches(left, right, ctx, left_matched, right_matched)
+
+        if how in ("inner", "cross"):
+            return self._emit_pairs(left, right, matches)
+        if how == "semi":
+            keep = [i for i in range(n_left) if left_matched[i]]
+            return left.take(keep).rename(self.schema)
+        if how == "anti":
+            keep = [i for i in range(n_left) if not left_matched[i]]
+            return left.take(keep).rename(self.schema)
+        if how == "left":
+            extra = [(i, None) for i in range(n_left) if not left_matched[i]]
+            return self._emit_pairs(left, right, matches + extra)
+        if how == "right":
+            extra = [(None, j) for j in range(n_right) if not right_matched[j]]
+            return self._emit_pairs(left, right, matches + extra)
+        if how == "full":
+            extra = [(i, None) for i in range(n_left) if not left_matched[i]]
+            extra += [(None, j) for j in range(n_right) if not right_matched[j]]
+            return self._emit_pairs(left, right, matches + extra)
+        raise UnsupportedOperationError(f"join type '{how}'")
+
+    def _find_matches(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        ctx: ExecContext,
+        left_matched: list[bool],
+        right_matched: list[bool],
+    ) -> list[tuple[int, int]]:
+        equi = self._extract_equi_keys(left.num_columns)
+        if equi is not None:
+            left_keys, right_keys, residual = equi
+            return self._hash_matches(
+                left, right, ctx, left_keys, right_keys, residual,
+                left_matched, right_matched,
+            )
+        return self._loop_matches(left, right, ctx, left_matched, right_matched)
+
+    def _extract_equi_keys(
+        self, left_width: int
+    ) -> tuple[list[Expression], list[Expression], Expression | None] | None:
+        """Split a conjunctive condition into left-key = right-key pairs."""
+        from repro.engine.expressions import BooleanOp, Comparison
+
+        conjuncts: list[Expression] = []
+
+        def flatten(e: Expression) -> None:
+            if isinstance(e, BooleanOp) and e.op == "AND":
+                flatten(e.children[0])
+                flatten(e.children[1])
+            else:
+                conjuncts.append(e)
+
+        if self._condition is None:
+            return None
+        flatten(self._condition)
+        left_keys: list[Expression] = []
+        right_keys: list[Expression] = []
+        residual: list[Expression] = []
+        for conj in conjuncts:
+            pair = None
+            if isinstance(conj, Comparison) and conj.op == "=":
+                a, b = conj.children
+                a_refs, b_refs = a.references(), b.references()
+                if a_refs and b_refs:
+                    if max(a_refs) < left_width <= min(b_refs):
+                        pair = (a, b)
+                    elif max(b_refs) < left_width <= min(a_refs):
+                        pair = (b, a)
+            if pair is None:
+                residual.append(conj)
+            else:
+                left_keys.append(pair[0])
+                right_keys.append(pair[1])
+        if not left_keys:
+            return None
+        residual_expr: Expression | None = None
+        from repro.engine.expressions import BooleanOp as BO
+
+        for conj in residual:
+            residual_expr = conj if residual_expr is None else BO("AND", residual_expr, conj)
+        return left_keys, right_keys, residual_expr
+
+    def _hash_matches(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        ctx: ExecContext,
+        left_keys: list[Expression],
+        right_keys: list[Expression],
+        residual: Expression | None,
+        left_matched: list[bool],
+        right_matched: list[bool],
+    ) -> list[tuple[int, int]]:
+        left_width = left.num_columns
+        # Right-side key expressions reference combined-schema positions.
+        shifted = [self._shift_refs(k, -left_width) for k in right_keys]
+        table: dict[tuple, list[int]] = {}
+        right_key_cols = [k.eval(right, ctx.eval_ctx) for k in shifted]
+        for j in range(right.num_rows):
+            key = tuple(col[j] for col in right_key_cols)
+            if any(k is None for k in key):
+                continue
+            table.setdefault(key, []).append(j)
+        left_key_cols = [k.eval(left, ctx.eval_ctx) for k in left_keys]
+        candidates: list[tuple[int, int]] = []
+        for i in range(left.num_rows):
+            key = tuple(col[i] for col in left_key_cols)
+            if any(k is None for k in key):
+                continue
+            for j in table.get(key, ()):
+                candidates.append((i, j))
+        if residual is not None and candidates:
+            combined = self._pairs_batch(left, right, candidates)
+            mask = residual.eval(combined, ctx.eval_ctx)
+            candidates = [p for p, m in zip(candidates, mask) if m]
+        for i, j in candidates:
+            left_matched[i] = True
+            right_matched[j] = True
+        return candidates
+
+    def _loop_matches(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        ctx: ExecContext,
+        left_matched: list[bool],
+        right_matched: list[bool],
+    ) -> list[tuple[int, int]]:
+        pairs = [(i, j) for i in range(left.num_rows) for j in range(right.num_rows)]
+        if not pairs:
+            return []
+        combined = self._pairs_batch(left, right, pairs)
+        mask = self._condition.eval(combined, ctx.eval_ctx)
+        matches = [p for p, m in zip(pairs, mask) if m]
+        for i, j in matches:
+            left_matched[i] = True
+            right_matched[j] = True
+        return matches
+
+    def _pairs_batch(
+        self, left: ColumnBatch, right: ColumnBatch, pairs: list[tuple[int, int]]
+    ) -> ColumnBatch:
+        columns = [
+            [col[i] for i, _ in pairs] for col in left.columns
+        ] + [
+            [col[j] for _, j in pairs] for col in right.columns
+        ]
+        return ColumnBatch(left.schema.concat(right.schema), columns)
+
+    def _emit_pairs(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        pairs: list[tuple[int | None, int | None]],
+    ) -> ColumnBatch:
+        columns = [
+            [None if i is None else col[i] for i, _ in pairs] for col in left.columns
+        ] + [
+            [None if j is None else col[j] for _, j in pairs] for col in right.columns
+        ]
+        return ColumnBatch(self.schema, columns)
+
+    @staticmethod
+    def _shift_refs(expr: Expression, delta: int) -> Expression:
+        def shift(node: Expression) -> Expression:
+            if isinstance(node, BoundRef):
+                return BoundRef(node.index + delta, node.name, node.dtype)
+            return node
+
+        return expr.transform(shift)
+
+
+class PhysUnion(PhysicalOperator):
+    """UNION ALL: concatenates child streams."""
+
+    def __init__(self, children: tuple[PhysicalOperator, ...], schema: Schema):
+        super().__init__(schema, children)
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        for child in self.children:
+            for batch in child.execute(ctx):
+                yield batch.rename(self.schema)
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+class PhysicalPlanner:
+    """Maps an optimized logical plan to a physical operator tree."""
+
+    def plan(self, logical: LogicalPlan) -> PhysicalOperator:
+        """Recursively select a physical operator for each logical node."""
+        if isinstance(logical, LocalRelation):
+            return PhysLocalData(logical.schema, logical.columns)
+        if isinstance(logical, Range):
+            return PhysRange(logical)
+        if isinstance(logical, Scan):
+            return PhysScan(logical)
+        if isinstance(logical, RemoteScan):
+            return PhysRemoteScan(logical)
+        if isinstance(logical, Filter):
+            return PhysFilter(self.plan(logical.child), logical.condition)
+        if isinstance(logical, Project):
+            return PhysProject(
+                self.plan(logical.child), logical.exprs, logical.schema
+            )
+        if isinstance(logical, Aggregate):
+            return PhysHashAggregate(
+                self.plan(logical.child),
+                logical.groupings,
+                logical.aggregates,
+                logical.schema,
+                mode=logical.mode,
+            )
+        if isinstance(logical, Join):
+            return PhysJoin(
+                self.plan(logical.left),
+                self.plan(logical.right),
+                logical.how,
+                logical.condition,
+                logical.schema,
+            )
+        if isinstance(logical, Sort):
+            return PhysSort(self.plan(logical.child), logical.orders)
+        if isinstance(logical, Limit):
+            return PhysLimit(self.plan(logical.child), logical.limit, logical.offset)
+        if isinstance(logical, Distinct):
+            return PhysDistinct(self.plan(logical.child))
+        if isinstance(logical, Union):
+            return PhysUnion(
+                tuple(self.plan(c) for c in logical.children), logical.schema
+            )
+        if isinstance(logical, (SecureView, SubqueryAlias)):
+            # Pure metadata wrappers at execution time.
+            child = self.plan(logical.children[0])
+            child.schema = logical.schema
+            return child
+        raise UnsupportedOperationError(
+            f"no physical implementation for {type(logical).__name__}"
+        )

@@ -1,0 +1,136 @@
+"""Python user-defined functions.
+
+UDFs are the reason Lakeguard exists: they are *user code* that must never
+run inside the trusted engine. A :class:`PythonUDF` therefore carries, next
+to the callable itself, the metadata governance needs:
+
+- ``owner`` — the identity whose *trust domain* the code belongs to (§3.3);
+  UDFs of different owners must never share a sandbox.
+- ``cataloged`` — whether this is ephemeral session code or a Unity Catalog
+  function object reusable across workloads.
+- ``language`` — only ``python`` UDFs execute for real in this reproduction;
+  other languages are representable for cataloging but raise on execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.engine.types import DataType, type_from_name
+from repro.errors import UserCodeError
+
+#: Owner used for UDFs defined interactively before any session user is known.
+SESSION_OWNER = "<session>"
+
+
+@dataclass(frozen=True)
+class PythonUDF:
+    """A scalar Python UDF: row-wise callable plus governance metadata."""
+
+    name: str
+    func: Callable[..., Any]
+    return_type: DataType
+    owner: str = SESSION_OWNER
+    cataloged: bool = False
+    language: str = "python"
+    deterministic: bool = True
+    #: Special resource needs (e.g. "gpu", "high_memory"). The dispatcher
+    #: routes such code to specialized execution environments outside the
+    #: cluster (§3.3) instead of ordinary colocated sandboxes.
+    resource_requirements: frozenset[str] = frozenset()
+
+    @property
+    def trust_domain(self) -> str:
+        """UDFs owned by the same identity share a trust domain (§3.3)."""
+        return self.owner
+
+    def with_owner(self, owner: str) -> "PythonUDF":
+        return replace(self, owner=owner)
+
+    def as_cataloged(self, owner: str) -> "PythonUDF":
+        return replace(self, owner=owner, cataloged=True)
+
+    def __call__(self, *args):
+        """Build a :class:`~repro.engine.expressions.PythonUDFCall` expression.
+
+        Arguments may be expressions or column-name strings, so the client
+        DataFrame API reads naturally: ``my_udf(col("a"), col("b"))``.
+        """
+        from repro.engine.expressions import PythonUDFCall, to_expression
+
+        return PythonUDFCall(self, tuple(to_expression(a) for a in args))
+
+    def invoke_rows(self, arg_columns: list[list[Any]]) -> list[Any]:
+        """Apply the function row-wise over columnar arguments.
+
+        This is the *computation* only; where it runs (inline vs sandbox) is
+        the runtime's decision, not the UDF's. Non-Python UDFs are catalog-
+        representable (Table 1 honesty) but cannot execute in a Python host.
+        """
+        from repro.errors import SandboxPolicyViolation, UnsupportedOperationError
+
+        if self.language != "python":
+            raise UnsupportedOperationError(
+                f"UDF '{self.name}' is written in {self.language}; this "
+                "reproduction executes Python UDFs only"
+            )
+
+        try:
+            return [self.func(*row) for row in zip(*arg_columns)]
+        except SandboxPolicyViolation:
+            # Policy enforcement outranks user-code error wrapping: an egress
+            # denial must surface as itself so callers can audit it.
+            raise
+        except Exception as exc:  # noqa: BLE001 - user code may raise anything
+            raise UserCodeError(
+                f"UDF '{self.name}' raised {type(exc).__name__}: {exc}",
+                udf_name=self.name,
+            ) from exc
+
+
+def udf(
+    return_type: str | DataType,
+    name: str | None = None,
+    deterministic: bool = True,
+    resources: set[str] | frozenset[str] = frozenset(),
+):
+    """Decorator mirroring ``pyspark.sql.functions.udf``.
+
+    Example::
+
+        @udf(return_type="float")
+        def fahrenheit(celsius):
+            return celsius * 9 / 5 + 32
+
+    ``resources={"gpu"}`` marks code that must run in a specialized
+    execution environment (§3.3).
+    """
+    dtype = type_from_name(return_type) if isinstance(return_type, str) else return_type
+
+    def wrap(func: Callable[..., Any]) -> PythonUDF:
+        return PythonUDF(
+            name=name or func.__name__,
+            func=func,
+            return_type=dtype,
+            deterministic=deterministic,
+            resource_requirements=frozenset(resources),
+        )
+
+    return wrap
+
+
+@dataclass
+class UDFRegistry:
+    """Session-scoped registry of ephemeral UDFs (temporary functions)."""
+
+    _udfs: dict[str, PythonUDF] = field(default_factory=dict)
+
+    def register(self, udf_obj: PythonUDF) -> None:
+        self._udfs[udf_obj.name] = udf_obj
+
+    def get(self, name: str) -> PythonUDF | None:
+        return self._udfs.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._udfs)

@@ -1,0 +1,157 @@
+"""Exception hierarchy for the Lakeguard reproduction.
+
+Every error raised by the library derives from :class:`LakeguardError` so that
+applications can catch library failures with a single ``except`` clause while
+still being able to distinguish governance denials from engine bugs.
+"""
+
+from __future__ import annotations
+
+
+class LakeguardError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(LakeguardError):
+    """A component was configured inconsistently (programming error)."""
+
+
+# ---------------------------------------------------------------------------
+# Governance / catalog
+# ---------------------------------------------------------------------------
+
+
+class PermissionDenied(LakeguardError):
+    """The acting principal lacks a required privilege on a securable."""
+
+    def __init__(self, principal: str, privilege: str, securable: str):
+        self.principal = principal
+        self.privilege = privilege
+        self.securable = securable
+        super().__init__(
+            f"Permission denied: principal '{principal}' lacks privilege "
+            f"'{privilege}' on '{securable}'"
+        )
+
+
+class SecurableNotFound(LakeguardError):
+    """A catalog object (table, view, function, ...) does not exist."""
+
+
+class SecurableAlreadyExists(LakeguardError):
+    """Attempted to create a catalog object that already exists."""
+
+
+class PolicyError(LakeguardError):
+    """A row filter or column mask definition is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+
+class StorageError(LakeguardError):
+    """Generic object-store failure."""
+
+
+class StorageAccessDenied(StorageError):
+    """An object-store operation was rejected by the prefix ACL or credential."""
+
+
+class CredentialError(StorageError):
+    """A temporary credential is invalid, expired, or out of scope."""
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(LakeguardError):
+    """Plan analysis failed: unresolved names, type errors, invalid plans."""
+
+
+class ParseError(LakeguardError):
+    """SQL text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class ExecutionError(LakeguardError):
+    """A physical operator failed at runtime."""
+
+
+class UnsupportedOperationError(LakeguardError):
+    """The requested operation is valid Spark but outside this subset."""
+
+
+# ---------------------------------------------------------------------------
+# Spark Connect
+# ---------------------------------------------------------------------------
+
+
+class ProtocolError(LakeguardError):
+    """Malformed or incompatible Spark Connect message."""
+
+
+class VersionIncompatibleError(ProtocolError):
+    """Client protocol version is newer than the server supports."""
+
+
+class SessionError(LakeguardError):
+    """Session not found, expired, or owned by a different user."""
+
+
+class OperationGoneError(LakeguardError):
+    """A query operation was abandoned and tombstoned by the service."""
+
+
+class TransportError(LakeguardError):
+    """The (simulated) network channel dropped the connection."""
+
+
+# ---------------------------------------------------------------------------
+# Sandbox / isolation
+# ---------------------------------------------------------------------------
+
+
+class SandboxError(LakeguardError):
+    """Failure creating or communicating with a user-code sandbox."""
+
+
+class SandboxPolicyViolation(SandboxError):
+    """User code attempted an operation forbidden by the sandbox policy."""
+
+
+class EgressDenied(SandboxPolicyViolation):
+    """User code attempted network egress to a non-allow-listed endpoint."""
+
+
+class TrustDomainViolation(SandboxError):
+    """Code from different trust domains would have shared a sandbox."""
+
+
+class UserCodeError(LakeguardError):
+    """The user's UDF raised; carries the original traceback text."""
+
+    def __init__(self, message: str, udf_name: str | None = None):
+        self.udf_name = udf_name
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Platform
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(LakeguardError):
+    """Cluster lifecycle or attachment failure."""
+
+
+class ClusterAttachDenied(ClusterError):
+    """A user may not attach to this cluster (e.g. dedicated, other owner)."""

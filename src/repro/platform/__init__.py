@@ -1,0 +1,26 @@
+"""The Databricks-platform layer (§4, §6): compute types, serverless, envs.
+
+- :mod:`repro.platform.clusters` — Standard (multi-user, sandboxed) and
+  Dedicated (single-identity, privileged, eFGAC-routed) compute.
+- :mod:`repro.platform.serverless` — the workspace-wide Spark Connect
+  gateway: routing, autoscaling, session migration (Fig. 10).
+- :mod:`repro.platform.workload_env` — versioned Workload Environments for
+  versionless clients (§6.3).
+- :mod:`repro.platform.workspace` — one object wiring catalog + compute.
+"""
+
+from repro.platform.clusters import ComputeCluster, DedicatedCluster, StandardCluster
+from repro.platform.serverless import ServerlessGateway, GatewayChannel
+from repro.platform.workload_env import WorkloadEnvironment, WorkloadEnvironmentRegistry
+from repro.platform.workspace import Workspace
+
+__all__ = [
+    "ComputeCluster",
+    "StandardCluster",
+    "DedicatedCluster",
+    "ServerlessGateway",
+    "GatewayChannel",
+    "WorkloadEnvironment",
+    "WorkloadEnvironmentRegistry",
+    "Workspace",
+]

@@ -1,0 +1,182 @@
+"""Compute types (§4): Standard and Dedicated clusters.
+
+Standard clusters are the fully governed multi-user compute: every user's
+client code and UDFs run in sandboxes, FGAC is enforced locally, and any
+number of identities share the hardware.
+
+Dedicated clusters give one identity (a user, or — with automatic permission
+down-scoping — a group) privileged machine access; they cannot enforce FGAC
+locally, so governed relations route through eFGAC to serverless compute.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.catalog.metastore import UnityCatalog
+from repro.catalog.privileges import UserContext
+from repro.catalog.scopes import COMPUTE_DEDICATED, COMPUTE_STANDARD
+from repro.common.clock import Clock, SystemClock
+from repro.connect.channel import FaultInjector, InProcessChannel, LatencyModel
+from repro.connect.client import SparkConnectClient
+from repro.connect.proto import PROTOCOL_VERSION
+from repro.connect.service import SparkConnectService
+from repro.core.efgac import RemoteSubmit
+from repro.core.lakeguard import LakeguardCluster
+from repro.engine.optimizer import OptimizerConfig
+from repro.errors import ClusterAttachDenied
+from repro.sandbox.cluster_manager import Backend
+from repro.sandbox.policy import SandboxPolicy
+
+
+class ComputeCluster:
+    """A governed cluster: Lakeguard backend + Spark Connect service."""
+
+    def __init__(
+        self,
+        catalog: UnityCatalog,
+        compute_type: str,
+        name: str | None = None,
+        clock: Clock | None = None,
+        sandbox_backend: Backend = "inprocess",
+        sandbox_policy: SandboxPolicy | None = None,
+        optimizer_config: OptimizerConfig | None = None,
+        num_executors: int = 2,
+        remote_submit: RemoteSubmit | None = None,
+        remote_analyze: Callable[[str, dict[str, Any]], list[dict[str, str]]] | None = None,
+        context_transform: Callable[[UserContext], UserContext] | None = None,
+        provision_seconds: float = 0.0,
+        interpreter_start_seconds: float = 0.0,
+    ):
+        self.catalog = catalog
+        self.clock = clock or SystemClock()
+        self.name = name or f"{compute_type.lower()}-cluster"
+        self.backend = LakeguardCluster(
+            catalog,
+            compute_type=compute_type,
+            cluster_id=self.name,
+            clock=self.clock,
+            sandbox_backend=sandbox_backend,
+            sandbox_policy=sandbox_policy,
+            optimizer_config=optimizer_config,
+            num_executors=num_executors,
+            remote_submit=remote_submit,
+            remote_analyze=remote_analyze,
+            provision_seconds=provision_seconds,
+            interpreter_start_seconds=interpreter_start_seconds,
+            context_transform=self._transform_context,
+        )
+        self.service = SparkConnectService(self.backend, clock=self.clock)
+        self._context_transform = context_transform
+        self.attached_users: set[str] = set()
+
+    # -- attachment policy (subclasses refine) -------------------------------------
+
+    def check_attach(self, user: str) -> None:
+        """Raise :class:`ClusterAttachDenied` if the user may not attach."""
+
+    def _transform_context(self, ctx: UserContext) -> UserContext:
+        self.check_attach(ctx.user)
+        self.attached_users.add(ctx.user)
+        if self._context_transform is not None:
+            ctx = self._context_transform(ctx)
+        return ctx
+
+    # -- connectivity ----------------------------------------------------------------
+
+    def channel(
+        self,
+        latency: LatencyModel | None = None,
+        faults: FaultInjector | None = None,
+    ) -> InProcessChannel:
+        """A wire-level channel to this cluster's Connect service."""
+        return InProcessChannel(
+            self.service, clock=self.clock, latency=latency, faults=faults
+        )
+
+    def connect(
+        self,
+        user: str,
+        client_version: int = PROTOCOL_VERSION,
+        latency: LatencyModel | None = None,
+        faults: FaultInjector | None = None,
+        config: dict[str, str] | None = None,
+    ) -> SparkConnectClient:
+        """Attach a user: authentication happens inside create_session."""
+        return SparkConnectClient(
+            self.channel(latency, faults),
+            user=user,
+            client_version=client_version,
+            config=config,
+        )
+
+
+class StandardCluster(ComputeCluster):
+    """Multi-user governed compute (§4.1): anyone in the directory attaches."""
+
+    def __init__(self, catalog: UnityCatalog, name: str | None = None, **kwargs: Any):
+        super().__init__(
+            catalog,
+            compute_type=COMPUTE_STANDARD,
+            name=name or "standard-cluster",
+            **kwargs,
+        )
+
+    def check_attach(self, user: str) -> None:
+        if not self.catalog.principals.is_user(user):
+            raise ClusterAttachDenied(f"unknown user '{user}'")
+
+
+class DedicatedCluster(ComputeCluster):
+    """Single-identity privileged compute (§4.2).
+
+    Assigned either to one user, or to one *group*: group members may attach
+    but their permissions are automatically down-scoped to exactly the
+    group's (original identity retained for auditing).
+    """
+
+    def __init__(
+        self,
+        catalog: UnityCatalog,
+        assigned_user: str | None = None,
+        assigned_group: str | None = None,
+        name: str | None = None,
+        **kwargs: Any,
+    ):
+        if (assigned_user is None) == (assigned_group is None):
+            raise ClusterAttachDenied(
+                "a dedicated cluster is assigned to exactly one user OR one group"
+            )
+        self.assigned_user = assigned_user
+        self.assigned_group = assigned_group
+        transform = kwargs.pop("context_transform", None)
+
+        def down_scope(ctx: UserContext) -> UserContext:
+            if assigned_group is not None:
+                ctx = ctx.down_scoped_to(assigned_group)
+            if transform is not None:
+                ctx = transform(ctx)
+            return ctx
+
+        super().__init__(
+            catalog,
+            compute_type=COMPUTE_DEDICATED,
+            name=name or "dedicated-cluster",
+            context_transform=down_scope,
+            **kwargs,
+        )
+
+    def check_attach(self, user: str) -> None:
+        if self.assigned_user is not None:
+            if user != self.assigned_user:
+                raise ClusterAttachDenied(
+                    f"dedicated cluster '{self.name}' is assigned to "
+                    f"'{self.assigned_user}', not '{user}'"
+                )
+            return
+        groups = self.catalog.principals.groups_of(user)
+        if self.assigned_group not in groups:
+            raise ClusterAttachDenied(
+                f"dedicated cluster '{self.name}' is assigned to group "
+                f"'{self.assigned_group}'; '{user}' is not a member"
+            )

@@ -1,0 +1,50 @@
+"""External engines using Lakeguard's eFGAC (§3.4, last paragraph).
+
+"eFGAC is not only usable in the context of Databricks clusters but can be
+used seamlessly from any external engine like Presto/Trino or other Spark
+distributions to enforce data governance."
+
+An :class:`ExternalEngineClient` models such an engine: it holds *no*
+storage credentials and receives *no* policy details — it can only submit
+Spark Connect relations (SQL or plan messages) to the workspace's governed
+serverless endpoint, which enforces everything and returns result rows.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.scopes import COMPUTE_EXTERNAL, ComputeCapabilities
+from repro.common.ids import new_id
+from repro.connect import proto
+from repro.platform.serverless import ServerlessGateway
+
+
+class ExternalEngineClient:
+    """A Trino-style engine delegating governed reads to serverless Spark."""
+
+    def __init__(self, gateway: ServerlessGateway, user: str, name: str = "trino"):
+        self._gateway = gateway
+        self.user = user
+        self.name = name
+        self.caps = ComputeCapabilities(new_id(f"ext-{name}"), COMPUTE_EXTERNAL)
+
+    # -- the only data path an external engine has -------------------------------
+
+    def query(self, sql: str) -> list[tuple]:
+        """Run a SQL query through the governed endpoint; returns rows."""
+        schema, columns = self._gateway.submit(self.user, proto.sql_relation(sql))
+        return list(zip(*columns)) if columns and columns[0] is not None else []
+
+    def scan_table(self, table: str) -> list[tuple]:
+        schema, columns = self._gateway.submit(self.user, proto.read_table(table))
+        return list(zip(*columns)) if columns and columns[0] is not None else []
+
+    def table_schema(self, table: str) -> list[dict[str, str]]:
+        return self._gateway.analyze(self.user, proto.read_table(table))
+
+    # -- what the engine *cannot* do ------------------------------------------------
+
+    def try_direct_storage_access(self, catalog, table: str):
+        """Demonstrates the negative path: no credential is ever vended to
+        compute that cannot enforce governance."""
+        ctx = catalog.principals.context_for(self.user)
+        return catalog.vend_credential(ctx, table, {"READ", "LIST"}, self.caps)

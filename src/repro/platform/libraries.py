@@ -1,0 +1,83 @@
+"""Engine-adjacent library governance (§4.1).
+
+"We support administrators in making conscious choices about installing
+additional libraries on the cluster that interact directly with the core
+Apache Spark engine ... a configuration process that requires the delegation
+of explicit intent from both workspace and cluster administrators."
+
+A library that loads *into the engine process* (not a sandbox) bypasses all
+isolation, so it needs two independent approvals — one workspace-admin, one
+cluster-admin — before the cluster will load it. Ordinary user libraries
+never go through this: they install into per-user sandbox environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PermissionDenied
+
+
+@dataclass(frozen=True)
+class LibraryApproval:
+    library: str
+    approver: str
+    role: str  # "workspace_admin" | "cluster_admin"
+
+
+class EngineLibraryPolicy:
+    """Two-person approval for libraries with engine access."""
+
+    ROLES = ("workspace_admin", "cluster_admin")
+
+    def __init__(self, workspace_admins: set[str], cluster_admins: set[str]):
+        self._workspace_admins = set(workspace_admins)
+        self._cluster_admins = set(cluster_admins)
+        self._approvals: dict[str, dict[str, LibraryApproval]] = {}
+        self._loaded: list[str] = []
+
+    # -- approval workflow ---------------------------------------------------------
+
+    def approve(self, library: str, approver: str) -> LibraryApproval:
+        """Record one admin's explicit intent; role is derived from identity."""
+        if approver in self._workspace_admins:
+            role = "workspace_admin"
+        elif approver in self._cluster_admins:
+            role = "cluster_admin"
+        else:
+            raise PermissionDenied(approver, "APPROVE_ENGINE_LIBRARY", library)
+        approval = LibraryApproval(library, approver, role)
+        self._approvals.setdefault(library, {})[role] = approval
+        return approval
+
+    def revoke_approval(self, library: str, role: str) -> None:
+        self._approvals.get(library, {}).pop(role, None)
+        if library in self._loaded and not self.is_approved(library):
+            self._loaded.remove(library)
+
+    def is_approved(self, library: str) -> bool:
+        """Approved iff *both* roles signed off (by possibly the same human
+        only when that human holds both roles)."""
+        roles = set(self._approvals.get(library, {}))
+        return roles >= set(self.ROLES)
+
+    def approvals_of(self, library: str) -> list[LibraryApproval]:
+        return sorted(
+            self._approvals.get(library, {}).values(), key=lambda a: a.role
+        )
+
+    # -- loading -----------------------------------------------------------------
+
+    def load(self, library: str) -> None:
+        """Load a library into the engine process — approvals required."""
+        if not self.is_approved(library):
+            missing = set(self.ROLES) - set(self._approvals.get(library, {}))
+            raise PermissionDenied(
+                "<cluster>", "LOAD_ENGINE_LIBRARY",
+                f"{library} (missing approvals: {sorted(missing)})",
+            )
+        if library not in self._loaded:
+            self._loaded.append(library)
+
+    def loaded_libraries(self) -> list[str]:
+        return list(self._loaded)

@@ -1,0 +1,158 @@
+"""The Dispatcher: sandbox pooling per (session, trust domain) (§3.3).
+
+The dispatcher sits between query processes and the cluster manager. It
+guarantees:
+
+- one sandbox is never shared across trust domains (different code owners);
+- one sandbox is never shared across *sessions* (different users on
+  multi-user compute) — no residual state crosses either boundary;
+- warm sandboxes are reused within a session, so the ~2 s cold start is paid
+  once per (session, domain) and amortized across queries (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.clock import Clock
+from repro.engine.expressions import UDFRuntime
+from repro.engine.udf import PythonUDF
+from repro.sandbox.cluster_manager import ClusterManager
+from repro.sandbox.policy import SandboxPolicy
+from repro.sandbox.sandbox import Sandbox
+
+
+@dataclass
+class DispatcherStats:
+    cold_starts: int = 0
+    warm_acquisitions: int = 0
+    #: Wall (or virtual) seconds spent waiting on cold starts.
+    cold_start_seconds_total: float = 0.0
+    cold_start_seconds_max: float = 0.0
+
+
+class Dispatcher:
+    """Routes user-code execution to per-(session, trust-domain) sandboxes."""
+
+    def __init__(self, cluster_manager: ClusterManager, clock: Clock | None = None):
+        self._manager = cluster_manager
+        self._clock = clock or cluster_manager.clock
+        #: (session_id, trust_domain, environment, requirements)
+        #: -> (owning manager, sandbox).
+        self._pool: dict[
+            tuple[str, str, str | None, frozenset[str]],
+            tuple[ClusterManager, Sandbox],
+        ] = {}
+        self.stats = DispatcherStats()
+
+    # -- acquisition ----------------------------------------------------------------
+
+    def acquire(
+        self,
+        session_id: str,
+        trust_domain: str,
+        policy: SandboxPolicy | None = None,
+        environment: str | None = None,
+        requirements: frozenset[str] = frozenset(),
+    ) -> Sandbox:
+        """Warm sandbox if one exists for this (session, domain, env,
+        resources); cold otherwise.
+
+        ``environment`` is the workload-environment version the session
+        pinned (§6.3): "the system will explicitly load the given workload
+        environment and execute the user code exactly in this environment" —
+        so sandboxes are never shared across environment versions either.
+        ``requirements`` routes GPU/high-memory code to specialized
+        execution environments outside the cluster (§3.3).
+        """
+        key = (session_id, trust_domain, environment, requirements)
+        entry = self._pool.get(key)
+        if entry is not None and not entry[1].closed:
+            self.stats.warm_acquisitions += 1
+            return entry[1]
+        manager = self._manager.manager_for(requirements)
+        started = self._clock.now()
+        sandbox = manager.create_sandbox(
+            trust_domain, policy, environment=environment
+        )
+        elapsed = self._clock.now() - started
+        self.stats.cold_starts += 1
+        self.stats.cold_start_seconds_total += elapsed
+        self.stats.cold_start_seconds_max = max(
+            self.stats.cold_start_seconds_max, elapsed
+        )
+        self._pool[key] = (manager, sandbox)
+        return sandbox
+
+    def release_session(self, session_id: str) -> int:
+        """Destroy all of one session's sandboxes; returns how many."""
+        doomed = [key for key in self._pool if key[0] == session_id]
+        for key in doomed:
+            manager, sandbox = self._pool.pop(key)
+            manager.destroy_sandbox(sandbox)
+        return len(doomed)
+
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    def sandboxes_of(self, session_id: str) -> list[Sandbox]:
+        return [
+            entry[1] for key, entry in self._pool.items() if key[0] == session_id
+        ]
+
+
+class SandboxedUDFRuntime(UDFRuntime):
+    """UDF runtime that executes every call inside dispatcher sandboxes.
+
+    This is what Lakeguard installs on Standard clusters; the inline default
+    :class:`~repro.engine.expressions.UDFRuntime` is the legacy, unisolated
+    behaviour used as the Table 2 baseline.
+    """
+
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        session_id: str,
+        policy: SandboxPolicy | None = None,
+        environment: str | None = None,
+    ):
+        self._dispatcher = dispatcher
+        self._session_id = session_id
+        self._policy = policy
+        self._environment = environment
+        self.round_trips = 0
+        self.rows_processed = 0
+
+    def run_udf(self, udf: PythonUDF, arg_columns: list[list[Any]]) -> list[Any]:
+        sandbox = self._dispatcher.acquire(
+            self._session_id, udf.trust_domain, self._policy, self._environment,
+            requirements=udf.resource_requirements,
+        )
+        self.round_trips += 1
+        if arg_columns:
+            self.rows_processed += len(arg_columns[0])
+        return sandbox.invoke(udf, arg_columns)
+
+    def run_fused(
+        self, calls: list[tuple[int, PythonUDF, list[list[Any]]]]
+    ) -> dict[int, list[Any]]:
+        """One round-trip per (trust domain, resource needs) in the group."""
+        grouped: dict[
+            tuple[str, frozenset[str]],
+            list[tuple[int, PythonUDF, list[list[Any]]]],
+        ] = {}
+        for call in calls:
+            key = (call[1].trust_domain, call[1].resource_requirements)
+            grouped.setdefault(key, []).append(call)
+        results: dict[int, list[Any]] = {}
+        for (domain, requirements), domain_calls in grouped.items():
+            sandbox = self._dispatcher.acquire(
+                self._session_id, domain, self._policy, self._environment,
+                requirements=requirements,
+            )
+            self.round_trips += 1
+            if domain_calls and domain_calls[0][2]:
+                self.rows_processed += len(domain_calls[0][2][0])
+            results.update(sandbox.invoke_many(domain_calls))
+        return results

@@ -1,0 +1,84 @@
+"""Simulated external network, reached only through sandbox egress control.
+
+User code inside a sandbox calls :func:`http_get` / :func:`http_post`
+(Figure 6's ``requests.post`` stand-in). The call is routed through the
+*ambient sandbox policy* — installed by the sandbox around every invocation —
+so a locked-down sandbox raises :class:`~repro.errors.EgressDenied` before
+any "network" is touched.
+
+External services are simulated by registering handlers per host; this gives
+examples and tests a deterministic endpoint (e.g. the air-quality service).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+from urllib.parse import urlparse
+
+from repro.errors import EgressDenied, SandboxError
+from repro.sandbox.policy import SandboxPolicy
+
+_STATE = threading.local()
+
+#: host -> handler(path, payload) -> response object
+_SERVICES: dict[str, Callable[[str, Any], Any]] = {}
+
+
+def register_service(host: str, handler: Callable[[str, Any], Any]) -> None:
+    """Register a simulated external service reachable as ``http://host/...``."""
+    _SERVICES[host] = handler
+
+
+def unregister_service(host: str) -> None:
+    _SERVICES.pop(host, None)
+
+
+class _AmbientPolicy:
+    """Context manager the sandbox uses to scope its policy to user code."""
+
+    def __init__(self, policy: SandboxPolicy):
+        self._policy = policy
+
+    def __enter__(self) -> None:
+        stack = getattr(_STATE, "stack", None)
+        if stack is None:
+            stack = []
+            _STATE.stack = stack
+        stack.append(self._policy)
+
+    def __exit__(self, *exc_info) -> None:
+        _STATE.stack.pop()
+
+
+def ambient_policy(policy: SandboxPolicy) -> _AmbientPolicy:
+    return _AmbientPolicy(policy)
+
+
+def current_policy() -> SandboxPolicy | None:
+    stack = getattr(_STATE, "stack", None)
+    return stack[-1] if stack else None
+
+
+def _request(url: str, payload: Any) -> Any:
+    parsed = urlparse(url)
+    host = parsed.netloc or parsed.path.split("/", 1)[0]
+    policy = current_policy()
+    if policy is not None:
+        policy.check_egress(host)
+    # Outside any sandbox (driver-side trusted code, tests) the call is
+    # allowed: egress control applies to *user* code.
+    handler = _SERVICES.get(host)
+    if handler is None:
+        raise SandboxError(f"no simulated service registered for host '{host}'")
+    return handler(parsed.path, payload)
+
+
+def http_get(url: str) -> Any:
+    """Simulated HTTP GET through the sandbox's egress rules."""
+    return _request(url, None)
+
+
+def http_post(url: str, payload: Any = None) -> Any:
+    """Simulated HTTP POST through the sandbox's egress rules."""
+    return _request(url, payload)

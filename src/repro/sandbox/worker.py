@@ -1,0 +1,114 @@
+"""Subprocess sandbox worker (the inside of the 'container').
+
+Speaks a length-prefixed pickle frame protocol on stdin/stdout:
+
+    request  = ("install", udf_id, func_blob, name)
+             | ("policy", allow_network)
+             | ("invoke", udf_id, arg_columns)
+             | ("invoke_many", [(call_id, udf_id, arg_columns), ...])
+             | ("ping",)
+             | ("shutdown",)
+    response = ("ok", payload) | ("err", message)
+
+Run with ``python -m repro.sandbox.worker``. The worker deliberately imports
+nothing from the engine: it holds only the shipped user functions, mirroring
+the paper's property that the sandbox "runs fully isolated from the runtime
+environment and is not connected to it directly".
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import sys
+from typing import Any, BinaryIO
+
+_HEADER = struct.Struct(">I")
+
+
+def read_frame(stream: BinaryIO) -> Any:
+    """Read one length-prefixed pickle frame (raises EOFError on close)."""
+    header = stream.read(_HEADER.size)
+    if len(header) < _HEADER.size:
+        raise EOFError("peer closed the pipe")
+    (length,) = _HEADER.unpack(header)
+    payload = stream.read(length)
+    if len(payload) < length:
+        raise EOFError("truncated frame")
+    return pickle.loads(payload)
+
+
+def write_frame(stream: BinaryIO, message: Any) -> None:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(_HEADER.pack(len(payload)))
+    stream.write(payload)
+    stream.flush()
+
+
+def _disable_network() -> None:
+    """Best-effort egress lockdown: real sockets raise inside this process."""
+    import socket
+
+    def _denied(*args, **kwargs):
+        raise PermissionError("network egress is disabled in this sandbox")
+
+    socket.socket = _denied  # type: ignore[assignment]
+    socket.create_connection = _denied  # type: ignore[assignment]
+
+
+def _invoke(func, arg_columns: list[list[Any]]) -> list[Any]:
+    return [func(*row) for row in zip(*arg_columns)]
+
+
+def main() -> int:
+    """Worker loop: serve install/policy/invoke requests until shutdown."""
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    # User code printing to stdout would corrupt the frame protocol;
+    # redirect the Python-level stdout to stderr inside the sandbox.
+    sys.stdout = sys.stderr
+
+    import cloudpickle  # deferred: only the worker needs it at import time
+
+    functions: dict[str, Any] = {}
+
+    while True:
+        try:
+            message = read_frame(stdin)
+        except EOFError:
+            return 0
+        kind = message[0]
+        try:
+            if kind == "shutdown":
+                write_frame(stdout, ("ok", None))
+                return 0
+            if kind == "ping":
+                write_frame(stdout, ("ok", "pong"))
+            elif kind == "policy":
+                _, allow_network = message
+                if not allow_network:
+                    _disable_network()
+                write_frame(stdout, ("ok", None))
+            elif kind == "install":
+                _, udf_id, func_blob, _name = message
+                functions[udf_id] = cloudpickle.loads(func_blob)
+                write_frame(stdout, ("ok", None))
+            elif kind == "invoke":
+                _, udf_id, arg_columns = message
+                result = _invoke(functions[udf_id], arg_columns)
+                write_frame(stdout, ("ok", result))
+            elif kind == "invoke_many":
+                _, calls = message
+                results = {
+                    call_id: _invoke(functions[udf_id], arg_columns)
+                    for call_id, udf_id, arg_columns in calls
+                }
+                write_frame(stdout, ("ok", results))
+            else:
+                write_frame(stdout, ("err", f"unknown message kind {kind!r}"))
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            write_frame(stdout, ("err", f"{type(exc).__name__}: {exc}"))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""A SQL subset front-end.
+
+Covers what the paper's workloads need: SELECT with joins, grouping,
+HAVING, ORDER BY, LIMIT and UNION ALL; DDL for views, tables, grants,
+row filters, and column masks; INSERT VALUES. Dynamic-view primitives
+(``CURRENT_USER()``, ``IS_ACCOUNT_GROUP_MEMBER()``) parse as first-class
+expressions.
+"""
+
+from repro.sql.parser import parse_expression, parse_statement
+from repro.sql.to_plan import PlanBuilder, FunctionLookup
+
+__all__ = ["parse_statement", "parse_expression", "PlanBuilder", "FunctionLookup"]

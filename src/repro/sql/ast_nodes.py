@@ -1,0 +1,189 @@
+"""SQL abstract syntax trees.
+
+Expression ASTs reuse the engine's expression classes directly (they support
+unresolved column references), so only relational and statement shapes need
+dedicated nodes here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.expressions import Expression
+
+
+# ---------------------------------------------------------------------------
+# Query shapes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TableSource:
+    """FROM item: a named relation with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+
+@dataclass
+class SubquerySource:
+    """FROM item: a parenthesized query with a mandatory alias."""
+
+    query: "SelectStatement | UnionStatement"
+    alias: str
+
+
+@dataclass
+class JoinClause:
+    how: str
+    source: "FromSource"
+    condition: Expression | None
+
+
+FromSource = TableSource | SubquerySource
+
+
+@dataclass
+class SelectItem:
+    """One SELECT-list entry; ``expr`` may be a Star."""
+
+    expr: Expression
+    alias: str | None = None
+
+
+@dataclass
+class OrderItem:
+    expr: Expression
+    ascending: bool = True
+    nulls_first: bool | None = None
+
+
+@dataclass
+class SelectStatement:
+    items: list[SelectItem]
+    source: FromSource | None = None
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Expression | None = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Expression | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    offset: int = 0
+    distinct: bool = False
+
+
+@dataclass
+class UnionStatement:
+    """UNION ALL chain of selects."""
+
+    inputs: list[SelectStatement]
+
+
+QueryStatement = SelectStatement | UnionStatement
+
+
+# ---------------------------------------------------------------------------
+# DDL / DML / DCL statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CreateViewStatement:
+    name: str
+    query_sql: str  # original text of the defining query
+    materialized: bool = False
+    or_replace: bool = False
+
+
+@dataclass
+class CreateTableStatement:
+    name: str
+    columns: list[tuple[str, str]]  # (name, type-name)
+
+
+@dataclass
+class CreateTableAsSelectStatement:
+    """CTAS: materialize a query into a new governed table."""
+
+    name: str
+    query_sql: str
+
+
+@dataclass
+class DropObjectStatement:
+    kind: str  # "TABLE" or "VIEW"
+    name: str
+
+
+@dataclass
+class ShowGrantsStatement:
+    securable: str
+
+
+@dataclass
+class DescribeStatement:
+    name: str
+
+
+@dataclass
+class InsertStatement:
+    table: str
+    rows: list[list[Any]]
+
+
+@dataclass
+class GrantStatement:
+    privilege: str
+    securable: str
+    principal: str
+
+
+@dataclass
+class RevokeStatement:
+    privilege: str
+    securable: str
+    principal: str
+
+
+@dataclass
+class SetRowFilterStatement:
+    table: str
+    condition: Expression
+
+
+@dataclass
+class DropRowFilterStatement:
+    table: str
+
+
+@dataclass
+class SetColumnMaskStatement:
+    table: str
+    column: str
+    mask: Expression
+
+
+@dataclass
+class DropColumnMaskStatement:
+    table: str
+    column: str
+
+
+Statement = (
+    SelectStatement
+    | UnionStatement
+    | CreateViewStatement
+    | CreateTableStatement
+    | CreateTableAsSelectStatement
+    | InsertStatement
+    | GrantStatement
+    | RevokeStatement
+    | SetRowFilterStatement
+    | DropRowFilterStatement
+    | SetColumnMaskStatement
+    | DropColumnMaskStatement
+    | DropObjectStatement
+    | ShowGrantsStatement
+    | DescribeStatement
+)

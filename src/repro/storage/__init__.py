@@ -1,0 +1,30 @@
+"""Simulated cloud object storage with credential-gated access.
+
+This package stands in for S3/ADLS/GCS plus the Delta table format:
+
+- :mod:`repro.storage.object_store` — a key/value blob store whose every
+  operation is authorized by a credential (cluster instance profile or a
+  user-scoped temporary credential).
+- :mod:`repro.storage.credentials` — temporary, prefix-scoped, expiring
+  credentials and the vendor that issues them (Unity Catalog calls this).
+- :mod:`repro.storage.table_format` — a Delta-like versioned table layout:
+  a transaction log of add/remove-file actions over immutable data files.
+"""
+
+from repro.storage.object_store import ObjectStore, StorageOp
+from repro.storage.credentials import (
+    TemporaryCredential,
+    InstanceProfileCredential,
+    CredentialVendor,
+)
+from repro.storage.table_format import LakeTableStorage, TableSnapshot
+
+__all__ = [
+    "ObjectStore",
+    "StorageOp",
+    "TemporaryCredential",
+    "InstanceProfileCredential",
+    "CredentialVendor",
+    "LakeTableStorage",
+    "TableSnapshot",
+]

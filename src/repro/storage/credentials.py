@@ -1,0 +1,162 @@
+"""Storage credentials.
+
+The paper's Figure 2 contrasts two access models:
+
+- *cluster-bound*: the whole cluster holds a broad storage credential (an AWS
+  instance profile); any user on the cluster inherits it. Modeled by
+  :class:`InstanceProfileCredential`.
+- *user-bound*: the catalog vends short-lived credentials scoped to exactly
+  the table prefix the requesting user was granted, tagged with the user's
+  identity for auditing. Modeled by :class:`TemporaryCredential` issued by the
+  :class:`CredentialVendor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.ids import new_id
+from repro.errors import CredentialError
+
+#: Storage operations a credential may authorize.
+READ = "READ"
+WRITE = "WRITE"
+LIST = "LIST"
+DELETE = "DELETE"
+
+_ALL_OPS = frozenset({READ, WRITE, LIST, DELETE})
+
+
+def _validate_ops(operations: frozenset[str]) -> frozenset[str]:
+    unknown = operations - _ALL_OPS
+    if unknown:
+        raise CredentialError(f"unknown storage operations: {sorted(unknown)}")
+    return operations
+
+
+@dataclass(frozen=True)
+class TemporaryCredential:
+    """A short-lived credential scoped to storage prefixes and operations.
+
+    Carries the identity it was vended for — the object store and the audit
+    log can therefore always attribute data access to a user, which is the
+    crux of user-bound governance.
+    """
+
+    token: str
+    identity: str
+    prefixes: tuple[str, ...]
+    operations: frozenset[str]
+    issued_at: float
+    expires_at: float
+    compute_id: str | None = None
+
+    def authorizes(self, path: str, operation: str, now: float) -> bool:
+        """True iff this credential allows ``operation`` on ``path`` at ``now``."""
+        if now >= self.expires_at:
+            return False
+        if operation not in self.operations:
+            return False
+        return any(path.startswith(prefix) for prefix in self.prefixes)
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+@dataclass(frozen=True)
+class InstanceProfileCredential:
+    """A cluster-wide credential (legacy, cluster-bound access model).
+
+    It has no user identity and no expiry: every workload on the cluster can
+    use it, which is precisely the governance weakness Lakeguard replaces.
+    """
+
+    token: str
+    cluster_id: str
+    prefixes: tuple[str, ...]
+    operations: frozenset[str] = field(default_factory=lambda: frozenset(_ALL_OPS))
+
+    #: Instance profiles attribute access to the cluster, not a person.
+    identity: str = "<cluster>"
+
+    def authorizes(self, path: str, operation: str, now: float) -> bool:
+        if operation not in self.operations:
+            return False
+        return any(path.startswith(prefix) for prefix in self.prefixes)
+
+
+class CredentialVendor:
+    """Issues and validates temporary credentials.
+
+    Unity Catalog is the only component expected to call :meth:`issue`; the
+    object store calls :meth:`validate` on every access. Revocation is
+    immediate (tokens are removed from the live set).
+    """
+
+    DEFAULT_TTL_SECONDS = 900.0
+
+    def __init__(self, clock: Clock | None = None, ttl_seconds: float | None = None):
+        self._clock = clock or SystemClock()
+        self._ttl = ttl_seconds or self.DEFAULT_TTL_SECONDS
+        self._live: dict[str, TemporaryCredential] = {}
+        self._issued_count = 0
+
+    @property
+    def issued_count(self) -> int:
+        """Total credentials ever issued (for utilization benchmarks)."""
+        return self._issued_count
+
+    def issue(
+        self,
+        identity: str,
+        prefixes: list[str],
+        operations: set[str],
+        compute_id: str | None = None,
+        ttl_seconds: float | None = None,
+    ) -> TemporaryCredential:
+        """Create a live credential for ``identity`` over ``prefixes``."""
+        if not prefixes:
+            raise CredentialError("cannot issue a credential with no prefixes")
+        ops = _validate_ops(frozenset(operations))
+        now = self._clock.now()
+        credential = TemporaryCredential(
+            token=new_id("cred"),
+            identity=identity,
+            prefixes=tuple(prefixes),
+            operations=ops,
+            issued_at=now,
+            expires_at=now + (ttl_seconds if ttl_seconds is not None else self._ttl),
+            compute_id=compute_id,
+        )
+        self._live[credential.token] = credential
+        self._issued_count += 1
+        return credential
+
+    def revoke(self, token: str) -> None:
+        """Invalidate a credential immediately; unknown tokens are a no-op."""
+        self._live.pop(token, None)
+
+    def revoke_identity(self, identity: str) -> int:
+        """Revoke all live credentials of one identity; returns the count."""
+        doomed = [t for t, c in self._live.items() if c.identity == identity]
+        for token in doomed:
+            del self._live[token]
+        return len(doomed)
+
+    def validate(self, credential: TemporaryCredential) -> None:
+        """Raise :class:`CredentialError` unless the credential is live."""
+        live = self._live.get(credential.token)
+        if live is None or live != credential:
+            raise CredentialError(f"credential {credential.token} is not live")
+        if credential.is_expired(self._clock.now()):
+            del self._live[credential.token]
+            raise CredentialError(f"credential {credential.token} has expired")
+
+    def live_credentials(self, identity: str | None = None) -> list[TemporaryCredential]:
+        """Snapshot of currently live credentials (optionally per identity)."""
+        now = self._clock.now()
+        creds = [c for c in self._live.values() if not c.is_expired(now)]
+        if identity is not None:
+            creds = [c for c in creds if c.identity == identity]
+        return creds

@@ -1,0 +1,141 @@
+"""A credential-gated cloud object store.
+
+Every operation requires a credential object exposing
+``authorizes(path, operation, now) -> bool`` (either a
+:class:`~repro.storage.credentials.TemporaryCredential` or an
+:class:`~repro.storage.credentials.InstanceProfileCredential`).
+
+The store keeps byte counters so benchmarks can measure *data movement* —
+e.g. how many bytes an eFGAC pushdown saves, or the storage amplification of
+the data-replica governance baseline.
+
+A key property the paper leans on (Fig. 3): cloud storage authorizes at the
+*object* level. There is no way to grant a subset of the bytes of one object;
+fine-grained policies therefore must be enforced by a trusted engine after
+reading the full object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.common.audit import AuditLog
+from repro.common.clock import Clock, SystemClock
+from repro.errors import StorageAccessDenied, StorageError
+from repro.storage.credentials import DELETE, LIST, READ, WRITE
+
+
+class StorageCredential(Protocol):
+    """Anything that can authorize a storage operation."""
+
+    identity: str
+
+    def authorizes(self, path: str, operation: str, now: float) -> bool: ...
+
+
+#: Re-exported operation names so callers can say ``StorageOp.READ``.
+class StorageOp:
+    """Operation-name constants re-exported for call-site readability."""
+
+    READ = READ
+    WRITE = WRITE
+    LIST = LIST
+    DELETE = DELETE
+
+
+@dataclass
+class StorageStats:
+    """Cumulative data-movement counters."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    objects_read: int = 0
+    objects_written: int = 0
+    denied_ops: int = 0
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.objects_read = 0
+        self.objects_written = 0
+        self.denied_ops = 0
+
+
+class ObjectStore:
+    """In-memory blob store with per-operation credential checks."""
+
+    def __init__(self, clock: Clock | None = None, audit: AuditLog | None = None):
+        self._clock = clock or SystemClock()
+        self._audit = audit
+        self._objects: dict[str, bytes] = {}
+        self.stats = StorageStats()
+
+    # -- internal -----------------------------------------------------------
+
+    def _check(self, credential: StorageCredential, path: str, op: str) -> None:
+        now = self._clock.now()
+        allowed = credential.authorizes(path, op, now)
+        if self._audit is not None:
+            self._audit.record(
+                timestamp=now,
+                principal=credential.identity,
+                action=f"storage.{op.lower()}",
+                resource=path,
+                allowed=allowed,
+            )
+        if not allowed:
+            self.stats.denied_ops += 1
+            raise StorageAccessDenied(
+                f"{credential.identity}: {op} denied on '{path}'"
+            )
+
+    # -- public API ---------------------------------------------------------
+
+    def put(self, path: str, data: bytes, credential: StorageCredential) -> None:
+        """Write a whole object (cloud stores have no partial writes)."""
+        if not isinstance(data, bytes):
+            raise StorageError(f"object data must be bytes, got {type(data).__name__}")
+        self._check(credential, path, StorageOp.WRITE)
+        self._objects[path] = data
+        self.stats.bytes_written += len(data)
+        self.stats.objects_written += 1
+
+    def get(self, path: str, credential: StorageCredential) -> bytes:
+        """Read a whole object. Object-level granularity: all bytes or none."""
+        self._check(credential, path, StorageOp.READ)
+        try:
+            data = self._objects[path]
+        except KeyError:
+            raise StorageError(f"no such object: '{path}'") from None
+        self.stats.bytes_read += len(data)
+        self.stats.objects_read += 1
+        return data
+
+    def exists(self, path: str, credential: StorageCredential) -> bool:
+        self._check(credential, path, StorageOp.LIST)
+        return path in self._objects
+
+    def list(self, prefix: str, credential: StorageCredential) -> list[str]:
+        """All object paths under ``prefix``, sorted."""
+        self._check(credential, prefix, StorageOp.LIST)
+        return sorted(p for p in self._objects if p.startswith(prefix))
+
+    def delete(self, path: str, credential: StorageCredential) -> None:
+        self._check(credential, path, StorageOp.DELETE)
+        self._objects.pop(path, None)
+
+    def size_of(self, path: str, credential: StorageCredential) -> int:
+        self._check(credential, path, StorageOp.LIST)
+        try:
+            return len(self._objects[path])
+        except KeyError:
+            raise StorageError(f"no such object: '{path}'") from None
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Unauthenticated administrative size accounting (for cost models)."""
+        return sum(len(d) for p, d in self._objects.items() if p.startswith(prefix))
+
+    def object_count(self, prefix: str = "") -> int:
+        """Unauthenticated administrative object count (for cost models)."""
+        return sum(1 for p in self._objects if p.startswith(prefix))

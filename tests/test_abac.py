@@ -1,0 +1,157 @@
+"""Tests for attribute-based access control (tags + tag policies)."""
+
+import pytest
+
+from repro.catalog.abac import (
+    TagMaskPolicy,
+    TagRowFilterPolicy,
+    hash_builder,
+    redact_builder,
+)
+from repro.sql.parser import parse_expression
+
+
+@pytest.fixture
+def tagged(workspace, standard_cluster, admin_client):
+    cat = workspace.catalog
+    cat.tags.tag_column("main.sales.orders", "buyer", "pii")
+    return workspace, standard_cluster, admin_client
+
+
+class TestTagMasks:
+    def test_tagged_column_masked(self, tagged):
+        ws, cluster, admin = tagged
+        ws.catalog.tags.register(
+            TagMaskPolicy("mask-pii", "pii", redact_builder("###"))
+        )
+        alice = cluster.connect("alice")
+        values = {r[3] for r in alice.table("main.sales.orders").collect()}
+        assert values == {"###"}
+
+    def test_exempt_group_sees_values(self, tagged):
+        ws, cluster, admin = tagged
+        ws.catalog.tags.register(
+            TagMaskPolicy(
+                "mask-pii", "pii", redact_builder("###"),
+                exempt_groups=frozenset({"hr"}),
+            )
+        )
+        alice = cluster.connect("alice")   # not hr
+        carol = cluster.connect("carol")   # in hr
+        assert {r[3] for r in alice.table("main.sales.orders").collect()} == {"###"}
+        assert "p1" in {r[3] for r in carol.table("main.sales.orders").collect()}
+
+    def test_hash_mask_is_joinable(self, tagged):
+        """SHA-256 masks preserve equality: grouping still works."""
+        ws, cluster, admin = tagged
+        ws.catalog.tags.register(TagMaskPolicy("hash-pii", "pii", hash_builder()))
+        alice = cluster.connect("alice")
+        rows = alice.sql(
+            "SELECT buyer, count(*) AS n FROM main.sales.orders GROUP BY buyer"
+        ).collect()
+        assert len(rows) == 4  # four distinct buyers, still distinct hashed
+        assert all(len(r[0]) == 64 for r in rows)  # hex digests, not names
+
+    def test_explicit_mask_wins_over_tag_mask(self, tagged):
+        ws, cluster, admin = tagged
+        ws.catalog.tags.register(
+            TagMaskPolicy("mask-pii", "pii", redact_builder("###"))
+        )
+        admin.sql(
+            "ALTER TABLE main.sales.orders ALTER COLUMN buyer SET MASK ('explicit')"
+        )
+        alice = cluster.connect("alice")
+        values = {r[3] for r in alice.table("main.sales.orders").collect()}
+        assert values == {"explicit"}
+
+    def test_untag_restores_visibility(self, tagged):
+        ws, cluster, admin = tagged
+        ws.catalog.tags.register(
+            TagMaskPolicy("mask-pii", "pii", redact_builder("###"))
+        )
+        ws.catalog.tags.untag_column("main.sales.orders", "buyer", "pii")
+        alice = cluster.connect("alice")
+        assert "p1" in {r[3] for r in alice.table("main.sales.orders").collect()}
+
+    def test_unregister_policy(self, tagged):
+        ws, cluster, admin = tagged
+        ws.catalog.tags.register(
+            TagMaskPolicy("mask-pii", "pii", redact_builder("###"))
+        )
+        ws.catalog.tags.unregister("mask-pii")
+        alice = cluster.connect("alice")
+        assert "p1" in {r[3] for r in alice.table("main.sales.orders").collect()}
+
+
+class TestTagRowFilters:
+    def test_tagged_table_filtered(self, workspace, standard_cluster, admin_client):
+        cat = workspace.catalog
+        cat.tags.tag_table("main.sales.orders", "regional")
+        cat.tags.register(
+            TagRowFilterPolicy(
+                "us-only", "regional", parse_expression("region = 'US'")
+            )
+        )
+        alice = standard_cluster.connect("alice")
+        assert len(alice.table("main.sales.orders").collect()) == 2
+
+    def test_tag_filter_composes_with_explicit(self, workspace, standard_cluster, admin_client):
+        cat = workspace.catalog
+        admin_client.sql("ALTER TABLE main.sales.orders SET ROW FILTER (amount > 15)")
+        cat.tags.tag_table("main.sales.orders", "regional")
+        cat.tags.register(
+            TagRowFilterPolicy(
+                "us-only", "regional", parse_expression("region = 'US'")
+            )
+        )
+        alice = standard_cluster.connect("alice")
+        rows = alice.table("main.sales.orders").collect()
+        assert [r[0] for r in rows] == [3]  # US AND amount>15
+
+    def test_exempt_group_bypasses_filter(self, workspace, standard_cluster, admin_client):
+        cat = workspace.catalog
+        cat.tags.tag_table("main.sales.orders", "regional")
+        cat.tags.register(
+            TagRowFilterPolicy(
+                "us-only", "regional", parse_expression("region = 'US'"),
+                exempt_groups=frozenset({"hr"}),
+            )
+        )
+        admin_client.sql("GRANT USE CATALOG ON main TO hr")
+        admin_client.sql("GRANT USE SCHEMA ON main.sales TO hr")
+        admin_client.sql("GRANT SELECT ON main.sales.orders TO hr")
+        alice = standard_cluster.connect("alice")
+        carol = standard_cluster.connect("carol")  # in hr
+        assert len(alice.table("main.sales.orders").collect()) == 2
+        assert len(carol.table("main.sales.orders").collect()) == 4
+
+
+class TestAbacDrivesEfgac:
+    def test_tag_policies_route_dedicated_compute_to_efgac(
+        self, workspace, standard_cluster, admin_client
+    ):
+        """ABAC-only policies must trigger the same privilege-scope logic."""
+        cat = workspace.catalog
+        cat.tags.tag_column("main.sales.orders", "buyer", "pii")
+        cat.tags.register(
+            TagMaskPolicy("mask-pii", "pii", redact_builder("###"))
+        )
+        ded = workspace.create_dedicated_cluster(assigned_user="alice", name="abac-d")
+        alice = ded.connect("alice")
+        rows = alice.table("main.sales.orders").collect()
+        assert {r[3] for r in rows} == {"###"}
+        assert ded.backend.remote_executor.stats.subqueries >= 1
+
+    def test_equivalence_under_abac(self, workspace, standard_cluster, admin_client):
+        cat = workspace.catalog
+        cat.tags.tag_table("main.sales.orders", "regional")
+        cat.tags.register(
+            TagRowFilterPolicy(
+                "us-only", "regional", parse_expression("region = 'US'")
+            )
+        )
+        ded = workspace.create_dedicated_cluster(assigned_user="alice", name="abac-e")
+        query = "SELECT id, region FROM main.sales.orders ORDER BY id"
+        std_rows = standard_cluster.connect("alice").sql(query).collect()
+        ded_rows = ded.connect("alice").sql(query).collect()
+        assert std_rows == ded_rows

@@ -1,0 +1,179 @@
+"""Tests for the executable baseline models."""
+
+import pytest
+
+from repro.baselines import (
+    InteractiveSession,
+    MembraneClusterModel,
+    ReplicaGovernance,
+    WorkloadPhase,
+    simulate_per_user_clusters,
+    simulate_shared_cluster,
+)
+from repro.baselines.membrane import bursty_phases
+from repro.baselines.per_user_clusters import working_day_sessions
+from repro.errors import ConfigurationError
+
+
+class TestMembraneModel:
+    def _model(self):
+        return MembraneClusterModel(total_nodes=10, user_domain_nodes=4)
+
+    def test_balanced_phase_high_utilization(self):
+        model = self._model()
+        # Work split matching the static 6/4 partition: near-full utilization.
+        outcome = model.membrane_phase(WorkloadPhase(engine_work=60, udf_work=40))
+        assert outcome.utilization > 0.9
+
+    def test_skewed_phase_wastes_capacity(self):
+        model = self._model()
+        engine_only = model.membrane_phase(WorkloadPhase(engine_work=100, udf_work=0))
+        assert engine_only.utilization <= 0.6 + 1e-9  # 4 user nodes idle
+
+    def test_lakeguard_always_fully_utilized(self):
+        model = self._model()
+        outcome = model.lakeguard_phase(WorkloadPhase(engine_work=100, udf_work=0))
+        assert outcome.utilization == 1.0
+
+    def test_bursty_workload_membrane_loses(self):
+        """The §7 claim: variable workloads → Membrane utilization drops."""
+        model = self._model()
+        phases = bursty_phases(10, engine_heavy_work=100, udf_heavy_work=100)
+        comparison = model.compare(phases)
+        assert comparison["membrane"].utilization < 0.75
+        assert comparison["lakeguard"].utilization == 1.0
+        assert comparison["membrane"].makespan > comparison["lakeguard"].makespan
+
+    def test_isolation_overhead_charged_to_lakeguard(self):
+        model = MembraneClusterModel(
+            total_nodes=10, user_domain_nodes=5, lakeguard_isolation_overhead=1.10
+        )
+        outcome = model.lakeguard_phase(WorkloadPhase(engine_work=0, udf_work=100))
+        assert outcome.makespan == pytest.approx(11.0)
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MembraneClusterModel(total_nodes=4, user_domain_nodes=4)
+
+
+class TestPerUserClusters:
+    def test_shared_cluster_beats_per_user_on_node_hours(self):
+        sessions = working_day_sessions(num_users=20, busy_fraction=0.15)
+        per_user = simulate_per_user_clusters(sessions)
+        shared = simulate_shared_cluster(sessions)
+        assert shared.node_hours < per_user.node_hours
+        assert shared.utilization > per_user.utilization
+
+    def test_per_user_utilization_equals_busy_fraction(self):
+        sessions = working_day_sessions(num_users=5, busy_fraction=0.2)
+        outcome = simulate_per_user_clusters(sessions)
+        assert outcome.utilization == pytest.approx(0.2)
+
+    def test_empty_workload(self):
+        outcome = simulate_shared_cluster([])
+        assert outcome.node_hours == 0.0
+
+    def test_peak_tracking(self):
+        sessions = [
+            InteractiveSession("a", 0.0, 2.0, 0.5),
+            InteractiveSession("b", 1.0, 3.0, 0.5),
+        ]
+        per_user = simulate_per_user_clusters(sessions, nodes_per_cluster=1)
+        assert per_user.peak_nodes == 2
+
+    def test_scaling_with_users(self):
+        """Savings grow with the number of interactive users."""
+        small = working_day_sessions(5)
+        large = working_day_sessions(50)
+        ratio_small = (
+            simulate_per_user_clusters(small).node_hours
+            / simulate_shared_cluster(small).node_hours
+        )
+        ratio_large = (
+            simulate_per_user_clusters(large).node_hours
+            / simulate_shared_cluster(large).node_hours
+        )
+        assert ratio_large > ratio_small
+
+
+class TestReplicaGovernance:
+    @pytest.fixture
+    def setup(self, workspace, standard_cluster, admin_client):
+        governance = ReplicaGovernance(
+            cluster=standard_cluster,
+            admin_client=admin_client,
+            source_table="main.sales.orders",
+            audience_filters={
+                "us_team": "region = 'US'",
+                "eu_team": "region = 'EU'",
+                "finance": "amount > 15",
+            },
+        )
+        governance.create_replicas()
+        return governance
+
+    def test_replicas_materialized(self, setup, workspace):
+        cat = workspace.catalog
+        assert cat.object_exists("main.sales.orders__for_us_team")
+        assert cat.object_exists("main.sales.orders__for_eu_team")
+
+    def test_storage_amplification_measured(self, setup):
+        costs = setup.measure()
+        assert costs.replicas == 3
+        assert costs.storage_amplification > 1.5
+
+    def test_staleness_after_source_update(self, setup, admin_client):
+        admin_client.sql("INSERT INTO main.sales.orders VALUES (5,'US',50.0,'p5')")
+        costs = setup.measure()
+        assert costs.stale_replicas == 3
+        setup.refresh_all()
+        costs = setup.measure()
+        assert costs.stale_replicas == 0
+
+    def test_refresh_compute_accumulates(self, setup):
+        before = setup.measure().refresh_rows_processed
+        setup.refresh_all()
+        assert setup.measure().refresh_rows_processed > before
+
+    def test_fgac_has_no_amplification(self, workspace, standard_cluster, admin_client):
+        """The counterfactual: row filters add zero storage."""
+        cat = workspace.catalog
+        source = cat.get_table("main.sales.orders")
+        before = cat.store.total_bytes(source.storage_root)
+        admin_client.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
+        assert cat.store.total_bytes(source.storage_root) == before
+
+
+class TestExternalFilterBaseline:
+    def test_aggregate_not_pushed_by_scanonly_service(
+        self, workspace, standard_cluster, admin_client
+    ):
+        """LakeFormation-style service ships rows; Lakeguard ships states."""
+        from repro.baselines.external_filter import external_filter_rules
+        from repro.core.efgac import efgac_rules
+        from repro.engine.logical import RemoteScan
+
+        admin_client.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
+
+        def run_with(rules, name):
+            ded = workspace.create_dedicated_cluster(
+                assigned_user="alice", name=name
+            )
+            # Swap the optimizer rule set for the baseline.
+            original = ded.backend.engine_for
+
+            def engine_for(session, _original=original, _rules=rules):
+                engine = _original(session)
+                engine._extra_rules = tuple(_rules)
+                return engine
+
+            ded.backend.engine_for = engine_for
+            client = ded.connect("alice")
+            client.sql(
+                "SELECT region, sum(amount) AS t FROM main.sales.orders GROUP BY region"
+            ).collect()
+            return ded.backend.remote_executor.stats.rows_received
+
+        lakeguard_rows = run_with(efgac_rules(), "lg")
+        scanonly_rows = run_with(external_filter_rules(), "lf")
+        assert lakeguard_rows <= scanonly_rows

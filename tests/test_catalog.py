@@ -1,0 +1,298 @@
+"""Tests for Unity Catalog: namespace, privileges, policies, credentials."""
+
+import pytest
+
+from repro.catalog import (
+    COMPUTE_DEDICATED,
+    COMPUTE_STANDARD,
+    ComputeCapabilities,
+    UnityCatalog,
+    UserContext,
+)
+from repro.catalog.policies import ColumnMask, RowFilter
+from repro.catalog.scopes import ANNOTATION_REQUIRES_EXTERNAL_FGAC
+from repro.engine.types import INT, STRING, schema_of
+from repro.engine.udf import udf
+from repro.errors import (
+    PermissionDenied,
+    PolicyError,
+    SecurableAlreadyExists,
+    SecurableNotFound,
+)
+from repro.sql.parser import parse_expression
+from repro.storage.credentials import LIST, READ, WRITE
+
+STANDARD = ComputeCapabilities("std-1", COMPUTE_STANDARD)
+DEDICATED = ComputeCapabilities("ded-1", COMPUTE_DEDICATED)
+
+
+@pytest.fixture
+def catalog():
+    cat = UnityCatalog()
+    cat.principals.add_user("admin", admin=True)
+    cat.principals.add_user("owner")
+    cat.principals.add_user("alice")
+    cat.principals.add_user("bob")
+    cat.principals.add_group("analysts", ["alice"])
+    cat.create_catalog("main", owner="owner")
+    cat.create_schema("main.s", owner="owner")
+    cat.create_table("main.s.t", schema_of(id=INT, region=STRING), owner="owner")
+    return cat
+
+
+def ctx(catalog, user):
+    return catalog.principals.context_for(user)
+
+
+class TestNamespace:
+    def test_duplicate_catalog(self, catalog):
+        with pytest.raises(SecurableAlreadyExists):
+            catalog.create_catalog("main", owner="x")
+
+    def test_duplicate_table(self, catalog):
+        with pytest.raises(SecurableAlreadyExists):
+            catalog.create_table("main.s.t", schema_of(id=INT), owner="x")
+
+    def test_missing_schema(self, catalog):
+        with pytest.raises(SecurableNotFound):
+            catalog.create_table("main.ghost.t", schema_of(id=INT), owner="x")
+
+    def test_bad_name_shape(self, catalog):
+        with pytest.raises(SecurableNotFound):
+            catalog.get_object("just_a_table")
+
+    def test_list_objects(self, catalog):
+        assert catalog.list_objects("main.s") == ["t"]
+
+    def test_object_exists(self, catalog):
+        assert catalog.object_exists("main.s.t")
+        assert not catalog.object_exists("main.s.ghost")
+
+
+class TestGroups:
+    def test_transitive_membership(self, catalog):
+        catalog.principals.add_group("all_staff", ["analysts"])
+        groups = catalog.principals.groups_of("alice")
+        assert "analysts" in groups and "all_staff" in groups
+
+    def test_context_includes_groups(self, catalog):
+        assert "analysts" in ctx(catalog, "alice").groups
+
+    def test_unknown_user(self, catalog):
+        with pytest.raises(SecurableNotFound):
+            catalog.principals.context_for("ghost")
+
+
+class TestPrivileges:
+    def test_owner_has_everything(self, catalog):
+        assert catalog.has_privilege(ctx(catalog, "owner"), "SELECT", "main.s.t")
+
+    def test_admin_bypass(self, catalog):
+        assert catalog.has_privilege(ctx(catalog, "admin"), "MODIFY", "main.s.t")
+
+    def test_plain_user_denied(self, catalog):
+        assert not catalog.has_privilege(ctx(catalog, "bob"), "SELECT", "main.s.t")
+
+    def test_hierarchy_required(self, catalog):
+        # SELECT grant alone is not enough without USE CATALOG/SCHEMA.
+        catalog.grant("SELECT", "main.s.t", "alice")
+        assert not catalog.has_privilege(ctx(catalog, "alice"), "SELECT", "main.s.t")
+        catalog.grant("USE_CATALOG", "main", "alice")
+        assert not catalog.has_privilege(ctx(catalog, "alice"), "SELECT", "main.s.t")
+        catalog.grant("USE_SCHEMA", "main.s", "alice")
+        assert catalog.has_privilege(ctx(catalog, "alice"), "SELECT", "main.s.t")
+
+    def test_grant_to_group(self, catalog):
+        for privilege, securable in [
+            ("USE_CATALOG", "main"),
+            ("USE_SCHEMA", "main.s"),
+            ("SELECT", "main.s.t"),
+        ]:
+            catalog.grant(privilege, securable, "analysts")
+        assert catalog.has_privilege(ctx(catalog, "alice"), "SELECT", "main.s.t")
+        assert not catalog.has_privilege(ctx(catalog, "bob"), "SELECT", "main.s.t")
+
+    def test_revoke(self, catalog):
+        catalog.grant("USE_CATALOG", "main", "alice")
+        catalog.grant("USE_SCHEMA", "main.s", "alice")
+        catalog.grant("SELECT", "main.s.t", "alice")
+        catalog.revoke("SELECT", "main.s.t", "alice")
+        assert not catalog.has_privilege(ctx(catalog, "alice"), "SELECT", "main.s.t")
+
+    def test_check_privilege_raises_and_audits(self, catalog):
+        with pytest.raises(PermissionDenied):
+            catalog.check_privilege(ctx(catalog, "bob"), "SELECT", "main.s.t")
+        denials = catalog.audit.denials(principal="bob")
+        assert denials and denials[-1].resource == "main.s.t"
+
+    def test_grant_checked_requires_authority(self, catalog):
+        with pytest.raises(PermissionDenied):
+            catalog.grant_checked(ctx(catalog, "bob"), "SELECT", "main.s.t", "alice")
+        catalog.grant_checked(ctx(catalog, "owner"), "SELECT", "main.s.t", "alice")
+
+    def test_down_scoped_context(self, catalog):
+        catalog.grant("USE_CATALOG", "main", "analysts")
+        catalog.grant("USE_SCHEMA", "main.s", "analysts")
+        catalog.grant("SELECT", "main.s.t", "analysts")
+        # alice personally also gets MODIFY.
+        catalog.grant("MODIFY", "main.s.t", "alice")
+        scoped = ctx(catalog, "alice").down_scoped_to("analysts")
+        assert catalog.has_privilege(scoped, "SELECT", "main.s.t")
+        assert not catalog.has_privilege(scoped, "MODIFY", "main.s.t")
+
+    def test_down_scoped_admin_loses_bypass(self, catalog):
+        scoped = ctx(catalog, "admin").down_scoped_to("analysts")
+        assert not catalog.has_privilege(scoped, "MODIFY", "main.s.t")
+
+    def test_down_scope_keeps_identity(self, catalog):
+        scoped = ctx(catalog, "alice").down_scoped_to("analysts")
+        assert scoped.user == "alice"
+
+
+class TestPolicies:
+    def test_row_filter_requires_ownership(self, catalog):
+        rf = RowFilter("main.s.t", parse_expression("region = 'US'"), "bob")
+        with pytest.raises(PermissionDenied):
+            catalog.set_row_filter("main.s.t", rf, ctx(catalog, "bob"))
+
+    def test_row_filter_validates_columns(self, catalog):
+        rf = RowFilter("main.s.t", parse_expression("ghost = 1"), "owner")
+        with pytest.raises(PolicyError):
+            catalog.set_row_filter("main.s.t", rf, ctx(catalog, "owner"))
+
+    def test_row_filter_rejects_user_code(self, catalog):
+        @udf("bool")
+        def evil(x):
+            return True
+
+        rf = RowFilter("main.s.t", evil(parse_expression("id")), "owner")
+        with pytest.raises(PolicyError, match="user code"):
+            catalog.set_row_filter("main.s.t", rf, ctx(catalog, "owner"))
+
+    def test_mask_unknown_column(self, catalog):
+        mask = ColumnMask("main.s.t", "ghost", parse_expression("'x'"), "owner")
+        with pytest.raises(PolicyError):
+            catalog.set_column_mask("main.s.t", mask, ctx(catalog, "owner"))
+
+    def test_policies_settable_and_droppable(self, catalog):
+        owner = ctx(catalog, "owner")
+        rf = RowFilter("main.s.t", parse_expression("region = 'US'"), "owner")
+        catalog.set_row_filter("main.s.t", rf, owner)
+        assert catalog.has_policies("main.s.t")
+        catalog.drop_row_filter("main.s.t", owner)
+        assert not catalog.has_policies("main.s.t")
+
+
+class TestPrivilegeScopes:
+    def _grant_all(self, catalog):
+        catalog.grant("USE_CATALOG", "main", "alice")
+        catalog.grant("USE_SCHEMA", "main.s", "alice")
+        catalog.grant("SELECT", "main.s.t", "alice")
+
+    def test_plain_table_full_metadata_everywhere(self, catalog):
+        self._grant_all(catalog)
+        meta = catalog.relation_metadata("main.s.t", ctx(catalog, "alice"), DEDICATED)
+        assert meta.storage_root is not None
+        assert ANNOTATION_REQUIRES_EXTERNAL_FGAC not in meta.annotations
+
+    def test_policy_table_annotated_on_dedicated(self, catalog):
+        self._grant_all(catalog)
+        rf = RowFilter("main.s.t", parse_expression("region = 'US'"), "owner")
+        catalog.set_row_filter("main.s.t", rf, ctx(catalog, "owner"))
+        meta = catalog.relation_metadata("main.s.t", ctx(catalog, "alice"), DEDICATED)
+        assert ANNOTATION_REQUIRES_EXTERNAL_FGAC in meta.annotations
+        assert meta.row_filter is None, "policy details never reach privileged compute"
+        assert meta.storage_root is None
+
+    def test_policy_table_full_on_standard(self, catalog):
+        self._grant_all(catalog)
+        rf = RowFilter("main.s.t", parse_expression("region = 'US'"), "owner")
+        catalog.set_row_filter("main.s.t", rf, ctx(catalog, "owner"))
+        meta = catalog.relation_metadata("main.s.t", ctx(catalog, "alice"), STANDARD)
+        assert meta.row_filter is not None
+
+    def test_view_text_hidden_from_dedicated(self, catalog):
+        catalog.create_view("main.s.v", "SELECT id FROM main.s.t", owner="owner")
+        catalog.grant("USE_CATALOG", "main", "alice")
+        catalog.grant("USE_SCHEMA", "main.s", "alice")
+        catalog.grant("SELECT", "main.s.v", "alice")
+        meta = catalog.relation_metadata("main.s.v", ctx(catalog, "alice"), DEDICATED)
+        assert meta.view_text is None
+        assert ANNOTATION_REQUIRES_EXTERNAL_FGAC in meta.annotations
+
+
+class TestCredentialVending:
+    def _grant_all(self, catalog):
+        catalog.grant("USE_CATALOG", "main", "alice")
+        catalog.grant("USE_SCHEMA", "main.s", "alice")
+        catalog.grant("SELECT", "main.s.t", "alice")
+
+    def test_vend_read(self, catalog):
+        self._grant_all(catalog)
+        cred = catalog.vend_credential(
+            ctx(catalog, "alice"), "main.s.t", {READ, LIST}, STANDARD
+        )
+        assert cred.identity == "alice"
+        table = catalog.get_table("main.s.t")
+        assert cred.authorizes(f"{table.storage_root}/data/x", READ, 0)
+
+    def test_vend_write_requires_modify(self, catalog):
+        self._grant_all(catalog)
+        with pytest.raises(PermissionDenied):
+            catalog.vend_credential(
+                ctx(catalog, "alice"), "main.s.t", {WRITE}, STANDARD
+            )
+
+    def test_vend_refused_for_policy_table_on_dedicated(self, catalog):
+        self._grant_all(catalog)
+        rf = RowFilter("main.s.t", parse_expression("region = 'US'"), "owner")
+        catalog.set_row_filter("main.s.t", rf, ctx(catalog, "owner"))
+        with pytest.raises(PermissionDenied, match="DIRECT_ACCESS"):
+            catalog.vend_credential(
+                ctx(catalog, "alice"), "main.s.t", {READ, LIST}, DEDICATED
+            )
+
+    def test_vend_allowed_for_policy_table_on_standard(self, catalog):
+        self._grant_all(catalog)
+        rf = RowFilter("main.s.t", parse_expression("region = 'US'"), "owner")
+        catalog.set_row_filter("main.s.t", rf, ctx(catalog, "owner"))
+        cred = catalog.vend_credential(
+            ctx(catalog, "alice"), "main.s.t", {READ, LIST}, STANDARD
+        )
+        assert cred is not None
+
+    def test_vend_audited(self, catalog):
+        self._grant_all(catalog)
+        catalog.vend_credential(ctx(catalog, "alice"), "main.s.t", {READ}, STANDARD)
+        events = catalog.audit.events(action="catalog.vend_credential")
+        assert events and events[-1].principal == "alice"
+
+
+class TestWriteAndFunctions:
+    def test_write_and_read_back(self, catalog):
+        owner = ctx(catalog, "owner")
+        catalog.write_table("main.s.t", {"id": [1, 2], "region": ["US", "EU"]}, owner)
+        table = catalog.get_table("main.s.t")
+        cred = catalog.vend_credential(owner, "main.s.t", {READ, LIST}, STANDARD)
+        data = catalog.table_storage(table).read_all(cred)
+        assert data["id"] == [1, 2]
+
+    def test_write_requires_modify(self, catalog):
+        with pytest.raises(PermissionDenied):
+            catalog.write_table("main.s.t", {"id": [1], "region": ["US"]},
+                                ctx(catalog, "bob"))
+
+    def test_function_execute_check(self, catalog):
+        @udf("int")
+        def f(x):
+            return x
+
+        catalog.create_function("main.s.f", f, owner="owner")
+        with pytest.raises(PermissionDenied):
+            catalog.get_function("main.s.f", ctx(catalog, "bob"))
+        catalog.grant("USE_CATALOG", "main", "bob")
+        catalog.grant("USE_SCHEMA", "main.s", "bob")
+        catalog.grant("EXECUTE", "main.s.f", "bob")
+        resolved = catalog.get_function("main.s.f", ctx(catalog, "bob"))
+        assert resolved.owner == "owner", "cataloged UDF keeps its owner's trust domain"
+        assert resolved.cataloged

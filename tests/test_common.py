@@ -1,0 +1,104 @@
+"""Tests for repro.common: clocks, ids, audit log."""
+
+from repro.common import AuditLog, SystemClock, VirtualClock, new_id
+from repro.common.ids import sequential_id
+
+import pytest
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=100.0).now() == 100.0
+
+    def test_sleep_advances(self):
+        clock = VirtualClock()
+        clock.sleep(2.5)
+        clock.sleep(0.5)
+        assert clock.now() == 3.0
+
+    def test_advance_alias(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        assert clock.now() == 1.0
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-1.0)
+
+    def test_sleep_is_instant_wall_time(self):
+        import time
+
+        clock = VirtualClock()
+        started = time.monotonic()
+        clock.sleep(1000.0)
+        assert time.monotonic() - started < 0.5
+        assert clock.now() == 1000.0
+
+
+class TestSystemClock:
+    def test_monotonic(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_zero_is_noop(self):
+        SystemClock().sleep(0)
+        SystemClock().sleep(-1)  # negative ignored
+
+
+class TestIds:
+    def test_prefix(self):
+        assert new_id("session").startswith("session-")
+
+    def test_uniqueness(self):
+        ids = {new_id("x") for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_sequential_ordering(self):
+        a = sequential_id("op")
+        b = sequential_id("op")
+        assert a < b
+
+
+class TestAuditLog:
+    def _log(self):
+        log = AuditLog()
+        log.record(1.0, "alice", "storage.read", "s3://x/a", True)
+        log.record(2.0, "bob", "storage.read", "s3://x/b", False)
+        log.record(3.0, "alice", "catalog.check.select", "main.t", False)
+        return log
+
+    def test_len(self):
+        assert len(self._log()) == 3
+
+    def test_filter_principal(self):
+        assert len(self._log().events(principal="alice")) == 2
+
+    def test_filter_action(self):
+        assert len(self._log().events(action="storage.read")) == 2
+
+    def test_denials(self):
+        denials = self._log().denials()
+        assert len(denials) == 2
+        assert all(not e.allowed for e in denials)
+
+    def test_denials_for_principal(self):
+        assert len(self._log().denials(principal="bob")) == 1
+
+    def test_predicate(self):
+        hits = self._log().events(predicate=lambda e: e.resource.startswith("s3://"))
+        assert len(hits) == 2
+
+    def test_details_captured(self):
+        log = AuditLog()
+        event = log.record(1.0, "u", "a", "r", True, token="t-1")
+        assert event.details == {"token": "t-1"}
+
+    def test_iteration_order(self):
+        log = self._log()
+        times = [e.timestamp for e in log]
+        assert times == sorted(times)

@@ -1,0 +1,96 @@
+"""Tests for the Spark Connect wire format and version negotiation."""
+
+import pytest
+
+from repro.connect import proto
+from repro.errors import ProtocolError, VersionIncompatibleError
+
+
+class TestEncoding:
+    def test_roundtrip_plain(self):
+        message = proto.read_table("main.s.t")
+        assert proto.decode_message(proto.encode_message(message)) == message
+
+    def test_roundtrip_bytes(self):
+        message = proto.python_udf("f", "int", b"\x00\x01\xff", [proto.column("x")])
+        decoded = proto.decode_message(proto.encode_message(message))
+        assert decoded["func_blob"] == b"\x00\x01\xff"
+
+    def test_roundtrip_nested_plan(self):
+        plan = proto.limit(
+            proto.filter_relation(
+                proto.project(proto.read_table("t"), [proto.column("a")]),
+                proto.binary(">", proto.column("a"), proto.literal(5)),
+            ),
+            10,
+        )
+        assert proto.decode_message(proto.encode_message(plan)) == plan
+
+    def test_roundtrip_null_and_bool(self):
+        message = proto.literal(None)
+        assert proto.decode_message(proto.encode_message(message))["value"] is None
+        message = proto.literal(True)
+        assert proto.decode_message(proto.encode_message(message))["value"] is True
+
+    def test_malformed_bytes(self):
+        with pytest.raises(ProtocolError):
+            proto.decode_message(b"\xff\xfe not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            proto.decode_message(b"[1, 2, 3]")
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ProtocolError):
+            proto.encode_message({"@type": "x", "bad": object()})
+
+
+class TestForwardCompatibility:
+    def test_unknown_fields_survive_decode(self):
+        """An old server must tolerate newer optional fields (§6.3)."""
+        message = {
+            "@type": "relation.read",
+            "table": "t",
+            "new_fancy_option": {"added_in": "v99"},
+        }
+        decoded = proto.decode_message(proto.encode_message(message))
+        assert decoded["table"] == "t"  # known field intact
+        assert "new_fancy_option" in decoded  # unknown field carried, ignored
+
+    def test_message_type(self):
+        assert proto.message_type(proto.read_table("t")) == "relation.read"
+        with pytest.raises(ProtocolError):
+            proto.message_type({"no": "type"})
+
+    def test_command_vs_relation(self):
+        assert proto.is_command(proto.sql_command("GRANT ..."))
+        assert proto.is_relation(proto.sql_relation("SELECT 1"))
+        assert not proto.is_command(proto.read_table("t"))
+
+
+class TestVersionNegotiation:
+    def test_older_client_accepted(self):
+        proto.check_client_version(1, server_version=4)
+
+    def test_equal_version_accepted(self):
+        proto.check_client_version(4, server_version=4)
+
+    def test_newer_client_rejected(self):
+        with pytest.raises(VersionIncompatibleError):
+            proto.check_client_version(5, server_version=4)
+
+    def test_prehistoric_client_rejected(self):
+        with pytest.raises(VersionIncompatibleError):
+            proto.check_client_version(0, server_version=4)
+
+
+class TestExtensionPoints:
+    def test_relation_extension_shape(self):
+        ext = proto.relation_extension("delta.time_travel", {"version": 3})
+        assert ext["@type"] == "relation.extension"
+        decoded = proto.decode_message(proto.encode_message(ext))
+        assert decoded["payload"] == {"version": 3}
+
+    def test_command_extension_shape(self):
+        ext = proto.command_extension("delta.vacuum", {"retain_hours": 168})
+        assert proto.is_command(ext)

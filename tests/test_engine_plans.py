@@ -1,0 +1,335 @@
+"""Tests for logical plans, analyzer, and physical execution."""
+
+import pytest
+
+from repro.engine.aggregates import AggregateCall
+from repro.engine.analyzer import Analyzer, DictResolver
+from repro.engine.batch import ColumnBatch
+from repro.engine.executor import LocalDataSource, QueryEngine
+from repro.engine.expressions import (
+    Alias,
+    Arithmetic,
+    BooleanOp,
+    Comparison,
+    SortOrder,
+    Star,
+    col,
+    lit,
+)
+from repro.engine.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LocalRelation,
+    Project,
+    Range,
+    Scan,
+    Sort,
+    SubqueryAlias,
+    TableRef,
+    Union,
+    UnresolvedRelation,
+)
+from repro.engine.types import FLOAT, INT, STRING, Field, Schema, schema_of
+from repro.errors import AnalysisError
+
+SALES = Schema(
+    (Field("id", INT), Field("dept", STRING), Field("amount", FLOAT))
+)
+SALES_DATA = LocalRelation(
+    SALES,
+    [[1, 2, 3, 4], ["a", "b", "a", "b"], [10.0, 20.0, 30.0, 40.0]],
+)
+
+
+@pytest.fixture
+def engine():
+    resolver = DictResolver({"sales": SALES_DATA})
+    resolver.register(
+        "depts",
+        LocalRelation(
+            schema_of(dept=STRING, label=STRING), [["a", "b", "c"], ["A", "B", "C"]]
+        ),
+    )
+    return QueryEngine(resolver)
+
+
+def rel(name="sales"):
+    return UnresolvedRelation(name)
+
+
+class TestAnalyzer:
+    def test_unknown_relation(self, engine):
+        with pytest.raises(AnalysisError, match="not found"):
+            engine.analyze(rel("ghost"))
+
+    def test_star_expansion(self, engine):
+        plan = engine.analyze(Project(rel(), [Star()]))
+        assert len(plan.schema) == 3
+
+    def test_qualified_star(self, engine):
+        plan = engine.analyze(
+            Project(SubqueryAlias(rel(), "s"), [Star(qualifier="s")])
+        )
+        assert len(plan.schema) == 3
+
+    def test_filter_must_be_boolean(self, engine):
+        with pytest.raises(AnalysisError, match="boolean"):
+            engine.analyze(Filter(rel(), Arithmetic("+", col("id"), lit(1))))
+
+    def test_aggregate_in_where_rejected(self, engine):
+        with pytest.raises(AnalysisError, match="HAVING"):
+            engine.analyze(
+                Filter(rel(), Comparison(">", AggregateCall("sum", col("amount")), lit(1)))
+            )
+
+    def test_aggregate_in_project_rejected(self, engine):
+        with pytest.raises(AnalysisError, match="GROUP BY"):
+            engine.analyze(Project(rel(), [AggregateCall("sum", col("amount"))]))
+
+    def test_ungrouped_column_rejected(self, engine):
+        with pytest.raises(AnalysisError, match="GROUP BY"):
+            engine.analyze(
+                Aggregate(rel(), [col("dept")], [col("id")])
+            )
+
+    def test_union_arity_checked(self, engine):
+        with pytest.raises(AnalysisError, match="column counts"):
+            engine.analyze(
+                Union([Project(rel(), [col("id")]), Project(rel(), [col("id"), col("dept")])])
+            )
+
+    def test_recursive_view_guard(self):
+        resolver = DictResolver()
+        resolver.register("v", UnresolvedRelation("v"))
+        with pytest.raises(AnalysisError, match="depth"):
+            Analyzer(resolver).analyze(UnresolvedRelation("v"))
+
+    def test_join_condition_binds_both_sides(self, engine):
+        plan = Join(
+            SubqueryAlias(rel(), "s"),
+            SubqueryAlias(rel("depts"), "d"),
+            "inner",
+            Comparison("=", col("s.dept"), col("d.dept")),
+        )
+        analyzed = engine.analyze(plan)
+        assert analyzed.resolved
+
+
+class TestExecution:
+    def test_range(self, engine):
+        result = engine.execute(Range(0, 5))
+        assert result.column("id") == [0, 1, 2, 3, 4]
+
+    def test_range_with_step(self, engine):
+        assert engine.execute(Range(1, 10, 3)).column("id") == [1, 4, 7]
+
+    def test_limit_offset(self, engine):
+        result = engine.execute(Limit(rel(), 2, offset=1))
+        assert result.column("id") == [2, 3]
+
+    def test_distinct(self, engine):
+        result = engine.execute(Distinct(Project(rel(), [col("dept")])))
+        assert sorted(result.column("dept")) == ["a", "b"]
+
+    def test_union_all(self, engine):
+        plan = Union([Project(rel(), [col("id")]), Project(rel(), [col("id")])])
+        assert engine.execute(plan).batch.num_rows == 8
+
+    def test_sort_desc_nulls(self, engine):
+        data = LocalRelation(schema_of(x=INT), [[3, None, 1]])
+        resolver = DictResolver({"t": data})
+        e = QueryEngine(resolver)
+        result = e.execute(
+            Sort(rel("t"), [SortOrder(col("x"), ascending=False, nulls_first=False)])
+        )
+        assert result.column("x") == [3, 1, None]
+
+    def test_sort_multi_key(self, engine):
+        result = engine.execute(
+            Sort(
+                rel(),
+                [
+                    SortOrder(col("dept"), ascending=True),
+                    SortOrder(col("amount"), ascending=False),
+                ],
+            )
+        )
+        assert result.column("id") == [3, 1, 4, 2]
+
+    def test_global_aggregate_empty_input(self, engine):
+        empty = LocalRelation(SALES, [[], [], []])
+        resolver = DictResolver({"e": empty})
+        e = QueryEngine(resolver)
+        result = e.execute(
+            Aggregate(rel("e"), [], [Alias(AggregateCall("count", None), "n"),
+                                     Alias(AggregateCall("sum", col("amount")), "s")])
+        )
+        assert result.rows() == [(0, None)]
+
+    def test_avg_ignores_nulls(self, engine):
+        data = LocalRelation(schema_of(x=FLOAT), [[1.0, None, 3.0]])
+        e = QueryEngine(DictResolver({"t": data}))
+        result = e.execute(
+            Aggregate(rel("t"), [], [Alias(AggregateCall("avg", col("x")), "a")])
+        )
+        assert result.rows() == [(2.0,)]
+
+    def test_count_star_counts_nulls(self, engine):
+        data = LocalRelation(schema_of(x=FLOAT), [[1.0, None]])
+        e = QueryEngine(DictResolver({"t": data}))
+        result = e.execute(
+            Aggregate(
+                rel("t"),
+                [],
+                [
+                    Alias(AggregateCall("count", None), "all_rows"),
+                    Alias(AggregateCall("count", col("x")), "non_null"),
+                ],
+            )
+        )
+        assert result.rows() == [(2, 1)]
+
+    def test_count_distinct(self, engine):
+        result = engine.execute(
+            Aggregate(rel(), [], [Alias(AggregateCall("count", col("dept"), distinct=True), "d")])
+        )
+        assert result.rows() == [(2,)]
+
+    def test_min_max(self, engine):
+        result = engine.execute(
+            Aggregate(
+                rel(),
+                [],
+                [
+                    Alias(AggregateCall("min", col("amount")), "lo"),
+                    Alias(AggregateCall("max", col("amount")), "hi"),
+                ],
+            )
+        )
+        assert result.rows() == [(10.0, 40.0)]
+
+    def test_aggregate_expression_over_calls(self, engine):
+        # sum(amount) / count(*) computed from two aggregate states.
+        expr = Alias(
+            Arithmetic(
+                "/", AggregateCall("sum", col("amount")), AggregateCall("count", None)
+            ),
+            "mean",
+        )
+        result = engine.execute(Aggregate(rel(), [], [expr]))
+        assert result.rows() == [(25.0,)]
+
+
+class TestJoins:
+    def _join(self, engine, how):
+        left = SubqueryAlias(rel(), "s")
+        right = SubqueryAlias(rel("depts"), "d")
+        return engine.execute(
+            Join(left, right, how, Comparison("=", col("s.dept"), col("d.dept")))
+        )
+
+    def test_inner(self, engine):
+        assert self._join(engine, "inner").batch.num_rows == 4
+
+    def test_left(self, engine):
+        # Every sales row has a dept match; arity check instead.
+        result = self._join(engine, "left")
+        assert result.batch.num_rows == 4
+        assert result.batch.num_columns == 5
+
+    def test_right_includes_unmatched(self, engine):
+        result = self._join(engine, "right")
+        labels = result.column("label")
+        assert "C" in labels  # dept 'c' has no sales
+        assert result.batch.num_rows == 5
+
+    def test_full_outer(self, engine):
+        result = self._join(engine, "full")
+        assert result.batch.num_rows == 5
+
+    def test_semi(self, engine):
+        result = self._join(engine, "semi")
+        assert result.batch.num_columns == 3
+        assert result.batch.num_rows == 4
+
+    def test_anti(self, engine):
+        # depts ANTI JOIN sales on dept: only 'c' remains.
+        left = SubqueryAlias(rel("depts"), "d")
+        right = SubqueryAlias(rel(), "s")
+        result = engine.execute(
+            Join(left, right, "anti", Comparison("=", col("d.dept"), col("s.dept")))
+        )
+        assert result.column("dept") == ["c"]
+
+    def test_cross(self, engine):
+        result = engine.execute(
+            Join(SubqueryAlias(rel(), "s"), SubqueryAlias(rel("depts"), "d"), "cross")
+        )
+        assert result.batch.num_rows == 12
+
+    def test_non_equi_condition(self, engine):
+        left = SubqueryAlias(rel(), "s")
+        right = SubqueryAlias(rel(), "t")
+        result = engine.execute(
+            Join(
+                left,
+                right,
+                "inner",
+                BooleanOp(
+                    "AND",
+                    Comparison("=", col("s.dept"), col("t.dept")),
+                    Comparison("<", col("s.id"), col("t.id")),
+                ),
+            )
+        )
+        assert result.batch.num_rows == 2
+
+    def test_pure_inequality_join(self, engine):
+        result = engine.execute(
+            Join(
+                SubqueryAlias(rel(), "s"),
+                SubqueryAlias(rel(), "t"),
+                "inner",
+                Comparison("<", col("s.amount"), col("t.amount")),
+            )
+        )
+        assert result.batch.num_rows == 6
+
+    def test_join_null_keys_never_match(self, engine):
+        data = LocalRelation(schema_of(k=STRING), [[None, "a"]])
+        resolver = DictResolver({"l": data, "r": data})
+        e = QueryEngine(resolver)
+        result = e.execute(
+            Join(
+                SubqueryAlias(rel("l"), "l"),
+                SubqueryAlias(rel("r"), "r"),
+                "inner",
+                Comparison("=", col("l.k"), col("r.k")),
+            )
+        )
+        assert result.batch.num_rows == 1  # only 'a' = 'a'
+
+
+class TestScanPushdownExecution:
+    def test_pushed_filter_and_pruning(self):
+        source = LocalDataSource()
+        tref = TableRef("cat.s.t", SALES)
+        source.register(
+            "cat.s.t",
+            {"id": [1, 2, 3], "dept": ["a", "b", "a"], "amount": [1.0, 2.0, 3.0]},
+        )
+        resolver = DictResolver({"cat.s.t": Scan(tref)})
+        engine = QueryEngine(resolver, data_source=source)
+        plan = Project(
+            Filter(rel("cat.s.t"), Comparison("=", col("dept"), lit("a"))),
+            [col("id")],
+        )
+        result = engine.execute(plan)
+        assert result.rows() == [(1,), (3,)]
+        # Scan read all rows (object granularity) but only pushed rows flow.
+        assert result.metrics.rows_scanned == 3
+        explain = result.optimized_plan.explain()
+        assert "filters=" in explain and "columns=" in explain

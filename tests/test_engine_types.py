@@ -1,0 +1,138 @@
+"""Tests for engine types, schemas, and the ColumnBatch container."""
+
+import pytest
+
+from repro.engine.batch import ColumnBatch
+from repro.engine.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    Field,
+    Schema,
+    common_numeric_type,
+    schema_of,
+    type_from_name,
+)
+from repro.errors import AnalysisError, ExecutionError
+
+
+class TestDataTypes:
+    def test_aliases(self):
+        assert type_from_name("BIGINT") == INT
+        assert type_from_name("double") == FLOAT
+        assert type_from_name("varchar") == STRING
+        assert type_from_name("Boolean") == BOOL
+
+    def test_unknown_type(self):
+        with pytest.raises(AnalysisError):
+            type_from_name("decimal")
+
+    def test_accepts(self):
+        assert INT.accepts(5)
+        assert not INT.accepts(5.0)
+        assert not INT.accepts(True)  # bool is not an int in SQL terms
+        assert FLOAT.accepts(5)  # ints widen
+        assert STRING.accepts(None)  # NULL fits every type
+
+    def test_numeric_widening(self):
+        assert common_numeric_type(INT, INT) == INT
+        assert common_numeric_type(INT, FLOAT) == FLOAT
+        with pytest.raises(AnalysisError):
+            common_numeric_type(INT, STRING)
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema(
+            (
+                Field("id", INT, qualifier="t"),
+                Field("name", STRING, qualifier="t"),
+                Field("id", INT, qualifier="u"),
+            )
+        )
+
+    def test_unqualified_unique(self):
+        assert self._schema().field_index("name") == 1
+
+    def test_unqualified_ambiguous(self):
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            self._schema().field_index("id")
+
+    def test_qualified_resolution(self):
+        assert self._schema().field_index("t.id") == 0
+        assert self._schema().field_index("u.id") == 2
+
+    def test_missing(self):
+        with pytest.raises(AnalysisError, match="not found"):
+            self._schema().field_index("ghost")
+
+    def test_requalify(self):
+        schema = schema_of(a=INT).with_qualifier("x")
+        assert schema.field_index("x.a") == 0
+
+    def test_concat_and_select(self):
+        left = schema_of(a=INT)
+        right = schema_of(b=STRING)
+        combined = left.concat(right)
+        assert combined.names == ["a", "b"]
+        assert combined.select([1]).names == ["b"]
+
+    def test_contains(self):
+        assert self._schema().contains("name")
+        assert not self._schema().contains("ghost")
+
+
+class TestColumnBatch:
+    def _batch(self):
+        return ColumnBatch.from_dict(
+            schema_of(id=INT, v=FLOAT),
+            {"id": [1, 2, 3], "v": [1.0, 2.0, 3.0]},
+        )
+
+    def test_from_rows(self):
+        batch = ColumnBatch.from_rows(schema_of(a=INT, b=STRING), [(1, "x"), (2, "y")])
+        assert batch.columns == [[1, 2], ["x", "y"]]
+
+    def test_from_rows_arity_check(self):
+        with pytest.raises(ExecutionError):
+            ColumnBatch.from_rows(schema_of(a=INT), [(1, 2)])
+
+    def test_missing_column(self):
+        with pytest.raises(ExecutionError):
+            ColumnBatch.from_dict(schema_of(a=INT), {"b": [1]})
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ExecutionError):
+            ColumnBatch(schema_of(a=INT, b=INT), [[1], [1, 2]])
+
+    def test_filter_drops_null_mask(self):
+        batch = self._batch()
+        filtered = batch.filter([True, None, False])
+        assert filtered.to_rows() == [(1, 1.0)]
+
+    def test_take_and_slice(self):
+        batch = self._batch()
+        assert batch.take([2, 0]).column("id") == [3, 1]
+        assert batch.slice(1, 3).column("id") == [2, 3]
+
+    def test_concat(self):
+        batch = self._batch()
+        double = ColumnBatch.concat(batch.schema, [batch, batch])
+        assert double.num_rows == 6
+
+    def test_concat_empty(self):
+        empty = ColumnBatch.concat(schema_of(a=INT), [])
+        assert empty.num_rows == 0
+
+    def test_to_dict_uses_qualified_names(self):
+        schema = Schema((Field("id", INT, qualifier="t"),))
+        batch = ColumnBatch(schema, [[1]])
+        assert batch.to_dict() == {"t.id": [1]}
+
+    def test_show_renders(self):
+        out = self._batch().show()
+        assert "id" in out and "1.0" in out
+
+    def test_column_by_name(self):
+        assert self._batch().column("v") == [1.0, 2.0, 3.0]

@@ -1,0 +1,235 @@
+"""Tests for expression evaluation semantics."""
+
+import pytest
+
+from repro.engine.batch import ColumnBatch
+from repro.engine.expressions import (
+    Alias,
+    Arithmetic,
+    BooleanOp,
+    BoundRef,
+    CaseWhen,
+    Cast,
+    Comparison,
+    CurrentUser,
+    EvalContext,
+    FunctionCall,
+    InList,
+    IsAccountGroupMember,
+    IsNull,
+    Literal,
+    Not,
+    PythonUDFCall,
+    bind_expression,
+    col,
+    contains_user_code,
+    lit,
+)
+from repro.engine.types import BOOL, FLOAT, INT, STRING, schema_of
+from repro.engine.udf import udf
+from repro.errors import AnalysisError
+
+SCHEMA = schema_of(a=INT, b=FLOAT, s=STRING)
+BATCH = ColumnBatch.from_dict(
+    SCHEMA, {"a": [1, 2, None], "b": [1.5, None, 3.0], "s": ["x", "Y", None]}
+)
+CTX = EvalContext(user="alice", groups=frozenset({"analysts"}))
+
+
+def ev(expr):
+    return bind_expression(expr, SCHEMA).eval(BATCH, CTX)
+
+
+class TestLiteralsAndRefs:
+    def test_literal_broadcast(self):
+        assert ev(lit(7)) == [7, 7, 7]
+
+    def test_literal_type_inference(self):
+        assert lit(1).dtype == INT
+        assert lit(1.5).dtype == FLOAT
+        assert lit(True).dtype == BOOL
+        assert lit("x").dtype == STRING
+
+    def test_unsupported_literal(self):
+        with pytest.raises(AnalysisError):
+            lit(object())
+
+    def test_column_binding(self):
+        bound = bind_expression(col("a"), SCHEMA)
+        assert isinstance(bound, BoundRef)
+        assert bound.index == 0
+        assert bound.dtype == INT
+
+    def test_unknown_column(self):
+        with pytest.raises(AnalysisError):
+            bind_expression(col("ghost"), SCHEMA)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert ev(Arithmetic("+", col("a"), lit(10))) == [11, 12, None]
+
+    def test_null_propagation(self):
+        assert ev(Arithmetic("*", col("a"), col("b"))) == [1.5, None, None]
+
+    def test_divide_by_zero_is_null(self):
+        assert ev(Arithmetic("/", lit(1), lit(0))) == [None] * 3
+
+    def test_modulo_by_zero_is_null(self):
+        assert ev(Arithmetic("%", lit(5), lit(0))) == [None] * 3
+
+    def test_string_concat_plus(self):
+        assert ev(Arithmetic("+", col("s"), lit("!")))[:2] == ["x!", "Y!"]
+
+    def test_division_always_float(self):
+        expr = bind_expression(Arithmetic("/", col("a"), lit(2)), SCHEMA)
+        assert expr.dtype == FLOAT
+
+    def test_type_widening(self):
+        expr = bind_expression(Arithmetic("+", col("a"), col("b")), SCHEMA)
+        assert expr.dtype == FLOAT
+
+    def test_unknown_operator(self):
+        with pytest.raises(AnalysisError):
+            Arithmetic("**", lit(1), lit(2))
+
+
+class TestComparisons:
+    def test_gt(self):
+        assert ev(Comparison(">", col("a"), lit(1))) == [False, True, None]
+
+    def test_null_comparison_is_null(self):
+        assert ev(Comparison("=", col("a"), lit(None)))[0] is None
+
+    def test_three_valued_and(self):
+        # FALSE AND NULL = FALSE; TRUE AND NULL = NULL.
+        false_and_null = BooleanOp("AND", lit(False), Comparison("=", col("a"), lit(None)))
+        assert ev(false_and_null) == [False, False, False]
+        true_and_null = BooleanOp("AND", lit(True), Comparison("=", col("a"), lit(None)))
+        assert ev(true_and_null) == [None, None, None]
+
+    def test_three_valued_or(self):
+        true_or_null = BooleanOp("OR", lit(True), Comparison("=", col("a"), lit(None)))
+        assert ev(true_or_null) == [True, True, True]
+        false_or_null = BooleanOp("OR", lit(False), Comparison("=", col("a"), lit(None)))
+        assert ev(false_or_null) == [None, None, None]
+
+    def test_not_null(self):
+        assert ev(Not(Comparison("=", col("a"), lit(None)))) == [None] * 3
+
+    def test_is_null(self):
+        assert ev(IsNull(col("a"))) == [False, False, True]
+        assert ev(IsNull(col("a"), negated=True)) == [True, True, False]
+
+    def test_in_list(self):
+        assert ev(InList(col("a"), (1, 3))) == [True, False, None]
+        assert ev(InList(col("a"), (1,), negated=True)) == [False, True, None]
+
+
+class TestCaseAndCast:
+    def test_case_when(self):
+        expr = CaseWhen(
+            [(Comparison(">", col("a"), lit(1)), lit("big"))], lit("small")
+        )
+        assert ev(expr) == ["small", "big", "small"]
+
+    def test_case_without_else_defaults_null(self):
+        expr = CaseWhen([(Comparison(">", col("a"), lit(1)), lit("big"))])
+        assert ev(expr) == [None, "big", None]
+
+    def test_first_matching_branch_wins(self):
+        expr = CaseWhen(
+            [
+                (Comparison(">", col("a"), lit(0)), lit("pos")),
+                (Comparison(">", col("a"), lit(1)), lit("big")),
+            ],
+            lit("other"),
+        )
+        assert ev(expr) == ["pos", "pos", "other"]
+
+    def test_cast_int_to_string(self):
+        assert ev(Cast(col("a"), STRING)) == ["1", "2", None]
+
+    def test_cast_string_to_bool(self):
+        assert ev(Cast(lit("true"), BOOL)) == [True] * 3
+
+    def test_cast_float_to_int(self):
+        assert ev(Cast(col("b"), INT)) == [1, None, 3]
+
+
+class TestFunctions:
+    def test_upper_lower(self):
+        assert ev(FunctionCall("upper", (col("s"),))) == ["X", "Y", None]
+        assert ev(FunctionCall("lower", (col("s"),))) == ["x", "y", None]
+
+    def test_coalesce(self):
+        assert ev(FunctionCall("coalesce", (col("a"), lit(0)))) == [1, 2, 0]
+
+    def test_sha256_deterministic(self):
+        out = ev(FunctionCall("sha256", (col("s"),)))
+        assert out[0] == ev(FunctionCall("sha256", (col("s"),)))[0]
+        assert out[2] is None
+
+    def test_concat(self):
+        assert ev(FunctionCall("concat", (lit("a"), lit("b")))) == ["ab"] * 3
+
+    def test_substring(self):
+        assert ev(FunctionCall("substring", (lit("hello"), lit(2), lit(3)))) == ["ell"] * 3
+
+    def test_unknown_function(self):
+        with pytest.raises(AnalysisError, match="unknown function"):
+            FunctionCall("no_such_fn", ())
+
+    def test_length(self):
+        assert ev(FunctionCall("length", (col("s"),))) == [1, 1, None]
+
+
+class TestSessionExpressions:
+    def test_current_user(self):
+        assert ev(CurrentUser()) == ["alice"] * 3
+
+    def test_group_member_true(self):
+        assert ev(IsAccountGroupMember("analysts")) == [True] * 3
+
+    def test_group_member_false(self):
+        assert ev(IsAccountGroupMember("hr")) == [False] * 3
+
+    def test_session_expressions_are_deterministic(self):
+        # Deterministic *within* a query — but still never folded/pushed
+        # below barriers because they are session-dependent.
+        assert CurrentUser().deterministic
+
+
+class TestUserCodeClassification:
+    def test_udf_call_is_user_code(self):
+        @udf("int")
+        def f(x):
+            return x
+
+        expr = f(col("a"))
+        assert isinstance(expr, PythonUDFCall)
+        assert contains_user_code(expr)
+        assert contains_user_code(Arithmetic("+", expr, lit(1)))
+
+    def test_builtins_are_not_user_code(self):
+        assert not contains_user_code(FunctionCall("upper", (col("s"),)))
+
+    def test_nondeterministic_udf(self):
+        @udf("int", deterministic=False)
+        def g(x):
+            return x
+
+        assert not g(col("a")).deterministic
+
+    def test_udf_eval_inline(self):
+        @udf("int")
+        def double(x):
+            return None if x is None else x * 2
+
+        assert ev(double(col("a"))) == [2, 4, None]
+
+    def test_alias_passthrough(self):
+        aliased = Alias(Arithmetic("+", col("a"), lit(1)), "a1")
+        bound = bind_expression(aliased, SCHEMA)
+        assert bound.output_name() == "a1"
+        assert bound.eval(BATCH, CTX) == [2, 3, None]

@@ -1,0 +1,160 @@
+"""Tests for Connect protocol extensions and the Delta plugin."""
+
+import pytest
+
+from repro.connect.client import DataFrame
+from repro.core import delta_plugin
+from repro.core.extensions import ExtensionRegistry, default_registry
+from repro.errors import PermissionDenied, ProtocolError
+
+
+@pytest.fixture
+def versioned_table(workspace, standard_cluster, admin_client):
+    """orders gets three data versions: v1 (4 rows), v2 (+1), v3 overwrite."""
+    admin_client.sql("INSERT INTO main.sales.orders VALUES (5,'US',50.0,'p5')")
+    ctx = workspace.catalog.principals.context_for("admin")
+    workspace.catalog.write_table(
+        "main.sales.orders",
+        {"id": [9], "region": ["US"], "amount": [9.0], "buyer": ["p9"]},
+        ctx,
+        overwrite=True,
+    )
+    return workspace, standard_cluster, admin_client
+
+
+class TestRegistry:
+    def test_default_registry_has_delta(self):
+        registry = default_registry()
+        assert "delta.time_travel" in registry.relation_names()
+        assert {"delta.history", "delta.vacuum"} <= set(registry.command_names())
+
+    def test_unknown_relation_extension(self):
+        registry = ExtensionRegistry()
+        with pytest.raises(ProtocolError, match="unknown relation extension"):
+            registry.decode_relation("nope", {}, None)
+
+    def test_unknown_command_extension(self):
+        registry = ExtensionRegistry()
+        with pytest.raises(ProtocolError, match="unknown command extension"):
+            registry.execute_command("nope", {}, None, None)
+
+    def test_custom_extension_roundtrip(self, workspace, standard_cluster, admin_client):
+        """Third parties can plug in without touching the protocol."""
+        calls = []
+
+        def handler(payload, session, backend):
+            calls.append(payload)
+            return {"status": "ok", "echo": payload}
+
+        standard_cluster.backend.extensions.register_command(
+            "acme.custom", handler
+        )
+        from repro.connect import proto
+
+        result = admin_client.execute_command(
+            proto.command_extension("acme.custom", {"x": 1})
+        )
+        assert result["echo"] == {"x": 1}
+        assert calls == [{"x": 1}]
+
+
+class TestTimeTravel:
+    def test_read_old_version(self, versioned_table):
+        ws, cluster, admin = versioned_table
+        latest = admin.table("main.sales.orders").collect()
+        assert len(latest) == 1  # after overwrite
+        v1 = DataFrame(admin, delta_plugin.time_travel_relation("main.sales.orders", 1))
+        assert len(v1.collect()) == 4
+        v2 = DataFrame(admin, delta_plugin.time_travel_relation("main.sales.orders", 2))
+        assert len(v2.collect()) == 5
+
+    def test_time_travel_respects_row_filter(self, versioned_table):
+        """Governance applies to historical versions too."""
+        ws, cluster, admin = versioned_table
+        admin.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
+        alice = cluster.connect("alice")
+        v1 = DataFrame(alice, delta_plugin.time_travel_relation("main.sales.orders", 1))
+        rows = v1.collect()
+        assert len(rows) == 2
+        assert {r[1] for r in rows} == {"US"}
+
+    def test_time_travel_requires_select(self, versioned_table):
+        ws, cluster, admin = versioned_table
+        bob = cluster.connect("bob")
+        v1 = DataFrame(bob, delta_plugin.time_travel_relation("main.sales.orders", 1))
+        with pytest.raises(PermissionDenied):
+            v1.collect()
+
+    def test_time_travel_on_view_rejected(self, versioned_table):
+        ws, cluster, admin = versioned_table
+        admin.sql("CREATE VIEW main.sales.v AS SELECT id FROM main.sales.orders")
+        from repro.errors import LakeguardError
+
+        df = DataFrame(admin, delta_plugin.time_travel_relation("main.sales.v", 0))
+        with pytest.raises(LakeguardError, match="only supported on tables"):
+            df.collect()
+
+    def test_time_travel_through_efgac(self, versioned_table):
+        """Historical reads of governed tables work on dedicated compute."""
+        ws, cluster, admin = versioned_table
+        admin.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
+        ded = ws.create_dedicated_cluster(assigned_user="alice", name="tt-ded")
+        alice = ded.connect("alice")
+        v1 = DataFrame(alice, delta_plugin.time_travel_relation("main.sales.orders", 1))
+        rows = v1.collect()
+        assert len(rows) == 2
+        assert ded.backend.remote_executor.stats.subqueries >= 1
+
+    def test_malformed_payload(self, versioned_table):
+        ws, cluster, admin = versioned_table
+        from repro.connect import proto
+
+        df = DataFrame(
+            admin,
+            proto.relation_extension("delta.time_travel", {"table": "x"}),
+        )
+        with pytest.raises(ProtocolError, match="malformed"):
+            df.collect()
+
+
+class TestHistoryAndVacuum:
+    def test_history(self, versioned_table):
+        ws, cluster, admin = versioned_table
+        payload = admin.execute_command(
+            delta_plugin.history_command("main.sales.orders")
+        )
+        history = payload["history"]
+        assert [h["version"] for h in history] == [0, 1, 2, 3]
+        assert history[3]["num_rows"] == 1  # the overwrite
+
+    def test_history_requires_select(self, versioned_table):
+        ws, cluster, admin = versioned_table
+        bob = cluster.connect("bob")
+        with pytest.raises(PermissionDenied):
+            bob.execute_command(delta_plugin.history_command("main.sales.orders"))
+
+    def test_vacuum_reclaims_dead_files(self, versioned_table):
+        ws, cluster, admin = versioned_table
+        payload = admin.execute_command(
+            delta_plugin.vacuum_command("main.sales.orders")
+        )
+        assert payload["files_removed"] == 2  # v1 + v2 files, dead after overwrite
+        assert payload["bytes_reclaimed"] > 0
+        # Latest version still readable.
+        assert len(admin.table("main.sales.orders").collect()) == 1
+
+    def test_vacuum_requires_ownership(self, versioned_table):
+        ws, cluster, admin = versioned_table
+        alice = cluster.connect("alice")
+        with pytest.raises(PermissionDenied):
+            alice.execute_command(delta_plugin.vacuum_command("main.sales.orders"))
+
+    def test_time_travel_broken_after_vacuum(self, versioned_table):
+        """Vacuum trades history for storage — like real Delta."""
+        ws, cluster, admin = versioned_table
+        admin.execute_command(delta_plugin.vacuum_command("main.sales.orders"))
+        from repro.errors import LakeguardError
+
+        v1 = DataFrame(admin, delta_plugin.time_travel_relation("main.sales.orders", 1))
+        with pytest.raises(LakeguardError):
+            v1.collect()

@@ -1,0 +1,57 @@
+"""Tests for eFGAC from external engines (Trino-style, §3.4)."""
+
+import pytest
+
+from repro.errors import PermissionDenied
+from repro.platform.external import ExternalEngineClient
+
+
+@pytest.fixture
+def external(workspace, standard_cluster, admin_client):
+    admin_client.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
+    return ExternalEngineClient(workspace.serverless, user="alice")
+
+
+class TestExternalEngine:
+    def test_governed_query(self, external):
+        rows = external.query(
+            "SELECT id, region FROM main.sales.orders WHERE amount > 5"
+        )
+        assert sorted(rows) == [(1, "US"), (3, "US")]
+
+    def test_full_subqueries_supported(self, external):
+        """Unlike scans-only services, aggregations/joins work (§3.4)."""
+        rows = external.query(
+            "SELECT region, sum(amount) AS t FROM main.sales.orders GROUP BY region"
+        )
+        assert rows == [("US", 40.0)]
+
+    def test_views_supported(self, workspace, standard_cluster, admin_client, external):
+        admin_client.sql(
+            "CREATE VIEW main.sales.v AS SELECT id FROM main.sales.orders"
+        )
+        admin_client.sql("GRANT SELECT ON main.sales.v TO analysts")
+        rows = external.scan_table("main.sales.v")
+        assert sorted(rows) == [(1,), (3,)]
+
+    def test_schema_resolution(self, external):
+        schema = external.table_schema("main.sales.orders")
+        assert [f["name"].split(".")[-1] for f in schema] == [
+            "id", "region", "amount", "buyer",
+        ]
+
+    def test_no_direct_storage_credentials(self, workspace, external):
+        with pytest.raises(PermissionDenied):
+            external.try_direct_storage_access(
+                workspace.catalog, "main.sales.orders"
+            )
+
+    def test_permissions_still_per_user(self, workspace, standard_cluster, admin_client):
+        mallory = ExternalEngineClient(workspace.serverless, user="bob")
+        with pytest.raises(PermissionDenied):
+            mallory.scan_table("main.sales.orders")
+
+    def test_external_usage_is_audited(self, workspace, external):
+        external.query("SELECT count(*) AS n FROM main.sales.orders")
+        events = workspace.catalog.audit.events(principal="alice")
+        assert events, "external-engine access must be attributed to the user"

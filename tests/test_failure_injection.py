@@ -1,0 +1,169 @@
+"""Failure injection: crashed sandboxes, dying workers, broken payloads.
+
+Resilience behaviours the architecture promises:
+- a sandbox crash is contained — the engine survives, the user gets a
+  typed error, the next query gets a fresh sandbox (client/server
+  decoupling, §3.2);
+- transport faults during command execution recover via reattach;
+- malformed or hostile wire input yields protocol errors, never crashes.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.connect import proto
+from repro.connect.client import col, udf
+from repro.engine.udf import udf as engine_udf
+from repro.errors import (
+    LakeguardError,
+    ProtocolError,
+    SandboxError,
+    UserCodeError,
+)
+from repro.sandbox import ClusterManager, Dispatcher, SandboxedUDFRuntime
+from repro.sandbox.subprocess_sandbox import SubprocessSandbox
+
+
+@engine_udf("int")
+def plus(a, b):
+    return a + b
+
+
+ALICE_PLUS = plus.with_owner("alice")
+
+
+class TestSandboxCrash:
+    def test_killed_worker_raises_sandbox_error(self):
+        sandbox = SubprocessSandbox("alice")
+        sandbox.invoke(ALICE_PLUS, [[1], [2]])
+        os.kill(sandbox._process.pid, signal.SIGKILL)
+        sandbox._process.wait(timeout=5)
+        with pytest.raises(SandboxError, match="died|closed"):
+            sandbox.invoke(ALICE_PLUS, [[1], [2]])
+
+    def test_dispatcher_replaces_crashed_sandbox(self):
+        manager = ClusterManager(backend="subprocess")
+        dispatcher = Dispatcher(manager)
+        first = dispatcher.acquire("s", "alice")
+        first.invoke(ALICE_PLUS, [[1], [2]])
+        os.kill(first._process.pid, signal.SIGKILL)
+        first._process.wait(timeout=5)
+        second = dispatcher.acquire("s", "alice")
+        assert second is not first
+        assert second.invoke(ALICE_PLUS, [[2], [3]]) == [5]
+        manager.shutdown()
+
+    def test_oom_style_crash_inside_udf_is_contained(self):
+        """A UDF that kills its own process must not take the engine down."""
+
+        @engine_udf("int")
+        def suicide(x):
+            os._exit(17)
+
+        sandbox = SubprocessSandbox("alice")
+        try:
+            with pytest.raises(SandboxError):
+                sandbox.invoke(suicide.with_owner("alice"), [[1]])
+        finally:
+            sandbox.close()
+
+    def test_runtime_surfaces_crash_as_error_not_hang(self):
+        manager = ClusterManager(backend="subprocess")
+        dispatcher = Dispatcher(manager)
+        runtime = SandboxedUDFRuntime(dispatcher, "s")
+
+        @engine_udf("int")
+        def die(x):
+            os._exit(3)
+
+        with pytest.raises(SandboxError):
+            runtime.run_udf(die.with_owner("alice"), [[1]])
+        manager.shutdown()
+
+
+class TestUserCodeFaults:
+    def test_exception_in_udf_is_typed(self, workspace, standard_cluster, admin_client):
+        @udf("float")
+        def broken(x):
+            return 1 / 0
+
+        alice = standard_cluster.connect("alice")
+        with pytest.raises(UserCodeError, match="ZeroDivisionError"):
+            alice.table("main.sales.orders").select(broken(col("amount"))).collect()
+
+    def test_cluster_survives_udf_failure(self, workspace, standard_cluster, admin_client):
+        @udf("float")
+        def broken(x):
+            raise RuntimeError("boom")
+
+        alice = standard_cluster.connect("alice")
+        with pytest.raises(UserCodeError):
+            alice.table("main.sales.orders").select(broken(col("amount"))).collect()
+        # Subsequent, healthy queries on the same session still work.
+        assert len(alice.table("main.sales.orders").collect()) == 4
+
+    def test_wrong_cardinality_udf_rejected(self):
+        """A hostile UDF runtime returning wrong-length columns is caught."""
+        from repro.engine.analyzer import DictResolver
+        from repro.engine.executor import QueryEngine
+        from repro.engine.expressions import UDFRuntime, col as ecol
+        from repro.engine.logical import LocalRelation, Project, UnresolvedRelation
+        from repro.engine.types import INT, Field, Schema
+        from repro.errors import ExecutionError
+
+        class LyingRuntime(UDFRuntime):
+            def run_udf(self, udf_obj, args):
+                return [1]  # always one row, whatever was asked
+
+        data = LocalRelation(Schema((Field("a", INT),)), [[1, 2, 3]])
+        engine = QueryEngine(DictResolver({"t": data}))
+        plan = Project(UnresolvedRelation("t"), [ALICE_PLUS(ecol("a"), ecol("a"))])
+        with pytest.raises(ExecutionError, match="returned 1 values"):
+            engine.execute(plan, udf_runtime=LyingRuntime())
+
+
+class TestHostileWireInput:
+    def test_unknown_relation_type(self, standard_cluster, admin_client):
+        client = standard_cluster.connect("alice")
+        with pytest.raises(ProtocolError):
+            client.execute_relation({"@type": "relation.evil"})
+
+    def test_missing_type_discriminator(self, standard_cluster, admin_client):
+        client = standard_cluster.connect("alice")
+        with pytest.raises(LakeguardError):
+            client.execute_relation({"table": "main.sales.orders"})
+
+    def test_recursive_temp_view_bounded(self, standard_cluster, admin_client):
+        client = standard_cluster.connect("alice")
+        client.execute_command(
+            proto.create_temp_view_command("loop", proto.read_table("loop"))
+        )
+        with pytest.raises(LakeguardError, match="depth"):
+            client.table("loop").collect()
+
+    def test_udf_blob_is_not_evaluated_at_decode_time(self, standard_cluster, admin_client):
+        """A garbage cloudpickle blob fails cleanly at decode."""
+        client = standard_cluster.connect("alice")
+        relation = proto.project(
+            proto.read_table("main.sales.orders"),
+            [
+                proto.python_udf(
+                    "evil", "int", b"not a pickle", [proto.column("id")]
+                )
+            ],
+        )
+        with pytest.raises(LakeguardError):
+            client.execute_relation(relation)
+
+
+class TestTransportFaultsDuringCommands:
+    def test_command_survives_stream_drop(self, workspace, standard_cluster, admin_client):
+        from repro.connect.channel import FaultInjector
+
+        faulty = standard_cluster.connect(
+            "admin", faults=FaultInjector(drop_stream_after=0, times=1)
+        )
+        result = faulty.sql("GRANT SELECT ON main.sales.orders TO bob")
+        assert result["status"] == "ok"

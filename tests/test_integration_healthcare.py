@@ -1,0 +1,183 @@
+"""End-to-end integration test: the paper's motivating example (§2.1).
+
+A healthcare enterprise stores sensor data with PII in Delta tables under
+Unity Catalog. Data scientists extract features from binary sensor data with
+UDFs but must never see PII; ETL runs hourly; analysts run ad-hoc SQL —
+all on shared compute, all governed by one set of policies.
+"""
+
+import pytest
+
+from repro.connect.client import col, udf
+from repro.platform import Workspace
+from repro.sandbox import net
+
+
+@pytest.fixture
+def healthcare():
+    ws = Workspace()
+    ws.add_user("admin", admin=True)
+    ws.add_user("dr_grey")        # clinician, may see PII
+    ws.add_user("ds_sam")         # data scientist, no PII
+    ws.add_user("etl_bot")        # pipeline service account
+    ws.add_group("clinicians", ["dr_grey"])
+    ws.add_group("data_science", ["ds_sam"])
+    cat = ws.catalog
+    cat.create_catalog("health", owner="admin")
+    cat.create_schema("health.trials", owner="admin")
+
+    cluster = ws.create_standard_cluster(name="shared-research")
+    admin = cluster.connect("admin")
+    admin.sql(
+        "CREATE TABLE health.trials.raw_data_table ("
+        "patient_id int, patient_name string, zip string, "
+        "sensor_blob binary, reading float, ts string)"
+    )
+    admin.sql(
+        "INSERT INTO health.trials.raw_data_table VALUES "
+        "(1, 'Ann Smith', '94105', CAST('0101' AS binary), 0.42, 't1'),"
+        "(2, 'Bo Chen',   '10001', CAST('0110' AS binary), 0.77, 't2'),"
+        "(3, 'Cy Patel',  '94105', CAST('1101' AS binary), 0.91, 't3')"
+    )
+    # The dedicated sensor view for data scientists: drops PII columns.
+    admin.sql(
+        "CREATE VIEW health.trials.sensor_view AS "
+        "SELECT patient_id, zip, sensor_blob, reading, ts "
+        "FROM health.trials.raw_data_table"
+    )
+    for group in ("clinicians", "data_science"):
+        admin.sql(f"GRANT USE CATALOG ON health TO {group}")
+        admin.sql(f"GRANT USE SCHEMA ON health.trials TO {group}")
+    admin.sql("GRANT SELECT ON health.trials.raw_data_table TO clinicians")
+    admin.sql("GRANT SELECT ON health.trials.sensor_view TO data_science")
+    # PII mask even for direct readers outside 'clinicians'.
+    admin.sql(
+        "ALTER TABLE health.trials.raw_data_table ALTER COLUMN patient_name "
+        "SET MASK (CASE WHEN is_account_group_member('clinicians') "
+        "THEN patient_name ELSE 'REDACTED' END)"
+    )
+    return ws, cluster, admin
+
+
+class TestHealthcareScenario:
+    def test_data_scientist_sees_no_pii(self, healthcare):
+        ws, cluster, _ = healthcare
+        sam = cluster.connect("ds_sam")
+        schema = sam.table("health.trials.sensor_view").schema()
+        names = {f["name"].split(".")[-1] for f in schema}
+        assert "patient_name" not in names
+
+    def test_data_scientist_cannot_read_raw_table(self, healthcare):
+        from repro.errors import PermissionDenied
+
+        ws, cluster, _ = healthcare
+        sam = cluster.connect("ds_sam")
+        with pytest.raises(PermissionDenied):
+            sam.table("health.trials.raw_data_table").collect()
+
+    def test_clinician_sees_names(self, healthcare):
+        ws, cluster, _ = healthcare
+        grey = cluster.connect("dr_grey")
+        names = {
+            r[0]
+            for r in grey.sql(
+                "SELECT patient_name FROM health.trials.raw_data_table"
+            ).collect()
+        }
+        assert "Ann Smith" in names
+
+    def test_admin_outside_clinicians_sees_mask(self, healthcare):
+        ws, cluster, admin = healthcare
+        values = {
+            r[0]
+            for r in admin.sql(
+                "SELECT patient_name FROM health.trials.raw_data_table"
+            ).collect()
+        }
+        assert values == {"REDACTED"}
+
+    def test_feature_extraction_udf_in_sandbox(self, healthcare):
+        """The Fig. 1 workload: UDF feature extraction over binary blobs."""
+        ws, cluster, _ = healthcare
+
+        @udf("float")
+        def extract_feature(blob):
+            # Toy 'conversion': fraction of set bits in the blob text.
+            bits = blob.decode()
+            return bits.count("1") / len(bits)
+
+        sam = cluster.connect("ds_sam")
+        rows = sam.table("health.trials.sensor_view").select(
+            col("patient_id"), extract_feature(col("sensor_blob")).alias("feat")
+        ).collect()
+        assert rows == [(1, 0.5), (2, 0.5), (3, 0.75)]
+        # It really ran in a sandbox.
+        assert cluster.backend.cluster_manager.stats.created >= 1
+
+    def test_air_quality_udf_with_governed_egress(self, healthcare):
+        """Fig. 6: a UDF calls an external service, through egress rules."""
+        ws, cluster, admin_client = healthcare
+        net.register_service(
+            "example.aqi.com", lambda path, payload: {"yesterday": 17.0}
+        )
+        try:
+
+            @udf("float")
+            def resolve_zip_to_air_quality(zip_code):
+                resp = net.http_post(f"http://example.aqi.com/zip/{zip_code}")
+                return float(resp["yesterday"])
+
+            from repro.sandbox.policy import SandboxPolicy
+
+            # Workspace admin allow-lists the AQI service for this cluster.
+            cluster.backend.cluster_manager.default_policy = (
+                SandboxPolicy().with_egress("example.aqi.com")
+            )
+            sam = cluster.connect("ds_sam")
+            rows = sam.table("health.trials.sensor_view").select(
+                resolve_zip_to_air_quality(col("zip")).alias("aqi")
+            ).collect()
+            assert rows == [(17.0,), (17.0,), (17.0,)]
+        finally:
+            net.unregister_service("example.aqi.com")
+
+    def test_hourly_etl_and_adhoc_sql_same_policies(self, healthcare):
+        """ETL writes land governed; ad-hoc SQL sees them immediately."""
+        ws, cluster, admin = healthcare
+        admin.sql("GRANT USE CATALOG ON health TO etl_bot")
+        admin.sql("GRANT USE SCHEMA ON health.trials TO etl_bot")
+        admin.sql("GRANT SELECT ON health.trials.raw_data_table TO etl_bot")
+        admin.sql("GRANT MODIFY ON health.trials.raw_data_table TO etl_bot")
+        etl = cluster.connect("etl_bot")
+        etl.sql(
+            "INSERT INTO health.trials.raw_data_table VALUES "
+            "(4, 'Di Wong', '60601', CAST('1111' AS binary), 0.33, 't4')"
+        )
+        grey = cluster.connect("dr_grey")
+        count = grey.sql(
+            "SELECT count(*) AS n FROM health.trials.raw_data_table"
+        ).collect()
+        assert count == [(4,)]
+
+    def test_collaborative_training_on_shared_cluster(self, healthcare):
+        """Two data scientists share the cluster; sessions stay isolated."""
+        ws, cluster, admin = healthcare
+        ws.add_user("ds_kim")
+        ws.catalog.principals.add_member("data_science", "ds_kim")
+        sam = cluster.connect("ds_sam")
+        kim = cluster.connect("ds_kim")
+        sam_view = sam.table("health.trials.sensor_view")
+        sam_view.create_temp_view("training_set")
+        # kim can run her own queries but not see sam's temp view.
+        assert len(kim.table("health.trials.sensor_view").collect()) == 3
+        from repro.errors import LakeguardError
+
+        with pytest.raises(LakeguardError):
+            kim.table("training_set").collect()
+
+    def test_audit_trail_attributes_every_access(self, healthcare):
+        ws, cluster, _ = healthcare
+        sam = cluster.connect("ds_sam")
+        sam.table("health.trials.sensor_view").collect()
+        principals = {e.principal for e in ws.catalog.audit}
+        assert "ds_sam" in principals

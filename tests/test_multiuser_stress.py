@@ -1,0 +1,131 @@
+"""Interleaved multi-user workload on one Standard cluster.
+
+Simulates the paper's target deployment: many identities, different grants
+and policies, queries interleaved round-robin on shared compute — with the
+invariant that every result is exactly what that identity is entitled to,
+no matter what ran before or after on the same cluster.
+"""
+
+import pytest
+
+from repro.connect.client import col, udf
+from repro.platform import Workspace
+
+NUM_USERS = 6
+ROUNDS = 5
+
+
+@pytest.fixture
+def busy_workspace():
+    ws = Workspace()
+    ws.add_user("admin", admin=True)
+    regions = ["US", "EU", "APAC"]
+    for i in range(NUM_USERS):
+        ws.add_user(f"user{i}")
+        ws.add_group(f"region_{regions[i % 3].lower()}", [f"user{i}"])
+    cat = ws.catalog
+    cat.create_catalog("m", owner="admin")
+    cat.create_schema("m.s", owner="admin")
+    cluster = ws.create_standard_cluster()
+    admin = cluster.connect("admin")
+    admin.sql("CREATE TABLE m.s.events (id int, region string, v float)")
+    rows = ", ".join(
+        f"({i}, '{regions[i % 3]}', {float(i)})" for i in range(30)
+    )
+    admin.sql(f"INSERT INTO m.s.events VALUES {rows}")
+    for group in (f"region_{r.lower()}" for r in regions):
+        admin.sql(f"GRANT USE CATALOG ON m TO {group}")
+        admin.sql(f"GRANT USE SCHEMA ON m.s TO {group}")
+        admin.sql(f"GRANT SELECT ON m.s.events TO {group}")
+    # Everyone sees only their region.
+    admin.sql(
+        "ALTER TABLE m.s.events SET ROW FILTER ("
+        "  (region = 'US' AND is_account_group_member('region_us'))"
+        "  OR (region = 'EU' AND is_account_group_member('region_eu'))"
+        "  OR (region = 'APAC' AND is_account_group_member('region_apac')))"
+    )
+    return ws, cluster
+
+
+def expected_region(i: int) -> str:
+    return ["US", "EU", "APAC"][i % 3]
+
+
+class TestInterleavedWorkload:
+    def test_round_robin_queries_stay_isolated(self, busy_workspace):
+        ws, cluster = busy_workspace
+        clients = [cluster.connect(f"user{i}") for i in range(NUM_USERS)]
+        for _ in range(ROUNDS):
+            for i, client in enumerate(clients):
+                rows = client.sql("SELECT region FROM m.s.events").collect()
+                regions = {r[0] for r in rows}
+                assert regions == {expected_region(i)}, (
+                    f"user{i} saw {regions}"
+                )
+
+    def test_interleaved_udfs_use_own_sandboxes(self, busy_workspace):
+        ws, cluster = busy_workspace
+
+        @udf("string")
+        def tag(region):
+            return f"seen:{region}"
+
+        clients = [cluster.connect(f"user{i}") for i in range(3)]
+        for round_number in range(3):
+            for i, client in enumerate(clients):
+                rows = client.table("m.s.events").select(tag(col("region"))).collect()
+                values = {r[0] for r in rows}
+                assert values == {f"seen:{expected_region(i)}"}
+        # One sandbox per session, reused across rounds.
+        assert cluster.backend.cluster_manager.stats.created == 3
+        assert cluster.backend.dispatcher.stats.warm_acquisitions > 0
+
+    def test_mixed_ddl_and_queries(self, busy_workspace):
+        """Grants changing mid-stream take effect for subsequent queries."""
+        ws, cluster = busy_workspace
+        admin = cluster.connect("admin")
+        user0 = cluster.connect("user0")
+        assert len(user0.sql("SELECT id FROM m.s.events").collect()) == 10
+        # Revoke mid-session: the next query must fail.
+        admin.sql("REVOKE SELECT ON m.s.events FROM region_us")
+        from repro.errors import PermissionDenied
+
+        with pytest.raises(PermissionDenied):
+            user0.sql("SELECT id FROM m.s.events").collect()
+        # Re-grant: access returns without reconnecting.
+        admin.sql("GRANT SELECT ON m.s.events TO region_us")
+        assert len(user0.sql("SELECT id FROM m.s.events").collect()) == 10
+
+    def test_temp_state_does_not_accumulate_across_users(self, busy_workspace):
+        ws, cluster = busy_workspace
+        from repro.errors import LakeguardError
+
+        for i in range(3):
+            client = cluster.connect(f"user{i}")
+            client.table("m.s.events").create_temp_view(f"scratch_{i}")
+        # A new client sees none of them.
+        fresh = cluster.connect("user3")
+        for i in range(3):
+            with pytest.raises(LakeguardError):
+                fresh.table(f"scratch_{i}").collect()
+
+    def test_audit_has_complete_per_user_trail(self, busy_workspace):
+        ws, cluster = busy_workspace
+        clients = [cluster.connect(f"user{i}") for i in range(NUM_USERS)]
+        for client in clients:
+            client.sql("SELECT count(*) AS n FROM m.s.events").collect()
+        principals = {e.principal for e in ws.catalog.audit}
+        assert {f"user{i}" for i in range(NUM_USERS)} <= principals
+
+    def test_session_close_releases_resources(self, busy_workspace):
+        ws, cluster = busy_workspace
+
+        @udf("float")
+        def f(x):
+            return x
+
+        client = cluster.connect("user0")
+        client.table("m.s.events").select(f(col("v"))).collect()
+        assert cluster.backend.cluster_manager.stats.active == 1
+        client.close()
+        assert cluster.backend.cluster_manager.stats.active == 0

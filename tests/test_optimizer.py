@@ -1,0 +1,244 @@
+"""Tests for optimizer rules, especially the SecureView barrier."""
+
+import pytest
+
+from repro.engine.analyzer import DictResolver
+from repro.engine.executor import QueryEngine
+from repro.engine.expressions import (
+    Alias,
+    Arithmetic,
+    BooleanOp,
+    Comparison,
+    Literal,
+    PythonUDFCall,
+    col,
+    lit,
+)
+from repro.engine.logical import (
+    Filter,
+    LocalRelation,
+    Project,
+    Scan,
+    SecureView,
+    TableRef,
+    UnresolvedRelation,
+)
+from repro.engine.optimizer import Optimizer, OptimizerConfig
+from repro.engine.types import FLOAT, INT, STRING, Field, Schema, schema_of
+from repro.engine.udf import udf
+
+SCHEMA = Schema((Field("id", INT), Field("region", STRING), Field("v", FLOAT)))
+DATA = LocalRelation(SCHEMA, [[1, 2], ["US", "EU"], [1.0, 2.0]])
+TREF = TableRef("c.s.t", SCHEMA, storage_root="s3://x")
+
+
+def analyze(plan):
+    resolver = DictResolver({"t": DATA})
+    resolver.register("scan_t", Scan(TREF))
+    return QueryEngine(resolver).analyze(plan)
+
+
+def optimize(plan, config=None):
+    return Optimizer(config or OptimizerConfig()).optimize(analyze(plan))
+
+
+def node_types(plan):
+    return [type(n).__name__ for n in plan.walk()]
+
+
+class TestConstantFolding:
+    def test_arith_folds(self):
+        plan = optimize(Project(UnresolvedRelation("t"), [Arithmetic("+", lit(1), lit(2))]))
+        project = plan
+        assert isinstance(project.exprs[0], Literal)
+        assert project.exprs[0].value == 3
+
+    def test_true_filter_removed(self):
+        plan = optimize(Filter(UnresolvedRelation("t"), Comparison("=", lit(1), lit(1))))
+        assert "Filter" not in node_types(plan)
+
+    def test_false_filter_becomes_empty(self):
+        plan = optimize(Filter(UnresolvedRelation("t"), Comparison("=", lit(1), lit(2))))
+        assert "Filter" not in node_types(plan)
+        assert "LocalRelation" in node_types(plan)
+
+    def test_current_user_not_folded(self):
+        from repro.engine.expressions import CurrentUser
+
+        plan = optimize(
+            Filter(UnresolvedRelation("t"), Comparison("=", CurrentUser(), lit("x")))
+        )
+        assert "Filter" in node_types(plan)
+
+    def test_folding_can_be_disabled(self):
+        config = OptimizerConfig(constant_folding=False)
+        plan = optimize(
+            Project(UnresolvedRelation("t"), [Arithmetic("+", lit(1), lit(2))]),
+            config,
+        )
+        assert not isinstance(plan.exprs[0], Literal)
+
+
+class TestFilterRules:
+    def test_combine_filters(self):
+        plan = optimize(
+            Filter(
+                Filter(UnresolvedRelation("t"), Comparison(">", col("id"), lit(0))),
+                Comparison("<", col("id"), lit(5)),
+            )
+        )
+        filters = [n for n in plan.walk() if type(n).__name__ == "Filter"]
+        assert len(filters) == 0 or len(filters) == 1
+
+    def test_filter_pushed_into_scan(self):
+        plan = optimize(
+            Filter(UnresolvedRelation("scan_t"), Comparison("=", col("region"), lit("US")))
+        )
+        scans = [n for n in plan.walk() if isinstance(n, Scan)]
+        assert scans and scans[0].pushed_filters
+
+    def test_column_pruning(self):
+        plan = optimize(Project(UnresolvedRelation("scan_t"), [col("id")]))
+        scans = [n for n in plan.walk() if isinstance(n, Scan)]
+        assert scans[0].required_columns == (0,)
+
+
+class TestSecureViewBarrier:
+    """The central security property of the optimizer (§3.4)."""
+
+    def _secure_plan(self):
+        # SecureView(Filter(region='US', Scan)) — a policy-injected shape.
+        inner = Filter(Scan(TREF), Comparison("=", col("region"), lit("US")))
+        return SecureView(inner, "c.s.t", owner="admin")
+
+    def test_safe_filter_crosses_barrier(self):
+        plan = Filter(
+            SecureView(UnresolvedRelation("scan_t"), "v"),
+            Comparison(">", col("id"), lit(0)),
+        )
+        optimized = optimize(plan)
+        names = node_types(optimized)
+        # The user's filter moved inside; no Filter remains above SecureView.
+        assert names[0] == "SecureView"
+
+    def test_udf_predicate_stays_above_barrier(self):
+        @udf("bool")
+        def sneaky(x):
+            return True
+
+        plan = Filter(SecureView(UnresolvedRelation("scan_t"), "v"), sneaky(col("id")))
+        optimized = optimize(analyzed_passthrough(plan))
+        names = node_types(optimized)
+        assert names[0] == "Filter", "user-code predicate must stay above SecureView"
+        assert names[1] == "SecureView"
+
+    def test_nondeterministic_predicate_stays_above_barrier(self):
+        @udf("bool", deterministic=False)
+        def flaky(x):
+            return True
+
+        plan = Filter(SecureView(UnresolvedRelation("scan_t"), "v"), flaky(col("id")))
+        optimized = optimize(analyzed_passthrough(plan))
+        assert node_types(optimized)[0] == "Filter"
+
+    def test_mixed_conjunct_stays_above(self):
+        """A conjunction containing user code must not cross either."""
+
+        @udf("bool")
+        def probe(x):
+            return True
+
+        condition = BooleanOp(
+            "AND", Comparison(">", col("id"), lit(0)), probe(col("id"))
+        )
+        plan = Filter(SecureView(UnresolvedRelation("scan_t"), "v"), condition)
+        optimized = optimize(analyzed_passthrough(plan))
+        assert node_types(optimized)[0] == "Filter"
+
+
+def analyzed_passthrough(plan):
+    """Helper for plans containing UDF calls (analysis handles them fine)."""
+    return plan
+
+
+class TestUDFFusion:
+    def _project_with_udfs(self, owners):
+        @udf("float")
+        def f(x):
+            return x
+
+        exprs = []
+        for i, owner in enumerate(owners):
+            call = f.with_owner(owner)(col("v"))
+            exprs.append(Alias(call, f"c{i}"))
+        return Project(UnresolvedRelation("t"), exprs)
+
+    def _fusion_groups(self, plan):
+        groups = set()
+        for node in plan.walk():
+            for expr in node.expressions():
+                for e in expr.walk():
+                    if isinstance(e, PythonUDFCall):
+                        groups.add(e.fusion_group)
+        return groups
+
+    def test_same_domain_fuses_into_one_group(self):
+        plan = optimize(self._project_with_udfs(["alice", "alice", "alice"]))
+        groups = self._fusion_groups(plan)
+        assert len(groups) == 1 and None not in groups
+
+    def test_trust_domains_break_fusion(self):
+        plan = optimize(self._project_with_udfs(["alice", "bob", "alice"]))
+        groups = self._fusion_groups(plan)
+        assert len(groups) == 2
+
+    def test_fusion_disabled(self):
+        config = OptimizerConfig(udf_fusion=False)
+        plan = optimize(self._project_with_udfs(["alice", "alice"]), config)
+        assert self._fusion_groups(plan) == {None}
+
+
+class TestProjectRules:
+    def test_collapse_simple_projects(self):
+        plan = optimize(
+            Project(
+                Project(UnresolvedRelation("t"), [col("id"), col("v")]),
+                [col("id")],
+            )
+        )
+        projects = [n for n in plan.walk() if isinstance(n, Project)]
+        assert len(projects) == 1
+
+    def test_push_filter_through_project(self):
+        plan = optimize(
+            Filter(
+                Project(UnresolvedRelation("t"), [Alias(col("id"), "x"), col("v")]),
+                Comparison(">", col("x"), lit(0)),
+            )
+        )
+        names = node_types(plan)
+        assert names.index("Project") < names.index("Filter") or "Filter" not in names
+
+
+class TestOptimizerEquivalence:
+    """Optimized and unoptimized plans must agree — on every config."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            OptimizerConfig(),
+            OptimizerConfig(constant_folding=False),
+            OptimizerConfig(filter_pushdown=False),
+            OptimizerConfig(column_pruning=False),
+            OptimizerConfig(collapse_projects=False),
+            OptimizerConfig(udf_fusion=False),
+        ],
+    )
+    def test_results_invariant_under_config(self, config):
+        resolver = DictResolver({"t": DATA})
+        engine = QueryEngine(resolver, optimizer_config=config)
+        plan = Project(
+            Filter(UnresolvedRelation("t"), Comparison(">", col("v"), lit(0.5))),
+            [col("id"), Alias(Arithmetic("*", col("v"), lit(10.0)), "v10")],
+        )
+        assert engine.execute(plan).rows() == [(1, 10.0), (2, 20.0)]

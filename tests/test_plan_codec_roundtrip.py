@@ -1,0 +1,131 @@
+"""Equivalence of expression encoding across the eFGAC boundary.
+
+The rewriter encodes *bound* engine expressions back into protocol form;
+the remote endpoint decodes and re-binds them. For any safe expression,
+evaluation before and after the round-trip must agree on every input.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan_codec import PlanDecoder, encode_expression
+from repro.engine.batch import ColumnBatch
+from repro.engine.expressions import (
+    Arithmetic,
+    BooleanOp,
+    CaseWhen,
+    Cast,
+    Comparison,
+    EvalContext,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    PythonUDFCall,
+    bind_expression,
+    col,
+    lit,
+)
+from repro.engine.types import FLOAT, INT, STRING, Field, Schema
+from repro.engine.udf import udf
+from repro.errors import ProtocolError
+
+SCHEMA = Schema((Field("a", INT), Field("s", STRING), Field("f", FLOAT)))
+BATCH = ColumnBatch.from_dict(
+    SCHEMA,
+    {
+        "a": [1, -2, None, 100],
+        "s": ["x", "yy", None, "x_z"],
+        "f": [0.5, None, -3.25, 2.0],
+    },
+)
+CTX = EvalContext(user="alice", groups=frozenset({"g1"}))
+
+
+def roundtrip(expr):
+    bound = bind_expression(expr, SCHEMA)
+    encoded = encode_expression(bound)
+    decoded = PlanDecoder("alice", lambda n: None).expression(encoded)
+    rebound = bind_expression(decoded, SCHEMA)
+    return bound, rebound
+
+
+def assert_equivalent(expr):
+    bound, rebound = roundtrip(expr)
+    assert bound.eval(BATCH, CTX) == rebound.eval(BATCH, CTX)
+
+
+class TestRoundTripEquivalence:
+    def test_arithmetic(self):
+        assert_equivalent(Arithmetic("+", col("a"), lit(10)))
+        assert_equivalent(Arithmetic("/", col("f"), lit(2.0)))
+
+    def test_comparison_and_boolean(self):
+        assert_equivalent(
+            BooleanOp(
+                "AND",
+                Comparison(">", col("a"), lit(0)),
+                Not(IsNull(col("f"))),
+            )
+        )
+
+    def test_in_and_like(self):
+        assert_equivalent(InList(col("s"), ("x", "yy"), negated=True))
+        assert_equivalent(Like(col("s"), "x%"))
+
+    def test_case_when(self):
+        assert_equivalent(
+            CaseWhen(
+                [(Comparison(">", col("a"), lit(0)), lit("pos"))], lit("other")
+            )
+        )
+
+    def test_cast(self):
+        assert_equivalent(Cast(col("a"), STRING))
+
+    def test_builtin_function(self):
+        assert_equivalent(FunctionCall("coalesce", (col("s"), lit("?"))))
+
+    def test_session_expressions(self):
+        from repro.engine.expressions import CurrentUser, IsAccountGroupMember
+
+        assert_equivalent(
+            BooleanOp(
+                "OR",
+                Comparison("=", CurrentUser(), lit("alice")),
+                IsAccountGroupMember("g1"),
+            )
+        )
+
+    def test_user_code_refuses_to_encode(self):
+        @udf("int")
+        def f(x):
+            return x
+
+        bound = bind_expression(f(col("a")), SCHEMA)
+        with pytest.raises(ProtocolError, match="user code"):
+            encode_expression(bound)
+
+    @given(
+        op=st.sampled_from(["+", "-", "*"]),
+        value=st.integers(-1000, 1000),
+        threshold=st.integers(-1000, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_arith_comparison(self, op, value, threshold):
+        expr = Comparison(
+            ">", Arithmetic(op, col("a"), lit(value)), lit(threshold)
+        )
+        assert_equivalent(expr)
+
+    @given(values=st.lists(st.text(max_size=4), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_random_in_lists(self, values):
+        assert_equivalent(InList(col("s"), tuple(values)))
+
+    @given(pattern=st.text(alphabet="ab%_x.", min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_like_patterns(self, pattern):
+        assert_equivalent(Like(col("s"), pattern))

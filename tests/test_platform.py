@@ -1,0 +1,245 @@
+"""Tests for compute types, the serverless gateway, and workload envs."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.connect.client import SparkConnectClient
+from repro.errors import ClusterAttachDenied, ConfigurationError, PermissionDenied
+from repro.platform import Workspace
+from repro.platform.serverless import ServerlessGateway
+from repro.platform.workload_env import (
+    WorkloadEnvironment,
+    WorkloadEnvironmentRegistry,
+    standard_environments,
+)
+
+
+class TestStandardCluster:
+    def test_any_known_user_attaches(self, workspace, standard_cluster):
+        standard_cluster.connect("alice")
+        standard_cluster.connect("bob")
+        assert {"alice", "bob"} <= standard_cluster.attached_users
+
+    def test_unknown_user_rejected(self, workspace, standard_cluster):
+        with pytest.raises(ClusterAttachDenied):
+            standard_cluster.connect("mallory")
+
+    def test_sessions_isolated_per_user(self, workspace, standard_cluster, admin_client):
+        """Residual state isolation (§2.5): temp views don't leak."""
+        alice = standard_cluster.connect("alice")
+        alice.table("main.sales.orders").create_temp_view("my_view")
+        carol = standard_cluster.connect("carol")
+        from repro.errors import LakeguardError
+
+        with pytest.raises(LakeguardError):
+            carol.table("my_view").collect()
+
+    def test_udfs_of_users_use_distinct_sandboxes(
+        self, workspace, standard_cluster, admin_client
+    ):
+        from repro.connect.client import col, udf
+
+        @udf("float")
+        def one(x):
+            return 1.0
+
+        admin_client.sql("GRANT SELECT ON main.sales.orders TO carol")
+        admin_client.sql("GRANT USE CATALOG ON main TO carol")
+        admin_client.sql("GRANT USE SCHEMA ON main.sales TO carol")
+        alice = standard_cluster.connect("alice")
+        carol = standard_cluster.connect("carol")
+        alice.table("main.sales.orders").select(one(col("amount"))).collect()
+        carol.table("main.sales.orders").select(one(col("amount"))).collect()
+        # Two sessions → at least two sandboxes, never shared.
+        assert standard_cluster.backend.cluster_manager.stats.created >= 2
+
+
+class TestDedicatedCluster:
+    def test_assigned_user_only(self, workspace):
+        ded = workspace.create_dedicated_cluster(assigned_user="alice")
+        ded.connect("alice")
+        with pytest.raises(ClusterAttachDenied):
+            ded.connect("bob")
+
+    def test_group_members_attach(self, workspace):
+        ded = workspace.create_dedicated_cluster(assigned_group="analysts", name="g")
+        ded.connect("alice")
+        ded.connect("carol")
+        with pytest.raises(ClusterAttachDenied):
+            ded.connect("bob")
+
+    def test_must_assign_exactly_one(self, workspace):
+        with pytest.raises(ClusterAttachDenied):
+            workspace.create_dedicated_cluster()
+        with pytest.raises(ClusterAttachDenied):
+            workspace.create_dedicated_cluster(
+                assigned_user="alice", assigned_group="analysts"
+            )
+
+    def test_group_down_scoping(self, workspace, standard_cluster, admin_client):
+        """§4.2: on a group cluster, personal grants beyond the group vanish."""
+        # alice personally gets MODIFY; the group only has SELECT.
+        admin_client.sql("GRANT MODIFY ON main.sales.orders TO alice")
+        ded = workspace.create_dedicated_cluster(assigned_group="analysts", name="g2")
+        alice = ded.connect("alice")
+        # Reads work (group right)…
+        assert len(alice.table("main.sales.orders").collect()) == 4
+        # …but the personal MODIFY is out of scope on this cluster.
+        with pytest.raises(PermissionDenied):
+            alice.sql("INSERT INTO main.sales.orders VALUES (9,'US',1.0,'x')")
+
+    def test_down_scoped_identity_still_audited(
+        self, workspace, standard_cluster, admin_client
+    ):
+        ded = workspace.create_dedicated_cluster(assigned_group="analysts", name="g3")
+        alice = ded.connect("alice")
+        alice.table("main.sales.orders").collect()
+        events = workspace.catalog.audit.events(principal="alice")
+        assert events, "original identity must appear in the audit log"
+
+
+class TestServerlessGateway:
+    def _workspace(self):
+        ws = Workspace(clock=VirtualClock())
+        ws.add_user("admin", admin=True)
+        for i in range(10):
+            ws.add_user(f"user{i}")
+        ws.catalog.create_catalog("m", owner="admin")
+        ws.catalog.create_schema("m.s", owner="admin")
+        return ws
+
+    def test_connections_share_clusters_until_target(self):
+        ws = self._workspace()
+        gateway = ServerlessGateway(
+            ws.catalog, clock=ws.clock, target_sessions_per_cluster=4
+        )
+        clients = [
+            SparkConnectClient(gateway.channel(), user=f"user{i}") for i in range(4)
+        ]
+        assert gateway.cluster_count() == 1
+        assert gateway.stats.provisioned == 1
+        assert gateway.stats.forwarded == 3
+
+    def test_scale_up_beyond_target(self):
+        ws = self._workspace()
+        gateway = ServerlessGateway(
+            ws.catalog, clock=ws.clock, target_sessions_per_cluster=2
+        )
+        for i in range(5):
+            SparkConnectClient(gateway.channel(), user=f"user{i}")
+        assert gateway.cluster_count() == 3
+
+    def test_sessions_route_consistently(self):
+        ws = self._workspace()
+        gateway = ServerlessGateway(ws.catalog, clock=ws.clock)
+        client = ws_client = SparkConnectClient(gateway.channel(), user="user0")
+        assert client.range(3).collect() == [(0,), (1,), (2,)]
+        assert client.range(2).collect() == [(0,), (1,)]
+
+    def test_scale_down_idle(self):
+        ws = self._workspace()
+        gateway = ServerlessGateway(
+            ws.catalog, clock=ws.clock, target_sessions_per_cluster=1
+        )
+        clients = [
+            SparkConnectClient(gateway.channel(), user=f"user{i}") for i in range(3)
+        ]
+        for c in clients:
+            c.close()
+        removed = gateway.scale_down_idle()
+        assert removed == 3
+        assert gateway.cluster_count() == 0
+
+    def test_provisioning_latency_charged(self):
+        ws = self._workspace()
+        gateway = ServerlessGateway(
+            ws.catalog, clock=ws.clock, provision_seconds=30.0
+        )
+        before = ws.clock.now()
+        SparkConnectClient(gateway.channel(), user="user0")
+        assert ws.clock.now() - before >= 30.0
+
+    def test_predictive_autoscale(self):
+        ws = self._workspace()
+        gateway = ServerlessGateway(
+            ws.catalog, clock=ws.clock, target_sessions_per_cluster=2
+        )
+        # Two ticks with 4 connections each → forecast ≈ 4.
+        for tick in range(2):
+            for i in range(4):
+                client = SparkConnectClient(gateway.channel(), user=f"user{i}")
+                client.close()
+            gateway.autoscale()
+        loads = gateway.cluster_loads()
+        spare = sum(2 - l for l in loads)
+        assert spare >= 4, f"forecasted capacity not pre-provisioned: {loads}"
+
+    def test_session_migration_is_transparent(self):
+        ws = self._workspace()
+        gateway = ServerlessGateway(
+            ws.catalog, clock=ws.clock, target_sessions_per_cluster=8
+        )
+        client = SparkConnectClient(gateway.channel(), user="user0")
+        client.set_config(flavor="blue")
+        target = gateway.migrate_session(client.session_id)
+        # Client keeps working with the same session id, state intact.
+        assert client.get_config("flavor") == {"flavor": "blue"}
+        assert client.range(2).collect() == [(0,), (1,)]
+        assert gateway.stats.migrations == 1
+
+    def test_capacity_limit(self):
+        ws = self._workspace()
+        gateway = ServerlessGateway(
+            ws.catalog, clock=ws.clock, max_clusters=1, target_sessions_per_cluster=1
+        )
+        SparkConnectClient(gateway.channel(), user="user0")
+        from repro.errors import LakeguardError
+
+        with pytest.raises(LakeguardError):
+            SparkConnectClient(gateway.channel(), user="user1")
+
+    def test_default_environment_pinned(self):
+        ws = self._workspace()
+        gateway = ServerlessGateway(ws.catalog, clock=ws.clock)
+        client = SparkConnectClient(gateway.channel(), user="user0")
+        env = client.get_config("workload_env")
+        assert env["workload_env"] == gateway.environments.default().version
+
+
+class TestWorkloadEnvironments:
+    def test_registry_default(self):
+        registry = standard_environments()
+        assert registry.default().version == "3.0"
+
+    def test_unknown_version(self):
+        with pytest.raises(ConfigurationError):
+            standard_environments().get("99.0")
+
+    def test_compatibility_rule(self):
+        env = WorkloadEnvironment("1.0", client_protocol_version=1, python_version="3.9")
+        assert env.is_compatible_with_server(4)
+        newer = WorkloadEnvironment("9.0", client_protocol_version=9, python_version="3.13")
+        assert not newer.is_compatible_with_server(4)
+
+    def test_resolve_for_session(self):
+        registry = standard_environments()
+        env = registry.resolve_for_session({"workload_env": "1.0"})
+        assert env.python_version == "3.9"
+        assert registry.resolve_for_session({}).version == "3.0"
+
+    def test_every_standard_env_is_server_compatible(self):
+        from repro.connect.proto import PROTOCOL_VERSION
+
+        registry = standard_environments()
+        for version in registry.versions():
+            assert registry.get(version).is_compatible_with_server(PROTOCOL_VERSION)
+
+    def test_old_env_client_executes_against_new_server(self, workspace, standard_cluster, admin_client):
+        """§6.3 versionless: a v1-protocol client runs unchanged."""
+        registry = standard_environments()
+        old_env = registry.get("1.0")
+        client = standard_cluster.connect(
+            "alice", client_version=old_env.client_protocol_version
+        )
+        rows = client.sql("SELECT count(*) AS n FROM main.sales.orders").collect()
+        assert rows == [(4,)]

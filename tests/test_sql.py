@@ -1,0 +1,303 @@
+"""Tests for the SQL front-end: lexer, parser, plan building, execution."""
+
+import pytest
+
+from repro.engine.analyzer import DictResolver
+from repro.engine.executor import QueryEngine
+from repro.engine.expressions import CaseWhen, Comparison, CurrentUser, Literal
+from repro.engine.logical import LocalRelation
+from repro.engine.types import FLOAT, INT, STRING, Field, Schema
+from repro.engine.udf import udf
+from repro.errors import ParseError
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_expression, parse_statement
+from repro.sql.to_plan import PlanBuilder
+
+SCHEMA = Schema(
+    (
+        Field("id", INT),
+        Field("dept", STRING),
+        Field("amount", FLOAT),
+        Field("region", STRING),
+    )
+)
+DATA = LocalRelation(
+    SCHEMA,
+    [
+        [1, 2, 3, 4, 5],
+        ["eng", "eng", "hr", "hr", "fin"],
+        [10.0, 20.0, 30.0, 40.0, None],
+        ["US", "EU", "US", "EU", "US"],
+    ],
+)
+
+
+@pytest.fixture
+def engine():
+    return QueryEngine(DictResolver({"sales": DATA}))
+
+
+def run(engine, sql, lookup=None):
+    stmt = parse_statement(sql)
+    plan = PlanBuilder(lookup).build(stmt)
+    return engine.execute(plan).rows()
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_string_escaping(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 0.125")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "0.125"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- comment\n 1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_backquoted_identifier(self):
+        tokens = tokenize("`weird name`")
+        assert tokens[0].value == "weird name"
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <> b <= c >= d != e")
+        ops = [t.value for t in tokens if t.kind == "OP"]
+        assert ops == ["!=", "<=", ">=", "!="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @")
+
+
+class TestExpressionParsing:
+    def test_precedence_arith_over_comparison(self):
+        expr = parse_expression("a + 1 > b * 2")
+        assert isinstance(expr, Comparison)
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+
+    def test_parenthesized(self):
+        expr = parse_expression("(a = 1 OR b = 2) AND c = 3")
+        assert expr.op == "AND"
+
+    def test_case_when(self):
+        expr = parse_expression("CASE WHEN x > 1 THEN 'a' ELSE 'b' END")
+        assert isinstance(expr, CaseWhen)
+
+    def test_unary_minus_literal(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, Literal) and expr.value == -5
+
+    def test_current_user(self):
+        assert isinstance(parse_expression("current_user()"), CurrentUser)
+
+    def test_in_list_requires_literals(self):
+        with pytest.raises(ParseError):
+            parse_expression("x IN (a, b)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra")
+
+    def test_is_not_null(self):
+        expr = parse_expression("x IS NOT NULL")
+        assert expr.negated
+
+    def test_not_in(self):
+        expr = parse_expression("x NOT IN (1, 2)")
+        assert expr.negated
+
+
+class TestStatementParsing:
+    def test_create_view_captures_query_text(self):
+        stmt = parse_statement("CREATE VIEW a.b.c AS SELECT 1 AS one")
+        assert isinstance(stmt, ast.CreateViewStatement)
+        assert stmt.query_sql == "SELECT 1 AS one"
+        assert not stmt.materialized
+
+    def test_create_materialized_view(self):
+        stmt = parse_statement("CREATE MATERIALIZED VIEW a.b.c AS SELECT 1 AS x")
+        assert stmt.materialized
+
+    def test_create_table(self):
+        stmt = parse_statement("CREATE TABLE a.b.t (id int, name string)")
+        assert stmt.columns == [("id", "int"), ("name", "string")]
+
+    def test_create_table_bad_type(self):
+        with pytest.raises(Exception):
+            parse_statement("CREATE TABLE a.b.t (id wibble)")
+
+    def test_insert_multi_row(self):
+        stmt = parse_statement("INSERT INTO a.b.t VALUES (1, 'x'), (2, 'y')")
+        assert stmt.rows == [[1, "x"], [2, "y"]]
+
+    def test_insert_negative_and_null(self):
+        stmt = parse_statement("INSERT INTO a.b.t VALUES (-3, NULL)")
+        assert stmt.rows == [[-3, None]]
+
+    def test_grant_two_word_privilege(self):
+        stmt = parse_statement("GRANT USE CATALOG ON main TO analysts")
+        assert stmt.privilege == "USE_CATALOG"
+
+    def test_revoke(self):
+        stmt = parse_statement("REVOKE SELECT ON a.b.t FROM bob")
+        assert isinstance(stmt, ast.RevokeStatement)
+
+    def test_row_filter_ddl(self):
+        stmt = parse_statement("ALTER TABLE a.b.t SET ROW FILTER (region = 'US')")
+        assert isinstance(stmt, ast.SetRowFilterStatement)
+
+    def test_drop_row_filter(self):
+        stmt = parse_statement("ALTER TABLE a.b.t DROP ROW FILTER")
+        assert isinstance(stmt, ast.DropRowFilterStatement)
+
+    def test_column_mask_ddl(self):
+        stmt = parse_statement(
+            "ALTER TABLE a.b.t ALTER COLUMN ssn SET MASK ('***')"
+        )
+        assert stmt.column == "ssn"
+
+    def test_drop_mask(self):
+        stmt = parse_statement("ALTER TABLE a.b.t ALTER COLUMN ssn DROP MASK")
+        assert isinstance(stmt, ast.DropColumnMaskStatement)
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("EXPLODE TABLE t")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 SELECT 2")
+
+
+class TestSQLExecution:
+    def test_projection_and_filter(self, engine):
+        rows = run(engine, "SELECT id FROM sales WHERE region = 'US' AND amount > 5")
+        assert rows == [(1,), (3,)]
+
+    def test_null_amount_excluded_by_comparison(self, engine):
+        rows = run(engine, "SELECT id FROM sales WHERE amount > 0")
+        assert (5,) not in rows
+
+    def test_is_null(self, engine):
+        rows = run(engine, "SELECT id FROM sales WHERE amount IS NULL")
+        assert rows == [(5,)]
+
+    def test_group_by_having_order(self, engine):
+        rows = run(
+            engine,
+            "SELECT dept, sum(amount) AS total FROM sales "
+            "GROUP BY dept HAVING sum(amount) > 20 ORDER BY total DESC",
+        )
+        assert rows == [("hr", 70.0), ("eng", 30.0)]
+
+    def test_having_without_aggregate_on_output(self, engine):
+        rows = run(
+            engine,
+            "SELECT dept, count(*) AS n FROM sales GROUP BY dept HAVING dept = 'fin'",
+        )
+        assert rows == [("fin", 1)]
+
+    def test_order_by_alias(self, engine):
+        rows = run(engine, "SELECT id, amount * 2 AS d FROM sales WHERE amount IS NOT NULL ORDER BY d DESC LIMIT 2")
+        assert rows == [(4, 80.0), (3, 60.0)]
+
+    def test_limit_offset(self, engine):
+        rows = run(engine, "SELECT id FROM sales ORDER BY id LIMIT 2 OFFSET 2")
+        assert rows == [(3,), (4,)]
+
+    def test_distinct(self, engine):
+        rows = run(engine, "SELECT DISTINCT region FROM sales ORDER BY region")
+        assert rows == [("EU",), ("US",)]
+
+    def test_union_all(self, engine):
+        rows = run(
+            engine,
+            "SELECT id FROM sales WHERE id = 1 UNION ALL SELECT id FROM sales WHERE id = 2",
+        )
+        assert sorted(rows) == [(1,), (2,)]
+
+    def test_self_join_with_alias(self, engine):
+        rows = run(
+            engine,
+            "SELECT a.id, b.id FROM sales a JOIN sales b "
+            "ON a.dept = b.dept AND a.id < b.id",
+        )
+        assert sorted(rows) == [(1, 2), (3, 4)]
+
+    def test_subquery_in_from(self, engine):
+        rows = run(
+            engine,
+            "SELECT t.dept FROM (SELECT dept, sum(amount) AS s FROM sales GROUP BY dept) t "
+            "WHERE t.s > 50",
+        )
+        assert rows == [("hr",)]
+
+    def test_left_join(self, engine):
+        rows = run(
+            engine,
+            "SELECT a.id, b.id FROM sales a LEFT JOIN sales b "
+            "ON a.id = b.id AND b.region = 'US'",
+        )
+        assert len(rows) == 5
+        matched = [r for r in rows if r[1] is not None]
+        assert len(matched) == 3
+
+    def test_select_without_from(self, engine):
+        assert run(engine, "SELECT 1 + 2 AS three") == [(3,)]
+
+    def test_case_expression(self, engine):
+        rows = run(
+            engine,
+            "SELECT id, CASE WHEN amount > 25 THEN 'hi' WHEN amount > 15 THEN 'mid' "
+            "ELSE 'lo' END AS bucket FROM sales WHERE amount IS NOT NULL ORDER BY id",
+        )
+        assert [r[1] for r in rows] == ["lo", "mid", "hi", "hi"]
+
+    def test_cast(self, engine):
+        rows = run(engine, "SELECT CAST(id AS string) AS s FROM sales LIMIT 1")
+        assert rows == [("1",)]
+
+    def test_builtin_function(self, engine):
+        rows = run(engine, "SELECT upper(dept) AS d FROM sales WHERE id = 1")
+        assert rows == [("ENG",)]
+
+    def test_udf_via_lookup(self, engine):
+        @udf("float")
+        def vat(x):
+            return None if x is None else x * 1.2
+
+        rows = run(
+            engine,
+            "SELECT vat(amount) AS with_vat FROM sales WHERE id = 1",
+            lookup=lambda name: vat if name == "vat" else None,
+        )
+        assert rows == [(12.0,)]
+
+    def test_unknown_function_raises(self, engine):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="unknown function"):
+            run(engine, "SELECT nope(amount) FROM sales")
+
+    def test_count_distinct(self, engine):
+        rows = run(engine, "SELECT count(DISTINCT region) AS r FROM sales")
+        assert rows == [(2,)]
+
+    def test_having_requires_aggregate_context(self, engine):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="HAVING"):
+            run(engine, "SELECT id FROM sales HAVING id > 1")

@@ -1,0 +1,199 @@
+"""Tests for the extended SQL surface: CTAS, DROP, SHOW GRANTS, DESCRIBE,
+and the queryable audit system table."""
+
+import pytest
+
+from repro.errors import AnalysisError, ParseError, PermissionDenied, SecurableNotFound
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement
+
+
+class TestParsing:
+    def test_ctas(self):
+        stmt = parse_statement("CREATE TABLE a.b.t AS SELECT 1 AS one")
+        assert isinstance(stmt, ast.CreateTableAsSelectStatement)
+        assert stmt.query_sql == "SELECT 1 AS one"
+
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE a.b.t")
+        assert stmt.kind == "TABLE"
+
+    def test_drop_view(self):
+        stmt = parse_statement("DROP VIEW a.b.v")
+        assert stmt.kind == "VIEW"
+
+    def test_drop_other_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("DROP FUNCTION a.b.f")
+
+    def test_show_grants(self):
+        stmt = parse_statement("SHOW GRANTS ON a.b.t")
+        assert stmt.securable == "a.b.t"
+
+    def test_describe(self):
+        stmt = parse_statement("DESCRIBE a.b.t")
+        assert stmt.name == "a.b.t"
+        stmt = parse_statement("DESCRIBE TABLE a.b.t")
+        assert stmt.name == "a.b.t"
+
+
+class TestCTAS:
+    def test_ctas_materializes_query(self, workspace, standard_cluster, admin_client):
+        result = admin_client.sql(
+            "CREATE TABLE main.sales.us_orders AS "
+            "SELECT id, amount FROM main.sales.orders WHERE region = 'US'"
+        )
+        assert result["rows"] == 2
+        rows = admin_client.table("main.sales.us_orders").collect()
+        assert sorted(rows) == [(1, 10.0), (3, 30.0)]
+
+    def test_ctas_result_is_governed(self, workspace, standard_cluster, admin_client):
+        admin_client.sql(
+            "CREATE TABLE main.sales.derived AS SELECT id FROM main.sales.orders"
+        )
+        alice = standard_cluster.connect("alice")
+        with pytest.raises(PermissionDenied):
+            alice.table("main.sales.derived").collect()
+
+    def test_ctas_snapshot_semantics(self, workspace, standard_cluster, admin_client):
+        admin_client.sql(
+            "CREATE TABLE main.sales.snap AS SELECT count(*) AS n FROM main.sales.orders"
+        )
+        admin_client.sql("INSERT INTO main.sales.orders VALUES (6,'US',1.0,'x')")
+        assert admin_client.table("main.sales.snap").collect() == [(4,)]
+
+    def test_ctas_requires_create_privilege(self, workspace, standard_cluster, admin_client):
+        alice = standard_cluster.connect("alice")
+        with pytest.raises(PermissionDenied):
+            alice.sql(
+                "CREATE TABLE main.sales.by_alice AS SELECT id FROM main.sales.orders"
+            )
+
+    def test_ctas_applies_callers_row_filter(self, workspace, standard_cluster, admin_client):
+        """A CTAS by a filtered user copies only what that user can see."""
+        admin_client.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
+        admin_client.sql("GRANT CREATE_TABLE ON main.sales TO analysts")
+        alice = standard_cluster.connect("alice")
+        alice.sql(
+            "CREATE TABLE main.sales.alice_copy AS SELECT * FROM main.sales.orders"
+        )
+        # alice owns the copy: she sees exactly her 2 visible rows.
+        assert len(alice.table("main.sales.alice_copy").collect()) == 2
+
+
+class TestDrop:
+    def test_drop_table(self, workspace, standard_cluster, admin_client):
+        admin_client.sql("DROP TABLE main.sales.orders")
+        assert not workspace.catalog.object_exists("main.sales.orders")
+
+    def test_drop_requires_ownership(self, workspace, standard_cluster, admin_client):
+        alice = standard_cluster.connect("alice")
+        with pytest.raises(PermissionDenied):
+            alice.sql("DROP TABLE main.sales.orders")
+
+    def test_drop_view_kind_checked(self, workspace, standard_cluster, admin_client):
+        with pytest.raises(AnalysisError):
+            admin_client.sql("DROP VIEW main.sales.orders")
+
+    def test_drop_removes_policies(self, workspace, standard_cluster, admin_client):
+        admin_client.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
+        admin_client.sql("DROP TABLE main.sales.orders")
+        assert not workspace.catalog.has_policies("main.sales.orders")
+
+
+class TestShowGrantsAndDescribe:
+    def test_show_grants(self, workspace, standard_cluster, admin_client):
+        payload = admin_client.sql("SHOW GRANTS ON main.sales.orders")
+        grants = payload["grants"]
+        assert {"principal": "analysts", "privilege": "SELECT"} in grants
+
+    def test_show_grants_requires_manage(self, workspace, standard_cluster, admin_client):
+        alice = standard_cluster.connect("alice")
+        with pytest.raises(PermissionDenied):
+            alice.sql("SHOW GRANTS ON main.sales.orders")
+
+    def test_describe_columns(self, workspace, standard_cluster, admin_client):
+        admin_client.sql(
+            "ALTER TABLE main.sales.orders ALTER COLUMN buyer SET MASK ('x')"
+        )
+        workspace.catalog.tags.tag_column("main.sales.orders", "buyer", "pii")
+        payload = admin_client.sql("DESCRIBE main.sales.orders")
+        by_name = {c["name"]: c for c in payload["columns"]}
+        assert by_name["buyer"]["masked"] is True
+        assert by_name["buyer"]["tags"] == ["pii"]
+        assert by_name["id"]["type"] == "int"
+        assert payload["row_filter"] is False
+
+    def test_describe_requires_select(self, workspace, standard_cluster, admin_client):
+        bob = standard_cluster.connect("bob")
+        with pytest.raises(PermissionDenied):
+            bob.sql("DESCRIBE main.sales.orders")
+
+
+class TestAuditSystemTable:
+    def test_admin_queries_audit_log(self, workspace, standard_cluster, admin_client, alice_client):
+        alice_client.table("main.sales.orders").collect()
+        rows = admin_client.sql(
+            "SELECT principal, action FROM system.access.audit "
+            "WHERE principal = 'alice'"
+        ).collect()
+        assert rows, "alice's accesses must be queryable"
+        actions = {r[1] for r in rows}
+        assert any(a.startswith("catalog.") for a in actions)
+
+    def test_audit_aggregation(self, workspace, standard_cluster, admin_client, alice_client):
+        alice_client.table("main.sales.orders").collect()
+        rows = admin_client.sql(
+            "SELECT principal, count(*) AS n FROM system.access.audit "
+            "GROUP BY principal ORDER BY n DESC"
+        ).collect()
+        assert rows
+
+    def test_non_admin_denied(self, workspace, standard_cluster, admin_client):
+        alice = standard_cluster.connect("alice")
+        with pytest.raises(PermissionDenied):
+            alice.sql("SELECT * FROM system.access.audit").collect()
+
+    def test_denials_visible_in_audit(self, workspace, standard_cluster, admin_client):
+        bob = standard_cluster.connect("bob")
+        with pytest.raises(PermissionDenied):
+            bob.table("main.sales.orders").collect()
+        rows = admin_client.sql(
+            "SELECT principal FROM system.access.audit WHERE allowed = false"
+        ).collect()
+        assert ("bob",) in rows
+
+
+class TestSandboxEnvironments:
+    def test_sessions_with_different_envs_get_different_sandboxes(
+        self, workspace, standard_cluster, admin_client
+    ):
+        from repro.connect.client import col, udf
+
+        @udf("float")
+        def one(x):
+            return 1.0
+
+        a1 = standard_cluster.connect("alice", config={"workload_env": "1.0"})
+        a2 = standard_cluster.connect("alice", config={"workload_env": "2.0"})
+        a1.table("main.sales.orders").select(one(col("amount"))).collect()
+        a2.table("main.sales.orders").select(one(col("amount"))).collect()
+        envs = {
+            getattr(s, "environment", None)
+            for s in standard_cluster.backend.cluster_manager.active_sandboxes()
+        }
+        assert {"1.0", "2.0"} <= envs
+
+    def test_same_session_same_env_reuses(self, workspace, standard_cluster, admin_client):
+        from repro.connect.client import col, udf
+
+        @udf("float")
+        def one(x):
+            return 1.0
+
+        client = standard_cluster.connect("alice", config={"workload_env": "3.0"})
+        client.table("main.sales.orders").select(one(col("amount"))).collect()
+        client.table("main.sales.orders").select(one(col("amount"))).collect()
+        stats = standard_cluster.backend.dispatcher.stats
+        assert stats.cold_starts == 1
+        assert stats.warm_acquisitions >= 1

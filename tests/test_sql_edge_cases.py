@@ -1,0 +1,195 @@
+"""Edge-case SQL coverage: nesting, grouping expressions, empty inputs,
+duplicate names, NULL-heavy data."""
+
+import pytest
+
+from repro.engine.analyzer import DictResolver
+from repro.engine.executor import QueryEngine
+from repro.engine.logical import LocalRelation
+from repro.engine.types import FLOAT, INT, STRING, Field, Schema
+from repro.errors import AnalysisError
+from repro.sql.parser import parse_statement
+from repro.sql.to_plan import PlanBuilder
+
+SCHEMA = Schema(
+    (Field("id", INT), Field("grp", STRING), Field("v", FLOAT))
+)
+DATA = LocalRelation(
+    SCHEMA,
+    [
+        [1, 2, 3, 4, 5, 6],
+        ["a", "a", "b", "b", None, None],
+        [1.0, None, 3.0, 4.0, 5.0, None],
+    ],
+)
+EMPTY = LocalRelation(SCHEMA, [[], [], []])
+
+
+@pytest.fixture
+def engine():
+    return QueryEngine(DictResolver({"t": DATA, "e": EMPTY}))
+
+
+def run(engine, sql):
+    return engine.execute(PlanBuilder().build(parse_statement(sql))).rows()
+
+
+class TestNesting:
+    def test_three_level_subqueries(self, engine):
+        rows = run(
+            engine,
+            "SELECT q.grp FROM ("
+            "  SELECT p.grp, p.total FROM ("
+            "    SELECT grp, sum(v) AS total FROM t GROUP BY grp"
+            "  ) p WHERE p.total > 0"
+            ") q ORDER BY q.grp",
+        )
+        # NULL group has total 5.0; 'a'=1.0; 'b'=7.0 — all > 0.
+        assert len(rows) == 3
+
+    def test_union_inside_subquery(self, engine):
+        rows = run(
+            engine,
+            "SELECT count(*) AS n FROM ("
+            "  SELECT id FROM t WHERE id < 3 UNION ALL SELECT id FROM t WHERE id > 4"
+            ") u",
+        )
+        assert rows == [(4,)]
+
+    def test_join_of_subqueries(self, engine):
+        rows = run(
+            engine,
+            "SELECT a.grp, b.grp FROM "
+            "(SELECT DISTINCT grp FROM t WHERE grp IS NOT NULL) a "
+            "JOIN (SELECT DISTINCT grp FROM t WHERE grp IS NOT NULL) b "
+            "ON a.grp = b.grp",
+        )
+        assert sorted(rows) == [("a", "a"), ("b", "b")]
+
+
+class TestGrouping:
+    def test_group_by_expression(self, engine):
+        rows = run(
+            engine,
+            "SELECT id % 2 AS parity, count(*) AS n FROM t GROUP BY id % 2 "
+            "ORDER BY parity",
+        )
+        assert rows == [(0, 3), (1, 3)]
+
+    def test_null_group_key_is_a_group(self, engine):
+        rows = run(engine, "SELECT grp, count(*) AS n FROM t GROUP BY grp")
+        groups = {r[0]: r[1] for r in rows}
+        assert groups == {"a": 2, "b": 2, None: 2}
+
+    def test_aggregate_of_expression(self, engine):
+        rows = run(engine, "SELECT sum(v * 2) AS s FROM t")
+        assert rows == [(26.0,)]
+
+    def test_multiple_group_keys(self, engine):
+        rows = run(
+            engine,
+            "SELECT grp, id % 2 AS parity, count(*) AS n FROM t "
+            "GROUP BY grp, id % 2",
+        )
+        assert len(rows) == 6  # every (grp, parity) combination present
+
+    def test_having_on_group_key(self, engine):
+        rows = run(
+            engine,
+            "SELECT grp, count(*) AS n FROM t GROUP BY grp HAVING grp IS NOT NULL",
+        )
+        assert len(rows) == 2
+
+
+class TestEmptyInputs:
+    def test_scan_empty(self, engine):
+        assert run(engine, "SELECT * FROM e") == []
+
+    def test_aggregate_empty_global(self, engine):
+        assert run(engine, "SELECT count(*) AS n, sum(v) AS s FROM e") == [(0, None)]
+
+    def test_aggregate_empty_grouped(self, engine):
+        assert run(engine, "SELECT grp, count(*) AS n FROM e GROUP BY grp") == []
+
+    def test_join_with_empty(self, engine):
+        rows = run(
+            engine,
+            "SELECT t.id FROM t JOIN e ON t.id = e.id",
+        )
+        assert rows == []
+
+    def test_left_join_with_empty_right(self, engine):
+        rows = run(engine, "SELECT t.id, e.id FROM t LEFT JOIN e ON t.id = e.id")
+        assert len(rows) == 6
+        assert all(r[1] is None for r in rows)
+
+    def test_union_with_empty(self, engine):
+        rows = run(engine, "SELECT id FROM t UNION ALL SELECT id FROM e")
+        assert len(rows) == 6
+
+
+class TestDuplicateNames:
+    def test_self_join_requires_aliases(self, engine):
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            run(engine, "SELECT id FROM t a JOIN t b ON a.id = b.id")
+
+    def test_duplicate_output_names_allowed(self, engine):
+        rows = run(engine, "SELECT id AS x, v AS x FROM t LIMIT 1")
+        assert rows == [(1, 1.0)]
+
+
+class TestNullSemantics:
+    def test_where_null_comparison_excludes(self, engine):
+        # v = NULL is never true.
+        assert run(engine, "SELECT id FROM t WHERE v = NULL") == []
+
+    def test_coalesce_in_grouping(self, engine):
+        rows = run(
+            engine,
+            "SELECT coalesce(grp, 'unknown') AS g, count(*) AS n "
+            "FROM t GROUP BY coalesce(grp, 'unknown') ORDER BY g",
+        )
+        assert rows == [("a", 2), ("b", 2), ("unknown", 2)]
+
+    def test_sum_all_null_group(self, engine):
+        rows = run(
+            engine,
+            "SELECT grp, sum(v) AS s FROM t WHERE id = 6 GROUP BY grp",
+        )
+        assert rows == [(None, None)]
+
+    def test_order_by_with_nulls_last(self, engine):
+        rows = run(engine, "SELECT v FROM t ORDER BY v ASC NULLS LAST")
+        values = [r[0] for r in rows]
+        assert values[-2:] == [None, None]
+        assert values[:4] == [1.0, 3.0, 4.0, 5.0]
+
+
+class TestJoinPathEquivalence:
+    """The hash fast path and the nested-loop path must agree."""
+
+    def test_equi_join_same_as_loop_join(self, engine):
+        hash_rows = run(
+            engine,
+            "SELECT a.id, b.id FROM t a JOIN t b ON a.grp = b.grp",
+        )
+        # Force the nested-loop path with a not-quite-equi condition that is
+        # semantically identical (grp = grp AND TRUE-like inequality trick).
+        loop_rows = run(
+            engine,
+            "SELECT a.id, b.id FROM t a JOIN t b "
+            "ON a.grp = b.grp AND a.id + b.id > -999",
+        )
+        assert sorted(hash_rows) == sorted(loop_rows)
+
+    def test_semi_join_equals_in_filter(self, engine):
+        semi = run(
+            engine,
+            "SELECT a.id FROM t a SEMI JOIN t b ON a.grp = b.grp AND b.v > 3.0",
+        )
+        manual = run(
+            engine,
+            "SELECT DISTINCT a.id FROM t a JOIN t b "
+            "ON a.grp = b.grp AND b.v > 3.0",
+        )
+        assert sorted(semi) == sorted(manual)

@@ -1,0 +1,216 @@
+"""Tests for the object store, credentials, and table format."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.errors import CredentialError, StorageAccessDenied, StorageError
+from repro.storage import (
+    CredentialVendor,
+    InstanceProfileCredential,
+    LakeTableStorage,
+    ObjectStore,
+)
+from repro.storage.credentials import LIST, READ, WRITE
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def vendor(clock):
+    return CredentialVendor(clock=clock, ttl_seconds=60.0)
+
+
+@pytest.fixture
+def store(clock):
+    return ObjectStore(clock=clock)
+
+
+@pytest.fixture
+def root_cred(vendor):
+    return vendor.issue("root", ["s3://"], {READ, WRITE, LIST, "DELETE"})
+
+
+class TestCredentials:
+    def test_scoped_to_prefix(self, vendor, clock):
+        cred = vendor.issue("alice", ["s3://bucket/tableA"], {READ})
+        assert cred.authorizes("s3://bucket/tableA/file1", READ, clock.now())
+        assert not cred.authorizes("s3://bucket/tableB/file1", READ, clock.now())
+
+    def test_scoped_to_operations(self, vendor, clock):
+        cred = vendor.issue("alice", ["s3://b/t"], {READ})
+        assert not cred.authorizes("s3://b/t/f", WRITE, clock.now())
+
+    def test_expiry(self, vendor, clock):
+        cred = vendor.issue("alice", ["s3://b/t"], {READ})
+        clock.advance(61.0)
+        assert not cred.authorizes("s3://b/t/f", READ, clock.now())
+        assert cred.is_expired(clock.now())
+
+    def test_identity_embedded(self, vendor):
+        cred = vendor.issue("alice", ["s3://b/t"], {READ})
+        assert cred.identity == "alice"
+
+    def test_validate_live(self, vendor):
+        cred = vendor.issue("alice", ["s3://b/t"], {READ})
+        vendor.validate(cred)  # no raise
+
+    def test_validate_revoked(self, vendor):
+        cred = vendor.issue("alice", ["s3://b/t"], {READ})
+        vendor.revoke(cred.token)
+        with pytest.raises(CredentialError):
+            vendor.validate(cred)
+
+    def test_validate_expired(self, vendor, clock):
+        cred = vendor.issue("alice", ["s3://b/t"], {READ})
+        clock.advance(120.0)
+        with pytest.raises(CredentialError):
+            vendor.validate(cred)
+
+    def test_revoke_identity(self, vendor):
+        vendor.issue("alice", ["s3://a"], {READ})
+        vendor.issue("alice", ["s3://b"], {READ})
+        vendor.issue("bob", ["s3://c"], {READ})
+        assert vendor.revoke_identity("alice") == 2
+        assert len(vendor.live_credentials()) == 1
+
+    def test_unknown_operation_rejected(self, vendor):
+        with pytest.raises(CredentialError):
+            vendor.issue("alice", ["s3://b"], {"FLY"})
+
+    def test_empty_prefixes_rejected(self, vendor):
+        with pytest.raises(CredentialError):
+            vendor.issue("alice", [], {READ})
+
+    def test_issued_count(self, vendor):
+        vendor.issue("a", ["s3://x"], {READ})
+        vendor.issue("b", ["s3://y"], {READ})
+        assert vendor.issued_count == 2
+
+    def test_instance_profile_has_no_user(self):
+        profile = InstanceProfileCredential("t", "cluster-1", ("s3://data",))
+        assert profile.identity == "<cluster>"
+        assert profile.authorizes("s3://data/f", READ, now=0.0)
+        assert not profile.authorizes("s3://other/f", READ, now=0.0)
+
+
+class TestObjectStore:
+    def test_put_get_roundtrip(self, store, root_cred):
+        store.put("s3://b/k", b"hello", root_cred)
+        assert store.get("s3://b/k", root_cred) == b"hello"
+
+    def test_get_missing_raises(self, store, root_cred):
+        with pytest.raises(StorageError):
+            store.get("s3://b/missing", root_cred)
+
+    def test_denied_outside_scope(self, store, vendor, root_cred):
+        store.put("s3://secret/k", b"x", root_cred)
+        narrow = vendor.issue("alice", ["s3://public"], {READ})
+        with pytest.raises(StorageAccessDenied):
+            store.get("s3://secret/k", narrow)
+        assert store.stats.denied_ops == 1
+
+    def test_object_level_granularity(self, store, root_cred, vendor):
+        """There is no partial-object authorization: all bytes or none."""
+        store.put("s3://d/file", b"A" * 100, root_cred)
+        reader = vendor.issue("alice", ["s3://d"], {READ})
+        data = store.get("s3://d/file", reader)
+        assert len(data) == 100  # the full object, always
+
+    def test_list_prefix(self, store, root_cred):
+        store.put("s3://b/t/1", b"x", root_cred)
+        store.put("s3://b/t/2", b"y", root_cred)
+        store.put("s3://b/u/3", b"z", root_cred)
+        assert store.list("s3://b/t/", root_cred) == ["s3://b/t/1", "s3://b/t/2"]
+
+    def test_delete(self, store, root_cred):
+        store.put("s3://b/k", b"x", root_cred)
+        store.delete("s3://b/k", root_cred)
+        assert not store.exists("s3://b/k", root_cred)
+
+    def test_stats_track_bytes(self, store, root_cred):
+        store.put("s3://b/k", b"12345", root_cred)
+        store.get("s3://b/k", root_cred)
+        assert store.stats.bytes_written == 5
+        assert store.stats.bytes_read == 5
+
+    def test_total_bytes_accounting(self, store, root_cred):
+        store.put("s3://b/a", b"123", root_cred)
+        store.put("s3://b/b", b"4567", root_cred)
+        assert store.total_bytes("s3://b") == 7
+        assert store.object_count("s3://b") == 2
+
+    def test_put_requires_bytes(self, store, root_cred):
+        with pytest.raises(StorageError):
+            store.put("s3://b/k", "not-bytes", root_cred)
+
+
+class TestLakeTableStorage:
+    @pytest.fixture
+    def table(self, store, root_cred):
+        t = LakeTableStorage(store, "s3://wh/t1")
+        t.create(["id", "v"], root_cred)
+        return t
+
+    def test_create_starts_at_version_zero(self, table, root_cred):
+        assert table.latest_version(root_cred) == 0
+        snap = table.snapshot(root_cred)
+        assert snap.num_rows == 0
+        assert snap.column_names == ("id", "v")
+
+    def test_double_create_rejected(self, table, root_cred):
+        with pytest.raises(StorageError):
+            table.create(["id"], root_cred)
+
+    def test_append_advances_version(self, table, root_cred):
+        snap = table.append({"id": [1, 2], "v": ["a", "b"]}, root_cred)
+        assert snap.version == 1
+        assert snap.num_rows == 2
+
+    def test_multiple_appends_accumulate(self, table, root_cred):
+        table.append({"id": [1], "v": ["a"]}, root_cred)
+        table.append({"id": [2], "v": ["b"]}, root_cred)
+        data = table.read_all(root_cred)
+        assert data == {"id": [1, 2], "v": ["a", "b"]}
+
+    def test_overwrite_replaces(self, table, root_cred):
+        table.append({"id": [1], "v": ["a"]}, root_cred)
+        table.overwrite({"id": [9], "v": ["z"]}, root_cred)
+        assert table.read_all(root_cred) == {"id": [9], "v": ["z"]}
+
+    def test_time_travel(self, table, root_cred):
+        table.append({"id": [1], "v": ["a"]}, root_cred)
+        table.overwrite({"id": [9], "v": ["z"]}, root_cred)
+        old = table.read_all(root_cred, version=1)
+        assert old == {"id": [1], "v": ["a"]}
+
+    def test_snapshot_out_of_range(self, table, root_cred):
+        with pytest.raises(StorageError):
+            table.snapshot(root_cred, version=99)
+
+    def test_column_mismatch_rejected(self, table, root_cred):
+        with pytest.raises(StorageError):
+            table.append({"wrong": [1], "v": ["a"]}, root_cred)
+
+    def test_ragged_columns_rejected(self, table, root_cred):
+        with pytest.raises(StorageError):
+            table.append({"id": [1, 2], "v": ["a"]}, root_cred)
+
+    def test_missing_table(self, store, root_cred):
+        ghost = LakeTableStorage(store, "s3://wh/ghost")
+        with pytest.raises(StorageError):
+            ghost.snapshot(root_cred)
+        assert ghost.latest_version(root_cred) == -1
+
+    def test_reader_needs_read_and_list(self, table, store, vendor, root_cred):
+        table.append({"id": [1], "v": ["a"]}, root_cred)
+        # LIST alone cannot even resolve a snapshot (the log must be read).
+        listonly = vendor.issue("alice", ["s3://wh/t1"], {LIST})
+        with pytest.raises(StorageAccessDenied):
+            table.snapshot(listonly)
+        # READ+LIST suffices for the whole read path.
+        reader = vendor.issue("alice", ["s3://wh/t1"], {READ, LIST})
+        snap = table.snapshot(reader)
+        assert table.read_file(snap.files[0], reader) == {"id": [1], "v": ["a"]}

@@ -1,0 +1,180 @@
+"""Tests for session-temporary UDF registration and builtin functions."""
+
+import pytest
+
+from repro.connect.client import udf
+from repro.engine.analyzer import DictResolver
+from repro.engine.executor import QueryEngine
+from repro.engine.logical import LocalRelation
+from repro.engine.types import FLOAT, INT, STRING, Field, Schema
+from repro.sql.parser import parse_statement
+from repro.sql.to_plan import PlanBuilder
+
+
+class TestSessionUDFRegistration:
+    def test_registered_udf_callable_from_sql(self, workspace, standard_cluster, admin_client):
+        @udf("float")
+        def with_tax(amount):
+            return amount * 1.19
+
+        alice = standard_cluster.connect("alice")
+        alice.register_udf(with_tax)
+        rows = alice.sql(
+            "SELECT with_tax(amount) AS gross FROM main.sales.orders WHERE id = 1"
+        ).collect()
+        assert rows[0][0] == pytest.approx(11.9)
+
+    def test_registered_udf_runs_in_sandbox(self, workspace, standard_cluster, admin_client):
+        @udf("int")
+        def one(x):
+            return 1
+
+        alice = standard_cluster.connect("alice")
+        alice.register_udf(one)
+        alice.sql("SELECT one(id) AS o FROM main.sales.orders").collect()
+        assert standard_cluster.backend.cluster_manager.stats.created >= 1
+
+    def test_registration_is_session_scoped(self, workspace, standard_cluster, admin_client):
+        @udf("int")
+        def secret_fn(x):
+            return 42
+
+        alice = standard_cluster.connect("alice")
+        alice.register_udf(secret_fn)
+        carol = standard_cluster.connect("carol")
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="unknown function"):
+            carol.sql("SELECT secret_fn(id) AS s FROM main.sales.orders").collect()
+
+    def test_registered_udf_has_callers_trust_domain(
+        self, workspace, standard_cluster, admin_client
+    ):
+        @udf("int")
+        def f(x):
+            return x
+
+        alice = standard_cluster.connect("alice")
+        alice.register_udf(f)
+        alice.sql("SELECT f(id) AS v FROM main.sales.orders").collect()
+        sandboxes = standard_cluster.backend.cluster_manager.active_sandboxes()
+        assert any(s.trust_domain == "alice" for s in sandboxes)
+
+    def test_garbage_blob_rejected(self, workspace, standard_cluster, admin_client):
+        from repro.connect import proto
+        from repro.errors import ProtocolError
+
+        alice = standard_cluster.connect("alice")
+        with pytest.raises(ProtocolError, match="undeserializable"):
+            alice.execute_command(
+                proto.register_function_command("evil", "int", b"garbage")
+            )
+
+
+SCHEMA = Schema((Field("i", INT), Field("f", FLOAT), Field("s", STRING)))
+DATA = LocalRelation(
+    SCHEMA, [[-3, 7, None], [2.25, -1.5, None], [" pad ", "text", None]]
+)
+
+
+@pytest.fixture
+def engine():
+    return QueryEngine(DictResolver({"t": DATA}))
+
+
+def one_row(engine, expr_sql):
+    rows = engine.execute(
+        PlanBuilder().build(parse_statement(f"SELECT {expr_sql} AS x FROM t LIMIT 1"))
+    ).rows()
+    return rows[0][0]
+
+
+class TestBuiltinFunctions:
+    def test_abs(self, engine):
+        assert one_row(engine, "abs(i)") == 3
+
+    def test_floor_ceil(self, engine):
+        assert one_row(engine, "floor(f)") == 2
+        assert one_row(engine, "ceil(f)") == 3
+
+    def test_sqrt(self, engine):
+        assert one_row(engine, "sqrt(4.0)") == 2.0
+
+    def test_sqrt_negative_is_null(self, engine):
+        assert one_row(engine, "sqrt(-1.0)") is None
+
+    def test_round(self, engine):
+        assert one_row(engine, "round(2.25, 1)") == 2.2  # banker's rounding
+
+    def test_trim(self, engine):
+        assert one_row(engine, "trim(s)") == "pad"
+
+    def test_replace(self, engine):
+        assert one_row(engine, "replace('axbxc', 'x', '-')") == "a-b-c"
+
+    def test_startswith_endswith_contains(self, engine):
+        assert one_row(engine, "startswith('hello', 'he')") is True
+        assert one_row(engine, "endswith('hello', 'lo')") is True
+        assert one_row(engine, "contains('hello', 'ell')") is True
+
+    def test_greatest_least(self, engine):
+        assert one_row(engine, "greatest(1, 5)") == 5
+        assert one_row(engine, "least(1, 5)") == 1
+
+    def test_if_function(self, engine):
+        assert one_row(engine, "IF(i < 0, 'neg', 'pos')") == "neg"
+
+    def test_hash_stable(self, engine):
+        assert one_row(engine, "hash('x')") == one_row(engine, "hash('x')")
+
+    def test_null_propagation_through_builtins(self, engine):
+        rows = engine.execute(
+            PlanBuilder().build(
+                parse_statement("SELECT upper(s) AS u, abs(i) AS a FROM t")
+            )
+        ).rows()
+        assert rows[2] == (None, None)
+
+    def test_concat_multiple_args(self, engine):
+        assert one_row(engine, "concat('a', 'b', 'c')") == "abc"
+
+    def test_cast_chains(self, engine):
+        assert one_row(engine, "CAST(CAST(2.9 AS int) AS string)") == "2"
+
+
+class TestVolumePathAccess:
+    def test_volume_credential_vend(self, workspace, standard_cluster, admin_client):
+        cat = workspace.catalog
+        cat.create_volume("main.sales.rawfiles", owner="admin")
+        cat.grant("READ_VOLUME", "main.sales.rawfiles", "analysts")
+        ctx = cat.principals.context_for("alice")
+        cred = cat.vend_path_credential(
+            ctx, "main.sales.rawfiles", {"READ"}, standard_cluster.backend.caps
+        )
+        volume = cat.get_object("main.sales.rawfiles")
+        assert cred.authorizes(f"{volume.storage_root}/file.bin", "READ", 0)
+
+    def test_volume_write_requires_write_grant(self, workspace, standard_cluster, admin_client):
+        from repro.errors import PermissionDenied
+
+        cat = workspace.catalog
+        cat.create_volume("main.sales.rawfiles", owner="admin")
+        cat.grant("READ_VOLUME", "main.sales.rawfiles", "analysts")
+        ctx = cat.principals.context_for("alice")
+        with pytest.raises(PermissionDenied):
+            cat.vend_path_credential(
+                ctx, "main.sales.rawfiles", {"WRITE"},
+                standard_cluster.backend.caps,
+            )
+
+    def test_volume_roundtrip_through_store(self, workspace, standard_cluster, admin_client):
+        cat = workspace.catalog
+        cat.create_volume("main.sales.rawfiles", owner="admin")
+        ctx = cat.principals.context_for("admin")
+        cred = cat.vend_path_credential(
+            ctx, "main.sales.rawfiles", {"READ", "WRITE"},
+            standard_cluster.backend.caps,
+        )
+        volume = cat.get_object("main.sales.rawfiles")
+        cat.store.put(f"{volume.storage_root}/blob.bin", b"\x00\x01", cred)
+        assert cat.store.get(f"{volume.storage_root}/blob.bin", cred) == b"\x00\x01"

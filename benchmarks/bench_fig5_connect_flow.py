@@ -1,24 +1,31 @@
 """E4 — Fig. 5: the Spark Connect execution flow, phase by phase.
 
-The figure's pipeline: client DataFrame ops → protobuf plan → gRPC →
-deserialize → analyze/optimize/execute → Arrow IPC stream → client. We time
-each phase of a representative governed query and print the breakdown.
+The figure's pipeline: client DataFrame ops → wire plan → transport →
+analyze/optimize/execute → result stream → client. Since the QueryContext
+refactor the server records every phase as a span, so this benchmark runs a
+real governed query through the Connect service and reads the breakdown out
+of the trace tree — the exact same numbers ``system.access.query_profile``
+serves — instead of wrapping the phases in its own stopwatches.
+
+Emits ``BENCH_fig5_connect_flow.json`` with the per-phase span timings.
 """
 
 import time
 
 import pytest
 
-from harness import build_sales_workspace, print_table
+from harness import build_sales_workspace, print_table, write_bench_json
 
 from repro.connect import proto
-from repro.connect.client import col
-from repro.core.plan_codec import PlanDecoder
+from repro.connect.client import col, udf
+
+NUM_ROWS = 20_000
 
 
 @pytest.fixture(scope="module")
 def stack():
-    ws, cluster, admin = build_sales_workspace(num_rows=20_000)
+    ws, cluster, admin = build_sales_workspace(num_rows=NUM_ROWS)
+    admin.sql("ALTER TABLE main.s.sales SET ROW FILTER (amount >= 0.0)")
     alice = cluster.connect("alice")
     return ws, cluster, alice
 
@@ -32,67 +39,86 @@ def build_client_plan(alice):
     )
 
 
-def test_phase_breakdown(stack):
+def test_phase_breakdown_from_spans(stack):
     ws, cluster, alice = stack
-    timings: list[tuple[str, float]] = []
 
-    def phase(name):
-        class _Timer:
-            def __enter__(self_inner):
-                self_inner.start = time.perf_counter()
+    client_start = time.perf_counter()
+    relation = build_client_plan(alice)
+    client_build = time.perf_counter() - client_start
 
-            def __exit__(self_inner, *exc):
-                timings.append((name, time.perf_counter() - self_inner.start))
+    df_rows = alice.execute_relation(relation)
+    trace_id = alice.last_trace_id
 
-        return _Timer()
+    telemetry = cluster.backend.telemetry
+    spans = telemetry.spans(trace_id=trace_id)
+    assert spans, "the governed query must have produced a trace"
 
-    with phase("1. client plan build (DataFrame ops)"):
-        relation = build_client_plan(alice)
-    with phase("2. serialize to wire format"):
-        wire = proto.encode_message(relation)
-    with phase("3. deserialize on the server"):
-        decoded = proto.decode_message(wire)
-    session = cluster.backend._ephemeral_session("alice")
-    decoder = cluster.backend._decoder(session)
-    with phase("4. decode into logical plan"):
-        plan = decoder.relation(decoded)
-    engine = cluster.backend.engine_for(session)
-    with phase("5. analyze (governance injection)"):
-        analyzed = engine.analyze(plan)
-    with phase("6. optimize (pushdown, fusion)"):
-        optimized = engine.optimize(analyzed)
-    with phase("7. execute on governed storage"):
-        result = engine.execute_optimized(
-            optimized, analyzed, user="alice", auth=session.user_ctx
+    (service,) = [s for s in spans if s.kind == "service.operation"]
+    stage_spans = sorted(
+        (s for s in spans if s.kind == "pipeline.stage"), key=lambda s: s.start
+    )
+    total = service.duration
+
+    phases = [
+        {"phase": "client plan build", "seconds": client_build},
+    ]
+    for span in stage_spans:
+        phases.append(
+            {"phase": f"server {span.attributes['stage']}", "seconds": span.duration}
         )
-    with phase("8. stream result batches back"):
-        schema, columns = (
-            [{"name": f.name, "type": f.dtype.name} for f in result.batch.schema],
-            result.batch.columns,
-        )
-        items = [
-            proto.encode_message(
-                {"@type": "arrow_batch", "index": 0, "columns": columns}
-            )
-        ]
+    in_stages = sum(s.duration for s in stage_spans)
+    phases.append(
+        {"phase": "service overhead", "seconds": max(0.0, total - in_stages)}
+    )
 
-    total = sum(t for _, t in timings)
     print_table(
-        "Fig. 5 — Spark Connect flow phase breakdown",
-        ["phase", "ms", "% of total"],
+        "Fig. 5 — Spark Connect flow phase breakdown (from spans)",
+        ["phase", "ms", "% of service op"],
         [
-            [name, f"{t * 1000:.3f}", f"{t / total * 100:.1f}%"]
-            for name, t in timings
+            [
+                p["phase"],
+                f"{p['seconds'] * 1000:.3f}",
+                f"{p['seconds'] / total * 100:.1f}%" if total else "-",
+            ]
+            for p in phases
         ],
     )
-    print(f"plan wire size: {len(wire)} bytes; result rows: {result.batch.num_rows}")
-    # Shape assertions: execution dominates; protocol overhead is small.
-    execute_time = dict(timings)["7. execute on governed storage"]
-    protocol_time = (
-        dict(timings)["2. serialize to wire format"]
-        + dict(timings)["3. deserialize on the server"]
+    print(telemetry.trace_tree(trace_id))
+
+    out = write_bench_json(
+        "fig5_connect_flow",
+        params={"num_rows": NUM_ROWS, "trace_id": trace_id},
+        phases=phases,
+        extra={
+            "span_kinds": sorted(telemetry.span_kinds(trace_id)),
+            "result_rows": len(df_rows[1][0]) if df_rows[1] else 0,
+        },
     )
-    assert execute_time > protocol_time, "protocol must not dominate execution"
+    print(f"wrote {out}")
+
+    # Shape assertions: every enforcement stage appears, execution dominates
+    # the wire-protocol bookkeeping, and the trace is internally consistent.
+    stages = [s.attributes["stage"] for s in stage_spans]
+    assert stages == [
+        "parse", "resolve-secure", "efgac-rewrite", "optimize",
+        "encode-plan", "execute", "stream",
+    ]
+    execute = next(s for s in stage_spans if s.attributes["stage"] == "execute")
+    parse = next(s for s in stage_spans if s.attributes["stage"] == "parse")
+    assert execute.duration > parse.duration, "execution must dominate parsing"
+    assert all(s.start >= service.start for s in stage_spans)
+
+
+def test_sandboxed_udf_phases_visible(stack):
+    ws, cluster, alice = stack
+
+    @udf("float")
+    def boost(x):
+        return x * 2.0
+
+    alice.table("main.s.sales").select(boost(col("amount")).alias("b")).collect()
+    kinds = cluster.backend.telemetry.span_kinds(alice.last_trace_id)
+    assert {"sandbox.exec", "executor.task", "credential.vend"} <= kinds
 
 
 def test_benchmark_end_to_end_query(benchmark, stack):

@@ -8,8 +8,10 @@ to stdout; run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
 from __future__ import annotations
 
 import hashlib
+import json
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.platform import Workspace
 
@@ -84,6 +86,31 @@ def best_time(fn, repeats: int = 7) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def write_bench_json(
+    name: str,
+    params: dict,
+    phases: list[dict] | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Persist one benchmark's machine-readable result next to the suite.
+
+    Writes ``BENCH_<name>.json`` with the run parameters and per-phase
+    timings (typically derived from telemetry spans), so the performance
+    trajectory is diffable across PRs.
+    """
+    path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    record = {
+        "name": name,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "params": params,
+        "phases": phases or [],
+    }
+    if extra:
+        record.update(extra)
+    path.write_text(json.dumps(record, indent=2, default=str) + "\n")
+    return path
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

@@ -46,6 +46,7 @@ from repro.catalog.securables import (
     split_name,
 )
 from repro.common.audit import AuditLog
+from repro.common.telemetry import Telemetry
 from repro.common.clock import Clock, SystemClock
 from repro.engine.logical import TableRef
 from repro.engine.types import Schema
@@ -100,11 +101,16 @@ class UnityCatalog:
         store: ObjectStore | None = None,
         clock: Clock | None = None,
         audit: AuditLog | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.clock = clock or SystemClock()
         self.audit = audit or AuditLog()
+        #: Tracing/metrics spine shared by every component of this deployment.
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry(clock=self.clock)
+        )
         self.store = store or ObjectStore(clock=self.clock, audit=None)
-        self.vendor = CredentialVendor(clock=self.clock)
+        self.vendor = CredentialVendor(clock=self.clock, telemetry=self.telemetry)
         self.principals = PrincipalDirectory()
         self.grants = PrivilegeStore()
         self._catalogs: dict[str, CatalogObject] = {}

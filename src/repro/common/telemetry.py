@@ -1,0 +1,282 @@
+"""The tracing and metrics spine.
+
+Every enforcement decision and execution phase in the system is recorded as a
+:class:`Span` in one shared :class:`Telemetry` registry — the observable
+enforcement path the paper's audit story (§3.2.3) implies and Fig. 5's phase
+breakdown requires. Spans nest (parent/child) into per-query trace trees;
+counters and histograms aggregate across queries.
+
+Exporters are pluggable: the in-memory exporter keeps spans queryable for
+tests and the ``system.access.query_profile`` table; the JSON-lines exporter
+streams finished spans to a file for benchmarks and offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Protocol
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.ids import new_id
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation inside a span (e.g. a policy decision)."""
+
+    timestamp: float
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One timed unit of work, attributed to a user and a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    kind: str
+    user: str
+    start: float
+    end: float | None = None
+    status: str = "ok"
+    attributes: dict[str, Any] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0 while the span is open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (the JSON-lines exporter's record)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "user": self.user,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "events": [
+                {"timestamp": e.timestamp, "name": e.name, "attributes": e.attributes}
+                for e in self.events
+            ],
+        }
+
+
+class SpanExporter(Protocol):
+    """Receives every span exactly once, at finish time."""
+
+    def export(self, span: Span) -> None: ...
+
+
+class InMemoryExporter:
+    """Collects finished spans in order (the default test sink)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def export(self, span: Span) -> None:
+        self.spans.append(span)
+
+
+class JsonLinesExporter:
+    """Appends one JSON object per finished span to a file."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def export(self, span: Span) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(span.to_dict(), default=str) + "\n")
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A value distribution (span durations, payload sizes, batch rows)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0..100) of observed values; 0.0 when empty."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+
+class Telemetry:
+    """Span recorder plus counter/histogram registry for one deployment.
+
+    One instance is shared by every component that serves the same catalog
+    (clusters, the serverless gateway, the credential vendor), so an eFGAC
+    sub-plan executed on serverless compute lands in the same registry — and
+    the same trace tree — as the dedicated-cluster query that spawned it.
+    """
+
+    def __init__(self, clock: Clock | None = None, exporters: tuple[SpanExporter, ...] = ()):
+        self.clock = clock or SystemClock()
+        self._memory = InMemoryExporter()
+        self._exporters: list[SpanExporter] = [self._memory, *exporters]
+        self._open: dict[str, Span] = {}
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- spans ----------------------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        kind: str,
+        trace_id: str,
+        parent_id: str | None = None,
+        user: str = "<system>",
+        **attributes: Any,
+    ) -> Span:
+        """Open a span; the caller owns closing it via :meth:`finish_span`."""
+        span = Span(
+            trace_id=trace_id,
+            span_id=new_id("span"),
+            parent_id=parent_id,
+            name=name,
+            kind=kind,
+            user=user,
+            start=self.clock.now(),
+            attributes=dict(attributes),
+        )
+        self._open[span.span_id] = span
+        return span
+
+    def finish_span(self, span: Span, status: str = "ok") -> Span:
+        """Stamp the end time, record the duration histogram, and export."""
+        if span.finished:
+            return span
+        span.end = self.clock.now()
+        span.status = status
+        self._open.pop(span.span_id, None)
+        self.histogram(f"span.{span.kind}.seconds").observe(span.duration)
+        for exporter in self._exporters:
+            exporter.export(span)
+        return span
+
+    def add_exporter(self, exporter: SpanExporter) -> None:
+        self._exporters.append(exporter)
+
+    # -- querying -------------------------------------------------------------------
+
+    def spans(
+        self,
+        trace_id: str | None = None,
+        kind: str | None = None,
+        name: str | None = None,
+        user: str | None = None,
+    ) -> list[Span]:
+        """Finished spans matching all provided filters, in finish order."""
+        out = []
+        for span in self._memory.spans:
+            if trace_id is not None and span.trace_id != trace_id:
+                continue
+            if kind is not None and span.kind != kind:
+                continue
+            if name is not None and span.name != name:
+                continue
+            if user is not None and span.user != user:
+                continue
+            out.append(span)
+        return out
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids in first-seen order."""
+        seen: dict[str, None] = {}
+        for span in self._memory.spans:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def span_kinds(self, trace_id: str) -> set[str]:
+        return {s.kind for s in self.spans(trace_id=trace_id)}
+
+    def trace_tree(self, trace_id: str) -> str:
+        """Render one trace as an indented tree (debugging/benchmarks)."""
+        spans = sorted(self.spans(trace_id=trace_id), key=lambda s: s.start)
+        children: dict[str | None, list[Span]] = {}
+        span_ids = {s.span_id for s in spans}
+        for span in spans:
+            parent = span.parent_id if span.parent_id in span_ids else None
+            children.setdefault(parent, []).append(span)
+        lines: list[str] = []
+
+        def render(parent: str | None, depth: int) -> None:
+            for span in children.get(parent, []):
+                lines.append(
+                    f"{'  ' * depth}{span.name} [{span.kind}] "
+                    f"user={span.user} {span.duration * 1000:.3f}ms"
+                )
+                render(span.span_id, depth + 1)
+
+        render(None, 0)
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._memory.spans)
+
+    def __len__(self) -> int:
+        return len(self._memory.spans)
+
+    def __bool__(self) -> bool:
+        """A registry is always truthy, even before any span finishes."""
+        return True
+
+    # -- metrics --------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def counters(self) -> dict[str, int]:
+        return {name: c.value for name, c in self._counters.items()}

@@ -437,6 +437,8 @@ class SparkConnectClient:
         )
         self.session_id = response["session_id"]
         self.server_version = response["server_version"]
+        #: Trace id of the most recent execute_plan (for profile lookups).
+        self.last_trace_id: str | None = None
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -455,7 +457,16 @@ class SparkConnectClient:
     def _execute_stream(self, plan: dict[str, Any]) -> list[dict[str, Any]]:
         """Run execute_plan, transparently reattaching on transport faults."""
         operation_id = f"op-{uuid.uuid4().hex[:12]}"
-        request = {**self._base_request(), "plan": plan, "operation_id": operation_id}
+        # Client-generated trace id, sent as a protocol extension field so the
+        # server-side trace tree is addressable from the client.
+        trace_id = f"trace-{uuid.uuid4().hex[:16]}"
+        self.last_trace_id = trace_id
+        request = {
+            **self._base_request(),
+            "plan": plan,
+            "operation_id": operation_id,
+            "trace_id": trace_id,
+        }
         received: list[dict[str, Any]] = []
         attempts = 0
         stream = self._channel.call_stream("execute_plan", request)

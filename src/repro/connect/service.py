@@ -15,6 +15,8 @@ from typing import Any, Iterator, Protocol
 
 from repro.catalog.privileges import UserContext
 from repro.common.clock import Clock, SystemClock
+from repro.common.context import QueryContext
+from repro.common.telemetry import Telemetry
 from repro.connect import proto
 from repro.connect.sessions import (
     OP_FINISHED,
@@ -137,6 +139,14 @@ class SparkConnectService:
         self.sessions = sessions or SessionManager(clock=self._clock)
         self.server_version = server_version
         self._result_batch_rows = result_batch_rows
+        #: Shared with the backend when it has one (so service spans land in
+        #: the same registry as enforcement/executor spans).
+        backend_telemetry = getattr(backend, "telemetry", None)
+        self.telemetry: Telemetry = (
+            backend_telemetry
+            if backend_telemetry is not None
+            else Telemetry(clock=self._clock)
+        )
 
     def housekeeping(self) -> dict[str, list[str]]:
         """Periodic maintenance (§3.2.3): evict idle sessions, tombstone
@@ -236,7 +246,27 @@ class SparkConnectService:
             op = self.sessions.start_operation(
                 session.session_id, request.get("operation_id")
             )
-            self._run_operation(session, op, request["plan"])
+            # "trace_id" is a protocol extension field: the dict wire format
+            # ignores unknown keys, so old clients simply get a
+            # server-assigned trace.
+            query_ctx = QueryContext.create(
+                user=session.user_ctx.user,
+                telemetry=self.telemetry,
+                clock=self._clock,
+                trace_id=request.get("trace_id"),
+                session_id=session.session_id,
+                cluster_id=getattr(self._backend, "cluster_id", ""),
+                operation_id=op.operation_id,
+            )
+            op.trace_id = query_ctx.trace_id
+            with query_ctx.activate():
+                with query_ctx.span(
+                    "execute_plan",
+                    "service.operation",
+                    operation_id=op.operation_id,
+                    session_id=session.session_id,
+                ):
+                    self._run_operation(session, op, request["plan"])
             yield from op.responses
             return
         if method == "reattach_execute":
@@ -245,6 +275,17 @@ class SparkConnectService:
                 request["operation_id"], session.session_id
             )
             start = int(request.get("last_index", -1)) + 1
+            if op.trace_id is not None:
+                # The reattach rejoins the operation's original trace.
+                span = self.telemetry.start_span(
+                    "reattach_execute",
+                    "service.operation",
+                    trace_id=op.trace_id,
+                    user=session.user_ctx.user,
+                    operation_id=op.operation_id,
+                    resumed_from_index=start,
+                )
+                self.telemetry.finish_span(span)
             yield from op.remaining_from(start)
             return
         raise ProtocolError(f"unknown stream method '{method}'")

@@ -41,6 +41,9 @@ class OperationState:
     #: Highest response index the client acknowledged receiving.
     acked_index: int = -1
     last_client_contact: float = 0.0
+    #: Trace the operation executes under (client-sent or server-assigned);
+    #: ReattachExecute resumes this same trace.
+    trace_id: str | None = None
 
     def remaining_from(self, index: int) -> list[dict[str, Any]]:
         return self.responses[index:]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.catalog.metastore import UnityCatalog
+from repro.common.context import span_or_null
 from repro.catalog.privileges import UserContext
 from repro.catalog.scopes import ComputeCapabilities
 from repro.engine.batch import ColumnBatch
@@ -81,15 +82,30 @@ class GovernedDataSource:
         for i, data_file in enumerate(snapshot.files):
             assignments[i % self._num_executors].append(data_file)
 
+        qctx = getattr(eval_ctx, "query_ctx", None)
         produced = False
-        for task_files in assignments:
+        for task_index, task_files in enumerate(assignments):
             if not task_files:
                 continue
             self.stats.executor_tasks += 1
-            for data_file in task_files:
-                columns = storage.read_file(data_file, credential)
-                self.stats.files_read += 1
+            # Materialize the task's files inside its span so the span
+            # measures the read, not downstream operator time.
+            with span_or_null(
+                qctx,
+                f"scan-task-{task_index}",
+                "executor.task",
+                table=table.full_name,
+                task=task_index,
+                files=len(task_files),
+                credential_identity=credential.identity,
+            ):
+                batches = []
+                for data_file in task_files:
+                    columns = storage.read_file(data_file, credential)
+                    self.stats.files_read += 1
+                    batches.append(ColumnBatch.from_dict(table.schema, columns))
+            for batch in batches:
                 produced = True
-                yield ColumnBatch.from_dict(table.schema, columns)
+                yield batch
         if not produced:
             yield ColumnBatch.empty(table.schema)

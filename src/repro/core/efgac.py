@@ -20,6 +20,7 @@ from typing import Any, Callable, Iterator
 
 from repro.catalog.metastore import UnityCatalog
 from repro.catalog.privileges import UserContext
+from repro.common.context import current_context, span_or_null
 from repro.common.ids import new_id
 from repro.core.plan_codec import encode_expression
 from repro.engine.batch import ColumnBatch
@@ -253,21 +254,33 @@ class RemoteQueryExecutor:
         ctx = eval_ctx.auth
         user = ctx.user if isinstance(ctx, UserContext) else eval_ctx.user
         self.stats.subqueries += 1
-        schema_msg, columns = self._submit(user, remote.payload)
-        if len(schema_msg) != len(remote.schema):
-            raise ExecutionError(
-                f"remote result arity {len(schema_msg)} does not match "
-                f"expected schema {remote.schema}"
-            )
-        num_rows = len(columns[0]) if columns else 0
-        self.stats.rows_received += num_rows
+        qctx = getattr(eval_ctx, "query_ctx", None) or current_context()
+        with span_or_null(
+            qctx,
+            "efgac-remote-subquery",
+            "remote.subquery",
+            tables=sorted(remote.source_tables),
+            pushed=dict(remote.pushed),
+        ) as span:
+            schema_msg, columns = self._submit(user, remote.payload)
+            if len(schema_msg) != len(remote.schema):
+                raise ExecutionError(
+                    f"remote result arity {len(schema_msg)} does not match "
+                    f"expected schema {remote.schema}"
+                )
+            num_rows = len(columns[0]) if columns else 0
+            self.stats.rows_received += num_rows
+            inline = num_rows <= self._inline_threshold
+            if span is not None:
+                span.set_attribute("rows", num_rows)
+                span.set_attribute("result_mode", "inline" if inline else "staged")
 
-        if num_rows <= self._inline_threshold:
+        if inline:
             self.stats.inline_results += 1
             yield ColumnBatch(remote.schema, [list(c) for c in columns])
             return
 
-        # Large result: persist to cloud staging, then read back in chunks.
+        # Large result: persist to cloud storage, then read back in chunks.
         self.stats.staged_results += 1
         yield from self._stage_and_read(user, remote.schema, columns)
 

@@ -31,6 +31,7 @@ from repro.catalog.scopes import (
     ANNOTATION_REQUIRES_EXTERNAL_FGAC,
     ComputeCapabilities,
 )
+from repro.common.context import current_context
 from repro.engine.analyzer import Analyzer
 from repro.engine.expressions import Alias, UnresolvedColumn
 from repro.engine.logical import (
@@ -85,6 +86,8 @@ class GovernedResolver:
 
     #: The queryable audit log (admins only), like UC's system tables.
     AUDIT_TABLE = "system.access.audit"
+    #: Per-query span profiles; non-admins see only their own queries.
+    QUERY_PROFILE_TABLE = "system.access.query_profile"
 
     def resolve_relation(
         self, name: str, options: dict | None = None
@@ -92,6 +95,8 @@ class GovernedResolver:
         options = options or {}
         if name == self.AUDIT_TABLE:
             return self._resolve_audit_table()
+        if name == self.QUERY_PROFILE_TABLE:
+            return self._resolve_query_profile_table()
         metadata = self._catalog.relation_metadata(
             name, self.acting_ctx, self._caps
         )
@@ -128,9 +133,16 @@ class GovernedResolver:
             # Delta time travel: pin the scan, policies still apply below.
             table_ref = replace(table_ref, snapshot_version=int(version))
         plan: LogicalPlan = Scan(table_ref)
+        qctx = current_context()
 
         if metadata.row_filter is not None:
             plan = Filter(plan, metadata.row_filter.condition)
+            if qctx is not None:
+                qctx.event(
+                    "row-filter-injected",
+                    table=metadata.full_name,
+                    policy_owner=metadata.owner,
+                )
 
         if metadata.column_masks:
             masks = {m.column: m.mask for m in metadata.column_masks}
@@ -141,6 +153,12 @@ class GovernedResolver:
                 else:
                     exprs.append(UnresolvedColumn(field.name))
             plan = Project(plan, exprs)
+            if qctx is not None:
+                qctx.event(
+                    "column-masks-applied",
+                    table=metadata.full_name,
+                    columns=sorted(masks),
+                )
 
         if metadata.has_policies:
             plan = SecureView(plan, metadata.full_name, metadata.owner)
@@ -162,6 +180,13 @@ class GovernedResolver:
     def _resolve_view(self, metadata: RelationMetadata) -> LogicalPlan:
         body = self._parse_view_body(metadata)
         owner_ctx = self._owner_context(metadata.owner)
+        qctx = current_context()
+        if qctx is not None:
+            qctx.event(
+                "view-expanded-definer-rights",
+                view=metadata.full_name,
+                definer=metadata.owner,
+            )
         self._acting.append(owner_ctx)
         try:
             analyzed = Analyzer(self).analyze(body)
@@ -244,6 +269,56 @@ class GovernedResolver:
         ]
         return LocalRelation(schema, columns)
 
+    def _resolve_query_profile_table(self) -> LogicalPlan:
+        """``system.access.query_profile``: finished spans as a relation.
+
+        Unlike the audit log (admins only), profiles are *user-scoped*:
+        every user may inspect where their own queries spent time, but only
+        admins see other principals' spans.
+        """
+        import json as _json
+
+        from repro.engine.logical import LocalRelation
+        from repro.engine.types import FLOAT, STRING, Field
+
+        ctx = self.session_ctx
+        is_admin = (
+            not ctx.is_down_scoped
+            and self._catalog.principals.is_admin(ctx.user)
+        )
+        spans = [
+            s
+            for s in self._catalog.telemetry.spans()
+            if is_admin or s.user == ctx.user
+        ]
+        schema = Schema(
+            (
+                Field("trace_id", STRING),
+                Field("span_id", STRING),
+                Field("parent_id", STRING),
+                Field("name", STRING),
+                Field("kind", STRING),
+                Field("user", STRING),
+                Field("start", FLOAT),
+                Field("duration_ms", FLOAT),
+                Field("status", STRING),
+                Field("attributes", STRING),
+            )
+        )
+        columns: list[list] = [
+            [s.trace_id for s in spans],
+            [s.span_id for s in spans],
+            [s.parent_id or "" for s in spans],
+            [s.name for s in spans],
+            [s.kind for s in spans],
+            [s.user for s in spans],
+            [s.start for s in spans],
+            [s.duration * 1000.0 for s in spans],
+            [s.status for s in spans],
+            [_json.dumps(s.attributes, default=str, sort_keys=True) for s in spans],
+        ]
+        return LocalRelation(schema, columns)
+
     # ------------------------------------------------------------------
     # Remote (eFGAC) relations
     # ------------------------------------------------------------------
@@ -263,6 +338,9 @@ class GovernedResolver:
         payload: dict[str, Any] = {"@type": "relation.read", "table": name}
         if options.get("version") is not None:
             payload["options"] = {"version": int(options["version"])}
+        qctx = current_context()
+        if qctx is not None:
+            qctx.event("remote-scan-inserted", table=name)
         return RemoteScan(
             payload=payload,
             schema=schema,

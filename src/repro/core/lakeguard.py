@@ -23,11 +23,13 @@ from repro.catalog.policies import ColumnMask, RowFilter
 from repro.catalog.privileges import CREATE_TABLE, UserContext
 from repro.catalog.scopes import COMPUTE_STANDARD, ComputeCapabilities
 from repro.common.clock import Clock, SystemClock
+from repro.common.context import QueryContext, current_context
 from repro.common.ids import new_id
 from repro.connect.sessions import SessionState
 from repro.core.datasource import GovernedDataSource
 from repro.core.efgac import RemoteQueryExecutor, RemoteSubmit, efgac_rules
 from repro.core.enforcement import GovernedResolver
+from repro.core.pipeline import PipelineState, build_enforcement_pipeline
 from repro.core.plan_codec import PlanDecoder
 from repro.engine.executor import ExecutionConfig, QueryEngine, QueryResult
 from repro.engine.expressions import UDFRuntime
@@ -86,6 +88,8 @@ class LakeguardCluster:
         self.clock = clock or SystemClock()
         self.cluster_id = cluster_id or new_id("cluster")
         self.caps = ComputeCapabilities(self.cluster_id, compute_type)
+        #: Shared tracing/metrics registry (one per catalog deployment).
+        self.telemetry = catalog.telemetry
         self.optimizer_config = optimizer_config or OptimizerConfig()
         self.num_executors = num_executors
         self.batch_size = batch_size
@@ -205,23 +209,60 @@ class LakeguardCluster:
 
     # -- relations --------------------------------------------------------------
 
-    def execute_relation(
-        self, session: SessionState, relation: dict[str, Any]
-    ) -> tuple[list[dict[str, str]], list[list[Any]]]:
-        plan = self._decoder(session).relation(relation)
-        result = self._execute_plan(session, plan)
-        return schema_to_message(result.batch.schema), result.batch.columns
-
-    def _execute_plan(self, session: SessionState, plan: LogicalPlan) -> QueryResult:
-        engine = self.engine_for(session)
-        result = engine.execute(
-            plan,
+    def _query_context(
+        self, session: SessionState, query_ctx: QueryContext | None
+    ) -> QueryContext:
+        """Explicit context, else the ambient one, else a fresh root trace."""
+        if query_ctx is not None:
+            return query_ctx
+        ambient = current_context()
+        if ambient is not None:
+            return ambient
+        return QueryContext.create(
             user=session.user_ctx.user,
-            groups=session.user_ctx.groups,
-            auth=session.user_ctx,
+            telemetry=self.telemetry,
+            clock=self.clock,
+            session_id=session.session_id,
+            cluster_id=self.cluster_id,
         )
-        self.last_result = result
-        return result
+
+    def pipeline_for(self, session: SessionState):
+        """The staged enforcement pipeline for one session's engine."""
+        return build_enforcement_pipeline(
+            self.engine_for(session), self._decoder(session)
+        )
+
+    def _run_pipeline(
+        self,
+        session: SessionState,
+        query_ctx: QueryContext | None,
+        *,
+        relation: dict[str, Any] | None = None,
+        plan: LogicalPlan | None = None,
+    ) -> PipelineState:
+        query_ctx = self._query_context(session, query_ctx)
+        state = PipelineState(session=session, relation=relation, plan=plan)
+        with query_ctx.activate():
+            self.pipeline_for(session).run(query_ctx, state)
+        self.last_result = state.result
+        return state
+
+    def execute_relation(
+        self,
+        session: SessionState,
+        relation: dict[str, Any],
+        query_ctx: QueryContext | None = None,
+    ) -> tuple[list[dict[str, str]], list[list[Any]]]:
+        state = self._run_pipeline(session, query_ctx, relation=relation)
+        return state.schema_message, state.columns
+
+    def _execute_plan(
+        self,
+        session: SessionState,
+        plan: LogicalPlan,
+        query_ctx: QueryContext | None = None,
+    ) -> QueryResult:
+        return self._run_pipeline(session, query_ctx, plan=plan).result
 
     def analyze_relation(
         self, session: SessionState, relation: dict[str, Any]
@@ -461,9 +502,24 @@ class LakeguardCluster:
     def run_relation_for_user(
         self, user: str, relation: dict[str, Any]
     ) -> tuple[list[dict[str, str]], list[list[Any]]]:
-        """Execute a relation for ``user`` without a Connect session."""
+        """Execute a relation for ``user`` without a Connect session.
+
+        When called underneath an active query (the eFGAC path: a Dedicated
+        cluster's RemoteScan routed through the gateway), the sub-plan runs
+        in a *child* context of that query — same trace id, parented onto
+        the caller's current span — so the remote work appears as a subtree
+        of the originating query's trace.
+        """
         session = self._ephemeral_session(user)
-        return self.execute_relation(session, relation)
+        parent = current_context()
+        query_ctx = None
+        if parent is not None:
+            query_ctx = parent.child(
+                user=user,
+                session_id=session.session_id,
+                cluster_id=self.cluster_id,
+            )
+        return self.execute_relation(session, relation, query_ctx=query_ctx)
 
     def analyze_relation_for_user(
         self, user: str, relation: dict[str, Any]

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.common.context import QueryContext, current_context, span_or_null
 from repro.engine.analyzer import Analyzer, RelationResolver
 from repro.engine.batch import ColumnBatch
 from repro.engine.expressions import EvalContext, UDFRuntime
@@ -99,9 +100,45 @@ class QueryEngine:
         return self._analyzer.analyze(plan)
 
     def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        """Run the rule fixpoint, under an ``optimizer`` span when traced."""
         # A fresh Optimizer per query keeps fusion-group ids plan-local.
         optimizer = Optimizer(self._optimizer_config, extra_rules=self._extra_rules)
-        return optimizer.optimize(plan)
+        qctx = current_context()
+        with span_or_null(
+            qctx, "optimize", "optimizer", rules=len(optimizer.rule_names)
+        ) as span:
+            optimized = optimizer.optimize(plan)
+            if qctx is not None:
+                span.set_attribute("nodes_in", _count_nodes(plan))
+                span.set_attribute("nodes_out", _count_nodes(optimized))
+            return optimized
+
+    def plan_physical(self, optimized: LogicalPlan):
+        """Map an optimized logical plan to its physical operator tree."""
+        return self._planner.plan(optimized)
+
+    def exec_context(
+        self,
+        user: str = "anonymous",
+        groups: frozenset[str] | set[str] = frozenset(),
+        udf_runtime: UDFRuntime | None = None,
+        auth: Any = None,
+        query_ctx: QueryContext | None = None,
+    ) -> ExecContext:
+        """Build the runtime context an operator tree executes under."""
+        eval_ctx = EvalContext(
+            user=user,
+            groups=frozenset(groups),
+            udf_runtime=udf_runtime or self._udf_runtime or UDFRuntime(),
+            auth=auth,
+            query_ctx=query_ctx if query_ctx is not None else current_context(),
+        )
+        return ExecContext(
+            eval_ctx=eval_ctx,
+            data_source=self._data_source,
+            remote_executor=self._remote_executor,
+            batch_size=self.config.batch_size,
+        )
 
     def explain(self, plan: LogicalPlan, user: str = "anonymous") -> str:
         analyzed = self.analyze(plan)
@@ -134,23 +171,33 @@ class QueryEngine:
         auth: Any = None,
     ) -> QueryResult:
         """Run an already-optimized plan (used by eFGAC split pipelines)."""
-        eval_ctx = EvalContext(
-            user=user,
-            groups=frozenset(groups),
-            udf_runtime=udf_runtime or self._udf_runtime or UDFRuntime(),
-            auth=auth,
+        ctx = self.exec_context(
+            user=user, groups=groups, udf_runtime=udf_runtime, auth=auth
         )
-        ctx = ExecContext(
-            eval_ctx=eval_ctx,
-            data_source=self._data_source,
-            remote_executor=self._remote_executor,
-            batch_size=self.config.batch_size,
-        )
-        operator = self._planner.plan(optimized)
-        batch = operator.collect(ctx)
+        operator = self.plan_physical(optimized)
+        batch = self.run_operator(operator, ctx)
         return QueryResult(
             batch=batch,
             analyzed_plan=analyzed if analyzed is not None else optimized,
             optimized_plan=optimized,
             metrics=ctx.metrics,
         )
+
+    def run_operator(self, operator, ctx: ExecContext):
+        """Collect an operator tree, emitting an executor span if traced."""
+        qctx = ctx.eval_ctx.query_ctx
+        with span_or_null(
+            qctx, "collect", "executor", batch_size=ctx.batch_size
+        ) as span:
+            batch = operator.collect(ctx)
+            if qctx is not None:
+                span.set_attribute("rows_output", ctx.metrics.rows_output)
+                span.set_attribute("rows_scanned", ctx.metrics.rows_scanned)
+                span.set_attribute(
+                    "sandbox_round_trips", ctx.metrics.sandbox_round_trips
+                )
+            return batch
+
+
+def _count_nodes(plan: LogicalPlan) -> int:
+    return 1 + sum(_count_nodes(c) for c in plan.children)

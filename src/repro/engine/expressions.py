@@ -55,6 +55,9 @@ class EvalContext:
     #: Opaque authorization handle (e.g. a catalog UserContext) that governed
     #: data sources use to vend credentials. The engine never interprets it.
     auth: Any = None
+    #: The instrumented QueryContext this evaluation belongs to (opaque to
+    #: the engine; governed components use it to emit spans).
+    query_ctx: Any = None
 
 
 class UDFRuntime:

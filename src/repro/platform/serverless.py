@@ -21,6 +21,7 @@ from typing import Any, Iterator
 from repro.catalog.metastore import UnityCatalog
 from repro.catalog.scopes import COMPUTE_SERVERLESS
 from repro.common.clock import Clock, SystemClock
+from repro.common.context import current_context
 from repro.connect.channel import InProcessChannel
 from repro.connect.service import SparkConnectService
 from repro.core.lakeguard import LakeguardCluster
@@ -264,8 +265,18 @@ class ServerlessGateway:
     def submit(
         self, user: str, relation: dict[str, Any]
     ) -> tuple[list[dict[str, str]], list[list[Any]]]:
+        """Run an eFGAC sub-plan as ``user`` on a serverless cluster."""
         self.stats.efgac_subqueries += 1
         cluster = self._least_loaded_or_provision()
+        qctx = current_context()
+        if qctx is not None:
+            # The backend call below creates a child context off the ambient
+            # one, so the remote sub-plan lands in the caller's trace tree.
+            qctx.event(
+                "gateway-efgac-route",
+                cluster=cluster.backend.cluster_id,
+                user=user,
+            )
         return cluster.backend.run_relation_for_user(user, relation)
 
     def analyze(self, user: str, relation: dict[str, Any]) -> list[dict[str, str]]:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.common.clock import Clock
+from repro.common.context import current_context, span_or_null
 from repro.engine.expressions import UDFRuntime
 from repro.engine.udf import PythonUDF
 from repro.sandbox.cluster_manager import ClusterManager
@@ -67,21 +68,41 @@ class Dispatcher:
         execution environments outside the cluster (§3.3).
         """
         key = (session_id, trust_domain, environment, requirements)
+        qctx = current_context()
         entry = self._pool.get(key)
         if entry is not None and not entry[1].closed:
             self.stats.warm_acquisitions += 1
+            if qctx is not None:
+                qctx.event(
+                    "sandbox-reused",
+                    trust_domain=trust_domain,
+                    session_id=session_id,
+                )
             return entry[1]
         manager = self._manager.manager_for(requirements)
-        started = self._clock.now()
-        sandbox = manager.create_sandbox(
-            trust_domain, policy, environment=environment
-        )
-        elapsed = self._clock.now() - started
+        with span_or_null(
+            qctx,
+            "sandbox-cold-start",
+            "sandbox.acquire",
+            mode="cold",
+            trust_domain=trust_domain,
+            session_id=session_id,
+            environment=environment,
+        ) as span:
+            started = self._clock.now()
+            sandbox = manager.create_sandbox(
+                trust_domain, policy, environment=environment
+            )
+            elapsed = self._clock.now() - started
+            if span is not None:
+                span.set_attribute("cold_start_seconds", elapsed)
         self.stats.cold_starts += 1
         self.stats.cold_start_seconds_total += elapsed
         self.stats.cold_start_seconds_max = max(
             self.stats.cold_start_seconds_max, elapsed
         )
+        if qctx is not None:
+            qctx.telemetry.counter("sandbox.cold_starts").inc()
         self._pool[key] = (manager, sandbox)
         return sandbox
 
@@ -130,9 +151,18 @@ class SandboxedUDFRuntime(UDFRuntime):
             requirements=udf.resource_requirements,
         )
         self.round_trips += 1
-        if arg_columns:
-            self.rows_processed += len(arg_columns[0])
-        return sandbox.invoke(udf, arg_columns)
+        rows = len(arg_columns[0]) if arg_columns else 0
+        self.rows_processed += rows
+        with span_or_null(
+            current_context(),
+            f"udf:{udf.name}",
+            "sandbox.exec",
+            udf=udf.name,
+            trust_domain=udf.trust_domain,
+            sandbox=sandbox.sandbox_id,
+            rows=rows,
+        ):
+            return sandbox.invoke(udf, arg_columns)
 
     def run_fused(
         self, calls: list[tuple[int, PythonUDF, list[list[Any]]]]
@@ -154,5 +184,13 @@ class SandboxedUDFRuntime(UDFRuntime):
             self.round_trips += 1
             if domain_calls and domain_calls[0][2]:
                 self.rows_processed += len(domain_calls[0][2][0])
-            results.update(sandbox.invoke_many(domain_calls))
+            with span_or_null(
+                current_context(),
+                f"udf-fused:{'+'.join(c[1].name for c in domain_calls)}",
+                "sandbox.exec",
+                trust_domain=domain,
+                sandbox=sandbox.sandbox_id,
+                fused_calls=len(domain_calls),
+            ):
+                results.update(sandbox.invoke_many(domain_calls))
         return results

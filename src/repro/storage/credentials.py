@@ -16,7 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.clock import Clock, SystemClock
+from repro.common.context import current_context, span_or_null
 from repro.common.ids import new_id
+from repro.common.telemetry import Telemetry
 from repro.errors import CredentialError
 
 #: Storage operations a credential may authorize.
@@ -96,9 +98,15 @@ class CredentialVendor:
 
     DEFAULT_TTL_SECONDS = 900.0
 
-    def __init__(self, clock: Clock | None = None, ttl_seconds: float | None = None):
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        ttl_seconds: float | None = None,
+        telemetry: Telemetry | None = None,
+    ):
         self._clock = clock or SystemClock()
         self._ttl = ttl_seconds or self.DEFAULT_TTL_SECONDS
+        self._telemetry = telemetry
         self._live: dict[str, TemporaryCredential] = {}
         self._issued_count = 0
 
@@ -115,23 +123,43 @@ class CredentialVendor:
         compute_id: str | None = None,
         ttl_seconds: float | None = None,
     ) -> TemporaryCredential:
-        """Create a live credential for ``identity`` over ``prefixes``."""
+        """Create a live credential for ``identity`` over ``prefixes``.
+
+        Every vend is traced: when an instrumented query is active, the
+        issue runs under a ``credential.vend`` span carrying the requesting
+        identity, so data-access capability grants are attributable per
+        query, not just per audit-log line.
+        """
         if not prefixes:
             raise CredentialError("cannot issue a credential with no prefixes")
         ops = _validate_ops(frozenset(operations))
-        now = self._clock.now()
-        credential = TemporaryCredential(
-            token=new_id("cred"),
+        qctx = current_context()
+        with span_or_null(
+            qctx,
+            "vend-credential",
+            "credential.vend",
             identity=identity,
-            prefixes=tuple(prefixes),
-            operations=ops,
-            issued_at=now,
-            expires_at=now + (ttl_seconds if ttl_seconds is not None else self._ttl),
-            compute_id=compute_id,
-        )
-        self._live[credential.token] = credential
-        self._issued_count += 1
-        return credential
+            prefixes=list(prefixes),
+            operations=sorted(ops),
+            compute=compute_id,
+        ):
+            now = self._clock.now()
+            credential = TemporaryCredential(
+                token=new_id("cred"),
+                identity=identity,
+                prefixes=tuple(prefixes),
+                operations=ops,
+                issued_at=now,
+                expires_at=now + (ttl_seconds if ttl_seconds is not None else self._ttl),
+                compute_id=compute_id,
+            )
+            self._live[credential.token] = credential
+            self._issued_count += 1
+            if self._telemetry is not None:
+                self._telemetry.counter("credentials.issued").inc()
+            elif qctx is not None:
+                qctx.telemetry.counter("credentials.issued").inc()
+            return credential
 
     def revoke(self, token: str) -> None:
         """Invalidate a credential immediately; unknown tokens are a no-op."""

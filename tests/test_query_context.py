@@ -1,0 +1,250 @@
+"""End-to-end trace propagation: one governed query, one trace tree.
+
+These tests exercise the tentpole invariant: a query entering through the
+Connect service flows through every layer — pipeline stages, optimizer,
+executor tasks, sandbox dispatch, credential vending, the eFGAC gateway —
+under one client-visible trace id.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.connect.channel import FaultInjector
+from repro.connect.client import catalog_function, col, udf
+
+
+@pytest.fixture
+def governed(workspace, standard_cluster, admin_client):
+    """Row-filtered orders table on a Standard cluster."""
+    admin_client.sql(
+        "ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')"
+    )
+    return workspace
+
+
+def spans_of(cluster, client):
+    return cluster.backend.telemetry.spans(trace_id=client.last_trace_id)
+
+
+class TestSingleTraceTree:
+    def test_governed_query_produces_six_span_kinds(
+        self, governed, standard_cluster
+    ):
+        alice = standard_cluster.connect("alice")
+
+        @udf("float")
+        def boost(x):
+            return x * 2.0
+
+        rows = (
+            alice.table("main.sales.orders")
+            .select(boost(col("amount")).alias("boosted"))
+            .collect()
+        )
+        assert len(rows) == 2  # row filter leaves the two US rows
+
+        telemetry = standard_cluster.backend.telemetry
+        trace_id = alice.last_trace_id
+        kinds = telemetry.span_kinds(trace_id)
+        assert {
+            "service.operation",
+            "pipeline.stage",
+            "optimizer",
+            "executor.task",
+            "sandbox.exec",
+            "credential.vend",
+        } <= kinds, f"missing span kinds; got {kinds}"
+
+        spans = telemetry.spans(trace_id=trace_id)
+        assert all(s.trace_id == trace_id for s in spans)
+        # Everything in the trace is attributed to the querying user.
+        assert {s.user for s in spans} == {"alice"}
+
+    def test_all_spans_connect_to_one_root(self, governed, standard_cluster):
+        alice = standard_cluster.connect("alice")
+        alice.table("main.sales.orders").collect()
+        spans = spans_of(standard_cluster, alice)
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans if s.parent_id not in by_id]
+        assert len(roots) == 1
+        assert roots[0].name == "execute_plan"
+        assert roots[0].kind == "service.operation"
+
+    def test_pipeline_stages_recorded_in_order(self, governed, standard_cluster):
+        from repro.core.pipeline import STAGE_ORDER
+
+        alice = standard_cluster.connect("alice")
+        alice.table("main.sales.orders").collect()
+        stage_spans = [
+            s
+            for s in spans_of(standard_cluster, alice)
+            if s.kind == "pipeline.stage"
+        ]
+        stages = [s.attributes["stage"] for s in sorted(stage_spans, key=lambda s: s.start)]
+        assert stages == list(STAGE_ORDER)
+
+    def test_policy_decisions_recorded_as_events(
+        self, governed, standard_cluster
+    ):
+        alice = standard_cluster.connect("alice")
+        alice.table("main.sales.orders").collect()
+        resolve_span = next(
+            s
+            for s in spans_of(standard_cluster, alice)
+            if s.kind == "pipeline.stage"
+            and s.attributes["stage"] == "resolve-secure"
+        )
+        events = {e.name for e in resolve_span.events}
+        assert "row-filter-injected" in events
+
+    def test_credential_vend_span_names_identity(
+        self, governed, standard_cluster
+    ):
+        alice = standard_cluster.connect("alice")
+        alice.table("main.sales.orders").collect()
+        vend = [
+            s
+            for s in spans_of(standard_cluster, alice)
+            if s.kind == "credential.vend"
+        ]
+        assert vend and all(s.attributes["identity"] == "alice" for s in vend)
+
+    def test_distinct_queries_get_distinct_traces(
+        self, governed, standard_cluster
+    ):
+        alice = standard_cluster.connect("alice")
+        alice.table("main.sales.orders").collect()
+        first = alice.last_trace_id
+        alice.table("main.sales.orders").collect()
+        second = alice.last_trace_id
+        assert first != second
+        telemetry = standard_cluster.backend.telemetry
+        assert telemetry.spans(trace_id=first)
+        assert telemetry.spans(trace_id=second)
+
+
+class TestReattachSameTrace:
+    def test_reattach_after_fault_resumes_same_trace(
+        self, workspace, standard_cluster, admin_client
+    ):
+        faults = FaultInjector(drop_stream_after=1, times=1)
+        alice = standard_cluster.connect("alice", faults=faults)
+        rows = alice.table("main.sales.orders").collect()
+        assert len(rows) == 4  # recovery is transparent
+
+        service_spans = standard_cluster.backend.telemetry.spans(
+            trace_id=alice.last_trace_id, kind="service.operation"
+        )
+        names = [s.name for s in service_spans]
+        assert "execute_plan" in names
+        assert "reattach_execute" in names
+        # Both service operations belong to the one client-sent trace.
+        assert {s.trace_id for s in service_spans} == {alice.last_trace_id}
+
+
+class TestTrustDomainSpans:
+    def test_trust_domains_never_share_a_sandbox_span(
+        self, workspace, standard_cluster, admin_client
+    ):
+        from repro.engine.udf import udf as engine_udf
+
+        cat = workspace.catalog
+
+        @engine_udf("float")
+        def plus1(x):
+            return x + 1.0
+
+        cat.create_function("main.sales.by_admin", plus1, owner="admin")
+        cat.grant("EXECUTE", "main.sales.by_admin", "analysts")
+
+        alice = standard_cluster.connect("alice")
+
+        @udf("float")
+        def mine(x):
+            return x - 1.0
+
+        alice.table("main.sales.orders").select(
+            catalog_function("main.sales.by_admin")(col("amount")).alias("a"),
+            mine(col("amount")).alias("b"),
+        ).collect()
+
+        exec_spans = standard_cluster.backend.telemetry.spans(
+            trace_id=alice.last_trace_id, kind="sandbox.exec"
+        )
+        domains = {s.attributes["trust_domain"] for s in exec_spans}
+        assert domains == {"admin", "alice"}
+        # Each sandbox.exec span runs exactly one trust domain's code, in
+        # that domain's sandbox.
+        sandboxes = {
+            s.attributes["trust_domain"]: s.attributes["sandbox"]
+            for s in exec_spans
+        }
+        assert sandboxes["admin"] != sandboxes["alice"]
+
+    def test_cold_start_then_warm_reuse_visible_in_trace(
+        self, workspace, standard_cluster, admin_client
+    ):
+        alice = standard_cluster.connect("alice")
+
+        @udf("float")
+        def f(x):
+            return x
+
+        df = alice.table("main.sales.orders").select(f(col("amount")).alias("v"))
+        df.collect()
+        first_trace = alice.last_trace_id
+        df.collect()
+        second_trace = alice.last_trace_id
+
+        telemetry = standard_cluster.backend.telemetry
+        assert telemetry.spans(trace_id=first_trace, kind="sandbox.acquire")
+        # Second run reuses the warm sandbox: no acquire span, but the
+        # reuse is recorded as an event in the second trace.
+        assert not telemetry.spans(trace_id=second_trace, kind="sandbox.acquire")
+        events = {
+            e.name
+            for s in telemetry.spans(trace_id=second_trace)
+            for e in s.events
+        }
+        assert "sandbox-reused" in events
+
+
+class TestEfgacChildTrace:
+    def test_remote_subplan_is_child_of_originating_query(
+        self, governed, standard_cluster
+    ):
+        dedicated = governed.create_dedicated_cluster(
+            assigned_user="alice", name="alice-ded"
+        )
+        alice = dedicated.connect("alice")
+        rows = alice.table("main.sales.orders").collect()
+        assert len(rows) == 2
+
+        telemetry = dedicated.backend.telemetry
+        trace_id = alice.last_trace_id
+        spans = telemetry.spans(trace_id=trace_id)
+        (remote,) = [s for s in spans if s.kind == "remote.subquery"]
+        assert remote.attributes["tables"] == ["main.sales.orders"]
+
+        # The serverless cluster executed the sub-plan under the same trace,
+        # parented (transitively) on the remote.subquery span.
+        serverless_spans = [
+            s for s in spans if s.attributes.get("cluster", "").startswith("serverless-")
+        ]
+        assert serverless_spans
+        by_id = {s.span_id: s for s in spans}
+
+        def ancestors(span):
+            while span.parent_id in by_id:
+                span = by_id[span.parent_id]
+                yield span
+
+        for span in serverless_spans:
+            assert remote in list(ancestors(span)), (
+                f"{span.name} not parented under the remote.subquery span"
+            )
+
+        # Credential vending for the governed scan happened remotely, still
+        # inside this one trace.
+        assert any(s.kind == "credential.vend" for s in serverless_spans)

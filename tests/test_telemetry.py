@@ -1,0 +1,157 @@
+"""Unit tests for the tracing/metrics spine and the QueryContext."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.context import (
+    QueryContext,
+    QueryDeadlineExceeded,
+    current_context,
+    span_or_null,
+)
+from repro.common.telemetry import JsonLinesExporter, Telemetry
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def telemetry(clock):
+    return Telemetry(clock=clock)
+
+
+@pytest.fixture
+def ctx(telemetry):
+    return QueryContext.create(user="alice", telemetry=telemetry)
+
+
+class TestSpans:
+    def test_nested_spans_share_trace_and_parent(self, ctx, telemetry, clock):
+        with ctx.span("outer", "service.operation") as outer:
+            clock.sleep(1.0)
+            with ctx.span("inner", "pipeline.stage") as inner:
+                clock.sleep(0.5)
+        assert inner.trace_id == outer.trace_id == ctx.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.duration == pytest.approx(0.5)
+        assert outer.duration == pytest.approx(1.5)
+        assert all(s.user == "alice" for s in telemetry.spans())
+
+    def test_exception_marks_span_error_and_propagates(self, ctx, telemetry):
+        with pytest.raises(ValueError):
+            with ctx.span("doomed", "pipeline.stage"):
+                raise ValueError("boom")
+        (span,) = telemetry.spans(name="doomed")
+        assert span.status == "error"
+        assert span.finished
+
+    def test_span_sets_ambient_context(self, ctx):
+        assert current_context() is None
+        with ctx.span("op", "service.operation"):
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_events_attach_to_current_span(self, ctx, telemetry):
+        with ctx.span("op", "service.operation"):
+            ctx.event("row-filter-injected", table="t")
+        (span,) = telemetry.spans(name="op")
+        assert [e.name for e in span.events] == ["row-filter-injected"]
+        assert span.events[0].attributes == {"table": "t"}
+
+    def test_event_without_open_span_is_noop(self, ctx):
+        ctx.event("orphan")  # must not raise
+
+    def test_span_or_null_without_context(self):
+        with span_or_null(None, "x", "y") as span:
+            assert span is None
+
+    def test_trace_tree_renders_nesting(self, ctx, telemetry):
+        with ctx.span("root", "service.operation"):
+            with ctx.span("leaf", "pipeline.stage"):
+                pass
+        tree = telemetry.trace_tree(ctx.trace_id)
+        root_line, leaf_line = tree.splitlines()
+        assert root_line.startswith("root [service.operation]")
+        assert leaf_line.startswith("  leaf [pipeline.stage]")
+
+    def test_span_kind_filters(self, ctx, telemetry):
+        with ctx.span("a", "k1"):
+            pass
+        with ctx.span("b", "k2"):
+            pass
+        assert [s.name for s in telemetry.spans(kind="k2")] == ["b"]
+        assert telemetry.span_kinds(ctx.trace_id) == {"k1", "k2"}
+
+
+class TestChildContext:
+    def test_child_joins_same_trace_under_current_span(self, ctx, telemetry):
+        with ctx.span("parent-op", "service.operation") as parent_span:
+            child = ctx.child(user="serverless", cluster_id="sls-0")
+            with child.span("remote-op", "pipeline.stage") as child_span:
+                pass
+        assert child.trace_id == ctx.trace_id
+        assert child_span.parent_id == parent_span.span_id
+        assert child_span.user == "serverless"
+        assert child_span.attributes["cluster"] == "sls-0"
+
+
+class TestDeadline:
+    def test_deadline_exceeded_raises(self, telemetry, clock):
+        ctx = QueryContext.create(
+            user="u", telemetry=telemetry, deadline_seconds=10.0
+        )
+        ctx.check_deadline()  # fine while time remains
+        clock.sleep(11.0)
+        with pytest.raises(QueryDeadlineExceeded):
+            ctx.check_deadline(where="stage 'execute'")
+
+    def test_remaining_unset_without_deadline(self, ctx):
+        assert ctx.remaining() is None
+
+
+class TestMetrics:
+    def test_counters_accumulate(self, telemetry):
+        telemetry.counter("credentials.issued").inc()
+        telemetry.counter("credentials.issued").inc(2)
+        assert telemetry.counters()["credentials.issued"] == 3
+
+    def test_histogram_percentile_and_totals(self, telemetry):
+        h = telemetry.histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(10.0)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+
+    def test_finished_spans_feed_duration_histograms(self, ctx, telemetry, clock):
+        with ctx.span("op", "executor.task"):
+            clock.sleep(2.0)
+        h = telemetry.histogram("span.executor.task.seconds")
+        assert h.count == 1
+        assert h.percentile(50) == pytest.approx(2.0)
+
+
+class TestExporters:
+    def test_jsonlines_exporter_appends_finished_spans(
+        self, telemetry, ctx, tmp_path
+    ):
+        path = tmp_path / "spans.jsonl"
+        telemetry.add_exporter(JsonLinesExporter(str(path)))
+        with ctx.span("outer", "service.operation"):
+            with ctx.span("inner", "pipeline.stage"):
+                pass
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        # Finish order: inner closes first.
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert records[0]["trace_id"] == ctx.trace_id
+        assert records[0]["user"] == "alice"

@@ -106,20 +106,31 @@ class TagStore:
     _column_tags: dict[str, dict[str, set[str]]] = field(default_factory=dict)
     _mask_policies: dict[str, TagMaskPolicy] = field(default_factory=dict)
     _filter_policies: dict[str, TagRowFilterPolicy] = field(default_factory=dict)
+    #: Invoked after every mutation; the catalog hooks its policy-epoch bump
+    #: here so ABAC changes invalidate cached secure plans like any policy.
+    on_change: Callable[[], None] | None = None
+
+    def _changed(self) -> None:
+        if self.on_change is not None:
+            self.on_change()
 
     # -- tagging ---------------------------------------------------------------
 
     def tag_table(self, table: str, tag: str) -> None:
         self._table_tags.setdefault(table, set()).add(tag)
+        self._changed()
 
     def untag_table(self, table: str, tag: str) -> None:
         self._table_tags.get(table, set()).discard(tag)
+        self._changed()
 
     def tag_column(self, table: str, column: str, tag: str) -> None:
         self._column_tags.setdefault(table, {}).setdefault(column, set()).add(tag)
+        self._changed()
 
     def untag_column(self, table: str, column: str, tag: str) -> None:
         self._column_tags.get(table, {}).get(column, set()).discard(tag)
+        self._changed()
 
     def table_tags(self, table: str) -> frozenset[str]:
         return frozenset(self._table_tags.get(table, set()))
@@ -130,16 +141,19 @@ class TagStore:
     # -- policies ----------------------------------------------------------------
 
     def register(self, policy: TagMaskPolicy | TagRowFilterPolicy) -> None:
+        """Install (or replace) a tag policy by name."""
         if isinstance(policy, TagMaskPolicy):
             self._mask_policies[policy.name] = policy
         elif isinstance(policy, TagRowFilterPolicy):
             self._filter_policies[policy.name] = policy
         else:
             raise PolicyError(f"unknown ABAC policy type {type(policy).__name__}")
+        self._changed()
 
     def unregister(self, name: str) -> None:
         self._mask_policies.pop(name, None)
         self._filter_policies.pop(name, None)
+        self._changed()
 
     # -- compilation ----------------------------------------------------------------
 

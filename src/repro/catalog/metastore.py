@@ -14,8 +14,9 @@ audited. Compute talks to the catalog through two entry points:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.catalog.abac import TagStore
 from repro.catalog.policies import ColumnMask, RowFilter
@@ -116,8 +117,17 @@ class UnityCatalog:
         self._catalogs: dict[str, CatalogObject] = {}
         self._row_filters: dict[str, RowFilter] = {}
         self._column_masks: dict[str, dict[str, ColumnMask]] = {}
+        #: Monotonic governance version: any change that could alter what a
+        #: user may see (grants, policies, view definitions, ABAC) bumps it.
+        #: Enforcement caches key on this epoch, so a stale epoch is a hard
+        #: miss — a policy change can never serve a stale cached artifact.
+        self._policy_epoch = 0
+        self._epoch_lock = threading.Lock()
+        #: Named cache-statistics providers backing ``system.access.cache_stats``.
+        self._cache_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
         #: Attribute-based access control: tags + tag policies (§2.3 ABAC).
         self.tags = TagStore()
+        self.tags.on_change = lambda: self.bump_policy_epoch("abac-update")
         #: The catalog service's own storage identity: it manages the managed
         #: root on behalf of users (users never hold this credential).
         self._service_credential = InstanceProfileCredential(
@@ -125,6 +135,40 @@ class UnityCatalog:
             cluster_id="unity-catalog",
             prefixes=(MANAGED_ROOT,),
         )
+
+    # ------------------------------------------------------------------
+    # Policy epoch: invalidation token for every enforcement cache
+    # ------------------------------------------------------------------
+
+    @property
+    def policy_epoch(self) -> int:
+        """Current governance version; caches must key on this value."""
+        return self._policy_epoch
+
+    def bump_policy_epoch(self, reason: str = "") -> int:
+        """Advance the epoch (any grant/policy/view/ABAC change calls this)."""
+        with self._epoch_lock:
+            self._policy_epoch += 1
+            epoch = self._policy_epoch
+        self.telemetry.counter("catalog.policy_epoch_bumps").inc()
+        return epoch
+
+    # ------------------------------------------------------------------
+    # Cache-statistics registry (``system.access.cache_stats``)
+    # ------------------------------------------------------------------
+
+    def register_cache_stats_provider(
+        self, name: str, provider: Callable[[], dict[str, Any]]
+    ) -> None:
+        """Expose one cache's counters through the introspection table."""
+        self._cache_stats_providers[name] = provider
+
+    def cache_stats(self) -> dict[str, dict[str, Any]]:
+        """Snapshot of every registered cache's statistics, by cache name."""
+        return {
+            name: dict(provider())
+            for name, provider in sorted(self._cache_stats_providers.items())
+        }
 
     # ------------------------------------------------------------------
     # Auditing helper
@@ -198,6 +242,7 @@ class UnityCatalog:
         ):
             raise SecurableNotFound(f"principal '{new_owner}' does not exist")
         obj.owner = new_owner
+        self.bump_policy_epoch("transfer-ownership")
 
     def drop_object(self, full_name: str, ctx: UserContext) -> None:
         """Drop a securable (owner/admin only); its policies go with it."""
@@ -207,6 +252,7 @@ class UnityCatalog:
         del self._schema(cat, sch).objects[name]
         self._row_filters.pop(full_name, None)
         self._column_masks.pop(full_name, None)
+        self.bump_policy_epoch("drop-object")
 
     def get_object(self, full_name: str) -> Securable:
         cat, sch, name = split_name(full_name)
@@ -291,6 +337,7 @@ class UnityCatalog:
         view = ViewObject(full_name=full_name, sql_text=sql_text, owner=owner,
                           comment=comment)
         self._register(view)
+        self.bump_policy_epoch("view-definition")
         return view
 
     def create_materialized_view(
@@ -307,6 +354,7 @@ class UnityCatalog:
             comment=comment,
         )
         self._register(view)
+        self.bump_policy_epoch("view-definition")
         return view
 
     def store_materialization(
@@ -327,6 +375,9 @@ class UnityCatalog:
             storage.overwrite(columns, self._service_credential)
         view.schema = schema
         view.stale = False
+        # Freshness flips resolution from live expansion to materialized
+        # scan, so plans cached before the refresh must not survive it.
+        self.bump_policy_epoch("mv-refresh")
 
     def create_function(
         self, full_name: str, udf: PythonUDF, owner: str, comment: str = ""
@@ -360,9 +411,11 @@ class UnityCatalog:
 
     def grant(self, privilege: str, securable: str, principal: str) -> None:
         self.grants.grant(privilege, securable, principal)
+        self.bump_policy_epoch("grant")
 
     def revoke(self, privilege: str, securable: str, principal: str) -> None:
         self.grants.revoke(privilege, securable, principal)
+        self.bump_policy_epoch("revoke")
 
     def grant_checked(
         self, ctx: UserContext, privilege: str, securable: str, principal: str
@@ -441,22 +494,26 @@ class UnityCatalog:
         self._require_owner_or_admin(ctx, table.owner, full_name, "set row filter")
         rf.validate(table.schema)
         self._row_filters[full_name] = rf
+        self.bump_policy_epoch("row-filter")
 
     def drop_row_filter(self, full_name: str, ctx: UserContext) -> None:
         table = self.get_table(full_name)
         self._require_owner_or_admin(ctx, table.owner, full_name, "drop row filter")
         self._row_filters.pop(full_name, None)
+        self.bump_policy_epoch("row-filter")
 
     def set_column_mask(self, full_name: str, mask: ColumnMask, ctx: UserContext) -> None:
         table = self.get_table(full_name)
         self._require_owner_or_admin(ctx, table.owner, full_name, "set column mask")
         mask.validate(table.schema)
         self._column_masks.setdefault(full_name, {})[mask.column] = mask
+        self.bump_policy_epoch("column-mask")
 
     def drop_column_mask(self, full_name: str, column: str, ctx: UserContext) -> None:
         table = self.get_table(full_name)
         self._require_owner_or_admin(ctx, table.owner, full_name, "drop column mask")
         self._column_masks.get(full_name, {}).pop(column, None)
+        self.bump_policy_epoch("column-mask")
 
     def _require_owner_or_admin(self, ctx: UserContext, owner: str,
                                 full_name: str, action: str) -> None:

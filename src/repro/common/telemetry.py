@@ -14,6 +14,7 @@ streams finished spans to a file for benchmarks and offline analysis.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Protocol
 
@@ -159,6 +160,10 @@ class Telemetry:
         self._open: dict[str, Span] = {}
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        # Scan tasks and forked operator subtrees finish spans and bump
+        # counters from worker threads; one registry lock keeps the open-span
+        # map, the metric registries, and export ordering consistent.
+        self._lock = threading.Lock()
 
     # -- spans ----------------------------------------------------------------------
 
@@ -182,20 +187,24 @@ class Telemetry:
             start=self.clock.now(),
             attributes=dict(attributes),
         )
-        self._open[span.span_id] = span
+        with self._lock:
+            self._open[span.span_id] = span
         return span
 
     def finish_span(self, span: Span, status: str = "ok") -> Span:
         """Stamp the end time, record the duration histogram, and export."""
-        if span.finished:
+        with self._lock:
+            if span.finished:
+                return span
+            span.end = self.clock.now()
+            span.status = status
+            self._open.pop(span.span_id, None)
+            self._histogram_locked(f"span.{span.kind}.seconds").observe(
+                span.duration
+            )
+            for exporter in self._exporters:
+                exporter.export(span)
             return span
-        span.end = self.clock.now()
-        span.status = status
-        self._open.pop(span.span_id, None)
-        self.histogram(f"span.{span.kind}.seconds").observe(span.duration)
-        for exporter in self._exporters:
-            exporter.export(span)
-        return span
 
     def add_exporter(self, exporter: SpanExporter) -> None:
         self._exporters.append(exporter)
@@ -267,12 +276,17 @@ class Telemetry:
     # -- metrics --------------------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = self._counters[name] = Counter(name)
-        return counter
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            return counter
 
     def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._histogram_locked(name)
+
+    def _histogram_locked(self, name: str) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
             histogram = self._histograms[name] = Histogram(name)

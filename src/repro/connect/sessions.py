@@ -64,6 +64,12 @@ class SessionState:
     #: Session configuration (workload environment version etc.).
     config: dict[str, str] = field(default_factory=dict)
     closed: bool = False
+    #: Bumped whenever temp views/UDFs change; part of the secure-plan cache
+    #: key, since session temp state resolves at plan-decode time.
+    temp_state_version: int = 0
+
+    def bump_temp_state(self) -> None:
+        self.temp_state_version += 1
 
 
 class SessionManager:

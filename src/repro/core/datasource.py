@@ -3,32 +3,49 @@
 Every scan task exchanges the session identity for a temporary, table-scoped
 credential before touching storage — data access is *user-bound*, never
 cluster-bound. Files of a snapshot are distributed round-robin across
-simulated executors, each of which performs its reads under the vended
-credential, so the audit log shows per-user, per-object access.
+simulated executors; with ``num_executors > 1`` the tasks run concurrently on
+a shared thread pool, each reading under the vended credential, so the audit
+log still shows per-user, per-object access.
+
+Two performance layers live here:
+
+- a :class:`~repro.storage.credentials.CredentialCache` so a multi-file,
+  multi-task or repeated scan vends once per (principal, table, operations)
+  per policy epoch instead of once per query;
+- parallel task execution. :class:`~repro.common.context.QueryContext`
+  ambient propagation is ``contextvars``-based and therefore does **not**
+  cross thread boundaries, so each worker receives an explicit per-task
+  child context (same trace id, parented on the query's current span) —
+  ``scan-task-*`` spans always join the originating query's trace.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterator
 
 from repro.catalog.metastore import UnityCatalog
-from repro.common.context import span_or_null
+from repro.common.context import QueryContext, span_or_null
 from repro.catalog.privileges import UserContext
 from repro.catalog.scopes import ComputeCapabilities
-from repro.engine.batch import ColumnBatch
+from repro.engine.batch import ColumnBatch, chunk_batch
 from repro.engine.expressions import EvalContext
 from repro.engine.logical import TableRef
 from repro.errors import ExecutionError
-from repro.storage.credentials import LIST, READ
-from repro.storage.table_format import LakeTableStorage
+from repro.storage.credentials import LIST, READ, CredentialCache
+from repro.storage.table_format import DataFile, LakeTableStorage
 
 
 @dataclass
 class ScanStats:
     files_read: int = 0
     credentials_vended: int = 0
+    credential_cache_hits: int = 0
     executor_tasks: int = 0
+    #: Scans that ran their tasks on the thread pool (vs. the serial path).
+    parallel_scans: int = 0
 
 
 class GovernedDataSource:
@@ -39,16 +56,75 @@ class GovernedDataSource:
         catalog: UnityCatalog,
         caps: ComputeCapabilities,
         num_executors: int = 2,
+        enable_credential_cache: bool = True,
+        credential_refresh_ahead: float = 0.2,
     ):
         self._catalog = catalog
         self._caps = caps
         self._num_executors = max(1, num_executors)
         self.stats = ScanStats()
+        self.credential_cache: CredentialCache | None = None
+        if enable_credential_cache:
+            self.credential_cache = CredentialCache(
+                clock=catalog.clock,
+                refresh_ahead_fraction=credential_refresh_ahead,
+                telemetry=catalog.telemetry,
+            )
+            catalog.register_cache_stats_provider(
+                f"credential_cache[{caps.compute_id}]",
+                self.credential_cache.stats_snapshot,
+            )
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _task_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._num_executors,
+                    thread_name_prefix="scan-exec",
+                )
+            return self._pool
 
     def _delegate_context(self, delegate: str) -> UserContext:
         if self._catalog.principals.is_user(delegate):
             return self._catalog.principals.context_for(delegate)
         return UserContext(user=delegate)
+
+    def _credential_for(self, table: TableRef, ctx: UserContext):
+        """Vend (or reuse) the user-bound credential for one scan."""
+        if table.auth_delegate is not None:
+            # Definer-rights scan (view body): the credential is vended under
+            # the definer's authority; the session user stays in the audit.
+            vend_ctx = self._delegate_context(table.auth_delegate)
+            on_behalf_of = ctx.user
+        else:
+            vend_ctx = ctx
+            on_behalf_of = None
+
+        def vend():
+            return self._catalog.vend_credential(
+                vend_ctx, table.full_name, {READ, LIST}, self._caps,
+                on_behalf_of=on_behalf_of,
+            )
+
+        if self.credential_cache is None:
+            self.stats.credentials_vended += 1
+            return vend()
+        credential, reused = self.credential_cache.get_or_vend(
+            principal=vend_ctx.user,
+            securable=table.full_name,
+            operations=frozenset({READ, LIST}),
+            on_behalf_of=on_behalf_of,
+            policy_epoch=self._catalog.policy_epoch,
+            vend=vend,
+            validate=self._catalog.vendor.validate,
+        )
+        if reused:
+            self.stats.credential_cache_hits += 1
+        else:
+            self.stats.credentials_vended += 1
+        return credential
 
     def scan(self, table: TableRef, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
         ctx = eval_ctx.auth
@@ -60,38 +136,29 @@ class GovernedDataSource:
             raise ExecutionError(
                 f"'{table.full_name}' has no storage visible to this compute"
             )
-        if table.auth_delegate is not None:
-            # Definer-rights scan (view body): the credential is vended under
-            # the definer's authority; the session user stays in the audit.
-            vend_ctx = self._delegate_context(table.auth_delegate)
-            on_behalf_of = ctx.user
-        else:
-            vend_ctx = ctx
-            on_behalf_of = None
-        credential = self._catalog.vend_credential(
-            vend_ctx, table.full_name, {READ, LIST}, self._caps,
-            on_behalf_of=on_behalf_of,
-        )
-        self.stats.credentials_vended += 1
+        credential = self._credential_for(table, ctx)
         storage = LakeTableStorage(self._catalog.store, table.storage_root)
         snapshot = storage.snapshot(credential, version=table.snapshot_version)
+        batch_size = getattr(eval_ctx, "batch_size", 0)
 
         # Distribute files over simulated executor tasks round-robin; each
         # task reads with the same user-bound credential.
-        assignments: list[list] = [[] for _ in range(self._num_executors)]
+        assignments: list[list[DataFile]] = [[] for _ in range(self._num_executors)]
         for i, data_file in enumerate(snapshot.files):
             assignments[i % self._num_executors].append(data_file)
+        tasks = [(i, files) for i, files in enumerate(assignments) if files]
 
-        qctx = getattr(eval_ctx, "query_ctx", None)
-        produced = False
-        for task_index, task_files in enumerate(assignments):
-            if not task_files:
-                continue
-            self.stats.executor_tasks += 1
+        qctx: QueryContext | None = getattr(eval_ctx, "query_ctx", None)
+
+        def run_task(
+            task_index: int,
+            task_files: list[DataFile],
+            task_ctx: QueryContext | None,
+        ) -> list[ColumnBatch]:
             # Materialize the task's files inside its span so the span
             # measures the read, not downstream operator time.
             with span_or_null(
-                qctx,
+                task_ctx,
                 f"scan-task-{task_index}",
                 "executor.task",
                 table=table.full_name,
@@ -102,10 +169,47 @@ class GovernedDataSource:
                 batches = []
                 for data_file in task_files:
                     columns = storage.read_file(data_file, credential)
-                    self.stats.files_read += 1
                     batches.append(ColumnBatch.from_dict(table.schema, columns))
-            for batch in batches:
-                produced = True
-                yield batch
+                return batches
+
+        produced = False
+        if self._num_executors > 1 and len(tasks) > 1:
+            # Parallel path: the ambient contextvar does not cross threads,
+            # so each task gets an explicit child context created *here*
+            # (while the query's span is current) to parent its span onto.
+            self.stats.parallel_scans += 1
+            pool = self._task_pool()
+            futures = [
+                (
+                    task_index,
+                    task_files,
+                    pool.submit(
+                        run_task,
+                        task_index,
+                        task_files,
+                        qctx.child() if qctx is not None else None,
+                    ),
+                )
+                for task_index, task_files in tasks
+            ]
+            # Consume in submission order: deterministic output regardless
+            # of which worker finishes first.
+            for task_index, task_files, future in futures:
+                batches = future.result()
+                self.stats.executor_tasks += 1
+                self.stats.files_read += len(task_files)
+                for batch in batches:
+                    for chunk in chunk_batch(batch, batch_size):
+                        produced = True
+                        yield chunk
+        else:
+            for task_index, task_files in tasks:
+                batches = run_task(task_index, task_files, qctx)
+                self.stats.executor_tasks += 1
+                self.stats.files_read += len(task_files)
+                for batch in batches:
+                    for chunk in chunk_batch(batch, batch_size):
+                        produced = True
+                        yield chunk
         if not produced:
             yield ColumnBatch.empty(table.schema)

@@ -88,6 +88,8 @@ class GovernedResolver:
     AUDIT_TABLE = "system.access.audit"
     #: Per-query span profiles; non-admins see only their own queries.
     QUERY_PROFILE_TABLE = "system.access.query_profile"
+    #: Hit/miss/size counters of every enforcement cache (admins only).
+    CACHE_STATS_TABLE = "system.access.cache_stats"
 
     def resolve_relation(
         self, name: str, options: dict | None = None
@@ -97,6 +99,8 @@ class GovernedResolver:
             return self._resolve_audit_table()
         if name == self.QUERY_PROFILE_TABLE:
             return self._resolve_query_profile_table()
+        if name == self.CACHE_STATS_TABLE:
+            return self._resolve_cache_stats_table()
         metadata = self._catalog.relation_metadata(
             name, self.acting_ctx, self._caps
         )
@@ -316,6 +320,47 @@ class GovernedResolver:
             [s.duration * 1000.0 for s in spans],
             [s.status for s in spans],
             [_json.dumps(s.attributes, default=str, sort_keys=True) for s in spans],
+        ]
+        return LocalRelation(schema, columns)
+
+    def _resolve_cache_stats_table(self) -> LogicalPlan:
+        """``system.access.cache_stats``: one row per cache metric (admins).
+
+        Rows come from the providers each enforcement cache registers with
+        the catalog (secure-plan cache, credential cache, sandbox pool), as
+        ``(cache, metric, value)`` — operators watch hit rates and verify
+        that a policy change flushed what it should have.
+        """
+        from repro.catalog.privileges import MANAGE
+        from repro.engine.logical import LocalRelation
+        from repro.engine.types import FLOAT, STRING, Field
+        from repro.errors import PermissionDenied
+
+        ctx = self.session_ctx
+        is_admin = (
+            not ctx.is_down_scoped
+            and self._catalog.principals.is_admin(ctx.user)
+        )
+        if not is_admin:
+            raise PermissionDenied(ctx.user, MANAGE, self.CACHE_STATS_TABLE)
+        rows: list[tuple[str, str, float]] = []
+        for cache_name, stats in self._catalog.cache_stats().items():
+            for metric, value in sorted(stats.items()):
+                try:
+                    rows.append((cache_name, metric, float(value)))
+                except (TypeError, ValueError):
+                    continue  # non-numeric provider fields are not metrics
+        schema = Schema(
+            (
+                Field("cache", STRING),
+                Field("metric", STRING),
+                Field("value", FLOAT),
+            )
+        )
+        columns: list[list] = [
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
         ]
         return LocalRelation(schema, columns)
 

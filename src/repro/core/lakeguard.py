@@ -30,6 +30,7 @@ from repro.core.datasource import GovernedDataSource
 from repro.core.efgac import RemoteQueryExecutor, RemoteSubmit, efgac_rules
 from repro.core.enforcement import GovernedResolver
 from repro.core.pipeline import PipelineState, build_enforcement_pipeline
+from repro.core.plan_cache import SecurePlanCache
 from repro.core.plan_codec import PlanDecoder
 from repro.engine.executor import ExecutionConfig, QueryEngine, QueryResult
 from repro.engine.expressions import UDFRuntime
@@ -83,6 +84,11 @@ class LakeguardCluster:
         provision_seconds: float = 0.0,
         interpreter_start_seconds: float = 0.0,
         context_transform: ContextTransform | None = None,
+        enable_plan_cache: bool = True,
+        plan_cache_capacity: int = 128,
+        enable_credential_cache: bool = True,
+        credential_refresh_ahead: float = 0.2,
+        sandbox_min_pool_size: int = 0,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -102,9 +108,31 @@ class LakeguardCluster:
             provision_seconds=provision_seconds,
             interpreter_start_seconds=interpreter_start_seconds,
         )
-        self.dispatcher = Dispatcher(self.cluster_manager)
+        self.dispatcher = Dispatcher(
+            self.cluster_manager, min_pool_size=sandbox_min_pool_size
+        )
+        catalog.register_cache_stats_provider(
+            f"sandbox_pool[{self.cluster_id}]", self.dispatcher.stats_snapshot
+        )
 
-        self.data_source = GovernedDataSource(catalog, self.caps, num_executors)
+        #: Secure-plan cache: memoizes parse→resolve→rewrite→optimize output,
+        #: invalidated by the catalog policy epoch (None when disabled).
+        self.plan_cache: SecurePlanCache | None = None
+        if enable_plan_cache:
+            self.plan_cache = SecurePlanCache(
+                capacity=plan_cache_capacity, telemetry=self.telemetry
+            )
+            catalog.register_cache_stats_provider(
+                f"plan_cache[{self.cluster_id}]", self.plan_cache.stats_snapshot
+            )
+
+        self.data_source = GovernedDataSource(
+            catalog,
+            self.caps,
+            num_executors,
+            enable_credential_cache=enable_credential_cache,
+            credential_refresh_ahead=credential_refresh_ahead,
+        )
         self._remote_analyze = remote_analyze
         self.remote_executor: RemoteQueryExecutor | None = None
         if remote_submit is not None:
@@ -229,7 +257,11 @@ class LakeguardCluster:
     def pipeline_for(self, session: SessionState):
         """The staged enforcement pipeline for one session's engine."""
         return build_enforcement_pipeline(
-            self.engine_for(session), self._decoder(session)
+            self.engine_for(session),
+            self._decoder(session),
+            plan_cache=self.plan_cache,
+            policy_epoch=lambda: self.catalog.policy_epoch,
+            compute_id=self.caps.compute_id,
         )
 
     def _run_pipeline(
@@ -291,6 +323,7 @@ class LakeguardCluster:
             return {"status": "ok", "operation": "write_table"}
         if kind == "command.create_temp_view":
             session.temp_views[command["name"]] = command["relation"]
+            session.bump_temp_state()
             return {"status": "ok", "operation": "create_temp_view"}
         if kind == "command.register_function":
             import cloudpickle
@@ -312,6 +345,7 @@ class LakeguardCluster:
                 deterministic=bool(command.get("deterministic", True)),
             )
             session.temp_udfs[udf_obj.name] = udf_obj
+            session.bump_temp_state()
             return {
                 "status": "ok",
                 "operation": "register_function",

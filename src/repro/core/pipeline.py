@@ -28,6 +28,7 @@ from typing import Any, Callable, Sequence
 from repro.common.context import QueryContext
 from repro.common.telemetry import Span
 from repro.connect.sessions import SessionState
+from repro.core.plan_cache import PlanCacheKey, SecurePlanCache, fingerprint_relation
 from repro.core.plan_codec import PlanDecoder
 from repro.engine.executor import QueryEngine, QueryResult
 from repro.engine.logical import LogicalPlan, RemoteScan
@@ -71,6 +72,10 @@ class PipelineState:
     #: Stream-ready outputs.
     schema_message: list[dict[str, str]] | None = None
     columns: list[list[Any]] | None = None
+    #: Secure-plan cache bookkeeping: the key computed at parse time, and
+    #: whether resolve/rewrite/optimize were satisfied from the cache.
+    cache_key: PlanCacheKey | None = None
+    cache_hit: bool = False
 
 
 @dataclass(frozen=True)
@@ -111,6 +116,20 @@ def _schema_message(schema: Schema) -> list[dict[str, str]]:
     return [{"name": f.qualified_name(), "type": f.dtype.name} for f in schema]
 
 
+def _references_system_tables(obj: Any) -> bool:
+    """True if a wire relation mentions any ``system.*`` table.
+
+    System tables (audit log, query profiles, cache stats) materialize
+    their rows at *resolve* time, so a cached secure plan would freeze
+    them; such queries always bypass the plan cache.
+    """
+    if isinstance(obj, dict):
+        return any(_references_system_tables(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return any(_references_system_tables(v) for v in obj)
+    return isinstance(obj, str) and obj.startswith("system.")
+
+
 def _remote_scans(plan: LogicalPlan) -> list[RemoteScan]:
     found: list[RemoteScan] = []
 
@@ -125,9 +144,33 @@ def _remote_scans(plan: LogicalPlan) -> list[RemoteScan]:
 
 
 def build_enforcement_pipeline(
-    engine: QueryEngine, decoder: PlanDecoder
+    engine: QueryEngine,
+    decoder: PlanDecoder,
+    *,
+    plan_cache: SecurePlanCache | None = None,
+    policy_epoch: Callable[[], int] | None = None,
+    compute_id: str = "",
 ) -> QueryPipeline:
-    """The standard governed-query pipeline over one session's engine."""
+    """The standard governed-query pipeline over one session's engine.
+
+    With a ``plan_cache``, the parse stage computes the full cache key
+    (fingerprint, user, principals, live policy epoch, compute id, session
+    temp-state version); a hit skips decode/resolve/rewrite/optimize
+    entirely, a miss inserts after optimize. ``policy_epoch`` must return
+    the catalog's *current* governance epoch so any policy change since the
+    plan was cached is a hard miss.
+    """
+
+    def _cache_key(state: PipelineState) -> PlanCacheKey:
+        user_ctx = state.session.user_ctx
+        return PlanCacheKey(
+            fingerprint=fingerprint_relation(state.relation),
+            user=user_ctx.user,
+            principals=frozenset(user_ctx.principals()),
+            policy_epoch=policy_epoch() if policy_epoch is not None else 0,
+            compute_id=compute_id,
+            temp_state_version=state.session.temp_state_version,
+        )
 
     def parse(ctx: QueryContext, state: PipelineState, span: Span) -> None:
         if state.plan is None:
@@ -135,6 +178,18 @@ def build_enforcement_pipeline(
             span.set_attribute(
                 "relation_type", (state.relation or {}).get("@type", "?")
             )
+            if plan_cache is not None and not _references_system_tables(
+                state.relation
+            ):
+                state.cache_key = _cache_key(state)
+                entry = plan_cache.lookup(state.cache_key, state.relation)
+                if entry is not None:
+                    state.analyzed = entry.analyzed
+                    state.optimized = entry.optimized
+                    state.cache_hit = True
+                    span.set_attribute("plan_cache", "hit")
+                    return
+                span.set_attribute("plan_cache", "miss")
             state.plan = decoder.relation(state.relation)
         else:
             # SQL command paths (CTAS, MV refresh) hand the pipeline a plan
@@ -142,7 +197,10 @@ def build_enforcement_pipeline(
             span.set_attribute("source", "prebuilt")
 
     def resolve_secure(ctx: QueryContext, state: PipelineState, span: Span) -> None:
-        state.analyzed = engine.analyze(state.plan)
+        if state.cache_hit:
+            span.set_attribute("plan_cache", "hit")
+        else:
+            state.analyzed = engine.analyze(state.plan)
         span.set_attribute("output_columns", len(state.analyzed.schema))
 
     def efgac_rewrite(ctx: QueryContext, state: PipelineState, span: Span) -> None:
@@ -156,13 +214,24 @@ def build_enforcement_pipeline(
             )
 
     def optimize(ctx: QueryContext, state: PipelineState, span: Span) -> None:
-        state.optimized = engine.optimize(state.analyzed)
+        if state.cache_hit:
+            span.set_attribute("plan_cache", "hit")
+        else:
+            state.optimized = engine.optimize(state.analyzed)
         pushed: dict[str, int] = {}
         for remote in _remote_scans(state.optimized):
             for key, count in remote.pushed.items():
                 pushed[key] = pushed.get(key, 0) + count
         if pushed:
             span.set_attribute("efgac_pushdowns", pushed)
+        if (
+            plan_cache is not None
+            and not state.cache_hit
+            and state.cache_key is not None
+        ):
+            plan_cache.insert(
+                state.cache_key, state.relation, state.analyzed, state.optimized
+            )
 
     def encode_plan(ctx: QueryContext, state: PipelineState, span: Span) -> None:
         state.operator = engine.plan_physical(state.optimized)

@@ -1,0 +1,183 @@
+"""The secure-plan cache: memoizing the enforcement front half.
+
+Every governed query pays parse → resolve-secure → efgac-rewrite → optimize
+before a single byte is read, and FGAC enforcement cost is dominated by that
+redundant per-query policy rewriting. This cache memoizes the *output* of
+those stages — the analyzed plan (policies injected under ``SecureView``
+barriers) and the optimized plan — so a repeated query skips straight to
+physical planning.
+
+Correctness is carried entirely by the key::
+
+    (plan fingerprint, user, effective principals, policy epoch,
+     compute id, session temp-state version)
+
+- The **policy epoch** is Unity Catalog's monotonic governance version: any
+  grant/revoke, row-filter or column-mask change, view (re)definition, or
+  ABAC update bumps it, so a cached plan resolved under older policies is a
+  *hard miss* — a policy change can never serve a stale secure plan.
+- **User + effective principals** keep per-user rewrites (row filters with
+  ``CURRENT_USER``, down-scoped groups) from crossing identities.
+- The **temp-state version** covers session-local temporary views and UDFs,
+  which resolve at decode time.
+- Entries store the exact relation proto and verify full equality on hit
+  (hash-then-compare), so fingerprint collisions cannot serve a wrong plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.telemetry import Telemetry
+from repro.engine.logical import LogicalPlan
+
+DEFAULT_CAPACITY = 128
+
+
+def fingerprint_relation(relation: dict[str, Any]) -> str:
+    """Stable digest of a wire relation (non-JSON leaves via ``str``)."""
+    canonical = json.dumps(relation, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class PlanCacheKey:
+    """Full identity of one cached secure plan (see module docstring)."""
+
+    fingerprint: str
+    user: str
+    principals: frozenset[str]
+    policy_epoch: int
+    compute_id: str
+    temp_state_version: int
+
+    def identity(self) -> tuple:
+        """Everything except the epoch — used to spot stale-epoch entries."""
+        return (
+            self.fingerprint,
+            self.user,
+            self.principals,
+            self.compute_id,
+            self.temp_state_version,
+        )
+
+
+@dataclass
+class CachedSecurePlan:
+    """The resolved front half of one query, plus the proto it came from."""
+
+    relation: dict[str, Any]
+    analyzed: LogicalPlan
+    optimized: LogicalPlan
+    policy_epoch: int
+    hits: int = 0
+
+
+@dataclass
+class PlanCacheStats:
+    hits: int = 0
+    misses: int = 0
+    #: Misses caused specifically by a policy-epoch bump (the entry existed
+    #: but was resolved under older governance state).
+    stale_epoch_misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+
+class SecurePlanCache:
+    """Thread-safe LRU cache of (analyzed, optimized) secure plans."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        telemetry: Telemetry | None = None,
+    ):
+        self.capacity = max(1, capacity)
+        self._telemetry = telemetry
+        self._entries: OrderedDict[PlanCacheKey, CachedSecurePlan] = OrderedDict()
+        #: identity() -> current key, to evict superseded-epoch entries.
+        self._by_identity: dict[tuple, PlanCacheKey] = {}
+        self._lock = threading.Lock()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _count(self, name: str) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter(name).inc()
+
+    def lookup(
+        self, key: PlanCacheKey, relation: dict[str, Any]
+    ) -> CachedSecurePlan | None:
+        """Return the cached plan for ``key`` or None (and count why not)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.relation == relation:
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                self.stats.hits += 1
+                self._count("plan_cache.hits")
+                return entry
+            self.stats.misses += 1
+            self._count("plan_cache.misses")
+            stale = self._by_identity.get(key.identity())
+            if stale is not None and stale.policy_epoch != key.policy_epoch:
+                # Same query, same identity, older governance: the epoch
+                # bump invalidated it. Drop it now rather than let it age out.
+                self._entries.pop(stale, None)
+                self._by_identity.pop(key.identity(), None)
+                self.stats.stale_epoch_misses += 1
+                self._count("plan_cache.stale_epoch_misses")
+            return None
+
+    def insert(
+        self,
+        key: PlanCacheKey,
+        relation: dict[str, Any],
+        analyzed: LogicalPlan,
+        optimized: LogicalPlan,
+    ) -> None:
+        """Store a freshly resolved plan, evicting LRU past capacity."""
+        with self._lock:
+            previous = self._by_identity.get(key.identity())
+            if previous is not None and previous != key:
+                self._entries.pop(previous, None)
+            self._entries[key] = CachedSecurePlan(
+                relation=relation,
+                analyzed=analyzed,
+                optimized=optimized,
+                policy_epoch=key.policy_epoch,
+            )
+            self._entries.move_to_end(key)
+            self._by_identity[key.identity()] = key
+            self.stats.insertions += 1
+            while len(self._entries) > self.capacity:
+                evicted_key, _ = self._entries.popitem(last=False)
+                if self._by_identity.get(evicted_key.identity()) == evicted_key:
+                    del self._by_identity[evicted_key.identity()]
+                self.stats.evictions += 1
+                self._count("plan_cache.evictions")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._by_identity.clear()
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Counters + size for ``system.access.cache_stats``."""
+        with self._lock:
+            return {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "stale_epoch_misses": self.stats.stale_epoch_misses,
+                "insertions": self.stats.insertions,
+                "evictions": self.stats.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }

@@ -163,6 +163,15 @@ class OneRowBatch(ColumnBatch):
 ONE_ROW = OneRowBatch()
 
 
+def chunk_batch(batch: ColumnBatch, batch_size: int) -> Iterator[ColumnBatch]:
+    """Split a batch into ``batch_size``-row slices (0 = unlimited)."""
+    if batch_size <= 0 or batch.num_rows <= batch_size:
+        yield batch
+        return
+    for start in range(0, batch.num_rows, batch_size):
+        yield batch.slice(start, start + batch_size)
+
+
 def batch_schema_for(names: Sequence[str], sample: dict[str, Sequence[Any]]) -> Schema:
     """Infer a schema from sample data (used by LocalRelation builders)."""
     from repro.engine.types import BINARY, BOOL, FLOAT, INT, STRING

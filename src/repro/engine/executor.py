@@ -13,7 +13,7 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.common.context import QueryContext, current_context, span_or_null
 from repro.engine.analyzer import Analyzer, RelationResolver
-from repro.engine.batch import ColumnBatch
+from repro.engine.batch import ColumnBatch, chunk_batch
 from repro.engine.expressions import EvalContext, UDFRuntime
 from repro.engine.logical import LogicalPlan, RemoteScan, TableRef
 from repro.engine.optimizer import Optimizer, OptimizerConfig, Rule
@@ -50,7 +50,8 @@ class LocalDataSource:
             columns = self._tables[table.full_name]
         except KeyError:
             raise ExecutionError(f"no data registered for '{table.full_name}'") from None
-        yield ColumnBatch.from_dict(table.schema, columns)
+        batch = ColumnBatch.from_dict(table.schema, columns)
+        yield from chunk_batch(batch, eval_ctx.batch_size)
 
 
 @dataclass
@@ -132,12 +133,14 @@ class QueryEngine:
             udf_runtime=udf_runtime or self._udf_runtime or UDFRuntime(),
             auth=auth,
             query_ctx=query_ctx if query_ctx is not None else current_context(),
+            batch_size=self.config.batch_size,
         )
         return ExecContext(
             eval_ctx=eval_ctx,
             data_source=self._data_source,
             remote_executor=self._remote_executor,
             batch_size=self.config.batch_size,
+            parallel_children=self.config.num_executors > 1,
         )
 
     def explain(self, plan: LogicalPlan, user: str = "anonymous") -> str:

@@ -58,6 +58,9 @@ class EvalContext:
     #: The instrumented QueryContext this evaluation belongs to (opaque to
     #: the engine; governed components use it to emit spans).
     query_ctx: Any = None
+    #: Configured row-count ceiling per emitted batch (0 = unlimited); data
+    #: sources chunk their output to honor it.
+    batch_size: int = 0
 
 
 class UDFRuntime:

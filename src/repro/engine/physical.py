@@ -12,11 +12,12 @@ The governance hooks at this layer:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Protocol
+from typing import Any, Callable, Iterator, Protocol, Sequence
 
 from repro.engine.aggregates import AggregateCall
-from repro.engine.batch import ColumnBatch
+from repro.engine.batch import ColumnBatch, chunk_batch
 from repro.engine.expressions import (
     BoundRef,
     EvalContext,
@@ -65,6 +66,15 @@ class QueryMetrics:
     remote_subqueries: int = 0
     remote_rows_received: int = 0
 
+    def merge_from(self, other: "QueryMetrics") -> None:
+        """Fold a forked subtree's counters back into this context's."""
+        self.rows_scanned += other.rows_scanned
+        self.rows_output += other.rows_output
+        self.batches_output += other.batches_output
+        self.sandbox_round_trips += other.sandbox_round_trips
+        self.remote_subqueries += other.remote_subqueries
+        self.remote_rows_received += other.remote_rows_received
+
 
 @dataclass
 class ExecContext:
@@ -75,6 +85,84 @@ class ExecContext:
     remote_executor: Callable[[RemoteScan, EvalContext], Iterator[ColumnBatch]] | None = None
     batch_size: int = DEFAULT_BATCH_SIZE
     metrics: QueryMetrics = field(default_factory=QueryMetrics)
+    #: Materialize independent child subtrees (join/union inputs) on threads.
+    parallel_children: bool = False
+
+    def fork(self) -> "ExecContext":
+        """An isolated context for running one subtree on its own thread.
+
+        The fork gets fresh metrics (merged back via ``merge_from``), a fresh
+        ``udf_results`` memo, and — because contextvars do not propagate to
+        worker threads — an explicit child :class:`QueryContext` created
+        *now*, so the subtree's spans parent onto the query's current span
+        and keep its trace id.
+        """
+        eval_ctx = self.eval_ctx
+        qctx = eval_ctx.query_ctx
+        forked_eval = EvalContext(
+            user=eval_ctx.user,
+            groups=eval_ctx.groups,
+            udf_runtime=eval_ctx.udf_runtime,
+            auth=eval_ctx.auth,
+            query_ctx=qctx.child() if qctx is not None else None,
+            batch_size=eval_ctx.batch_size,
+        )
+        return ExecContext(
+            eval_ctx=forked_eval,
+            data_source=self.data_source,
+            remote_executor=self.remote_executor,
+            batch_size=self.batch_size,
+            parallel_children=self.parallel_children,
+        )
+
+
+def collect_children_parallel(
+    ctx: ExecContext, children: Sequence["PhysicalOperator"]
+) -> list[ColumnBatch]:
+    """Materialize independent subtrees, concurrently when enabled.
+
+    Each child runs on an ephemeral thread with a forked context (fresh
+    metrics/UDF memo, explicit child QueryContext); ephemeral threads rather
+    than a shared pool so a subtree that itself fans out scan tasks can never
+    deadlock against its own parent's worker slots. Results come back in
+    child order and forked metrics are merged deterministically.
+    """
+    if not ctx.parallel_children or len(children) < 2:
+        return [
+            ColumnBatch.concat(child.schema, list(child.execute(ctx)))
+            for child in children
+        ]
+    forked = [ctx.fork() for _ in children]
+    results: list[ColumnBatch | None] = [None] * len(children)
+    errors: list[BaseException | None] = [None] * len(children)
+
+    def run(index: int, child: "PhysicalOperator", fctx: ExecContext) -> None:
+        try:
+            results[index] = ColumnBatch.concat(
+                child.schema, list(child.execute(fctx))
+            )
+        except BaseException as exc:  # noqa: BLE001 - reraised on the caller
+            errors[index] = exc
+
+    threads = [
+        threading.Thread(
+            target=run,
+            args=(i, child, fctx),
+            name=f"exec-child-{i}",
+            daemon=True,
+        )
+        for i, (child, fctx) in enumerate(zip(children, forked))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for fctx in forked:
+        ctx.metrics.merge_from(fctx.metrics)
+    for error in errors:
+        if error is not None:
+            raise error
+    return [batch for batch in results if batch is not None]
 
 
 class PhysicalOperator:
@@ -572,12 +660,9 @@ class PhysJoin(PhysicalOperator):
         self._condition = condition
 
     def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
-        left = ColumnBatch.concat(
-            self.children[0].schema, list(self.children[0].execute(ctx))
-        )
-        right = ColumnBatch.concat(
-            self.children[1].schema, list(self.children[1].execute(ctx))
-        )
+        # Both inputs are materialized anyway, so they are safe to build
+        # concurrently (forked contexts isolate metrics/UDF memo/trace).
+        left, right = collect_children_parallel(ctx, self.children)
         yield self._join(left, right, ctx)
 
     # -- core ---------------------------------------------------------------------
@@ -773,6 +858,10 @@ class PhysUnion(PhysicalOperator):
         super().__init__(schema, children)
 
     def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        if ctx.parallel_children and len(self.children) >= 2:
+            for batch in collect_children_parallel(ctx, self.children):
+                yield from chunk_batch(batch.rename(self.schema), ctx.batch_size)
+            return
         for child in self.children:
             for batch in child.execute(ctx):
                 yield batch.rename(self.schema)

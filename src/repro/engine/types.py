@@ -114,6 +114,10 @@ class Schema:
     def __post_init__(self) -> None:
         if not isinstance(self.fields, tuple):
             object.__setattr__(self, "fields", tuple(self.fields))
+        # Memo for field_index: name -> position, or the AnalysisError that
+        # lookup raised (missing/ambiguous outcomes are cached identically).
+        # Not a declared dataclass field, so eq/hash/repr are unaffected.
+        object.__setattr__(self, "_index_memo", {})
 
     def __len__(self) -> int:
         return len(self.fields)
@@ -132,7 +136,24 @@ class Schema:
         """Resolve ``name`` (optionally ``qualifier.name``) to a position.
 
         Raises :class:`AnalysisError` when the name is missing or ambiguous.
+        Resolution is memoized per schema — ``column()`` consults it on the
+        execution hot path — with missing/ambiguous outcomes preserved.
         """
+        memo: dict[str, int | AnalysisError] = self._index_memo  # type: ignore[attr-defined]
+        cached = memo.get(name)
+        if cached is not None:
+            if isinstance(cached, AnalysisError):
+                raise cached
+            return cached
+        try:
+            index = self._resolve_field_index(name)
+        except AnalysisError as exc:
+            memo[name] = exc
+            raise
+        memo[name] = index
+        return index
+
+    def _resolve_field_index(self, name: str) -> int:
         qualifier, _, bare = name.rpartition(".")
         matches = [
             i

@@ -42,11 +42,15 @@ class ComputeCluster:
         sandbox_policy: SandboxPolicy | None = None,
         optimizer_config: OptimizerConfig | None = None,
         num_executors: int = 2,
+        batch_size: int = 4096,
         remote_submit: RemoteSubmit | None = None,
         remote_analyze: Callable[[str, dict[str, Any]], list[dict[str, str]]] | None = None,
         context_transform: Callable[[UserContext], UserContext] | None = None,
         provision_seconds: float = 0.0,
         interpreter_start_seconds: float = 0.0,
+        enable_plan_cache: bool = True,
+        enable_credential_cache: bool = True,
+        sandbox_min_pool_size: int = 0,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -60,11 +64,15 @@ class ComputeCluster:
             sandbox_policy=sandbox_policy,
             optimizer_config=optimizer_config,
             num_executors=num_executors,
+            batch_size=batch_size,
             remote_submit=remote_submit,
             remote_analyze=remote_analyze,
             provision_seconds=provision_seconds,
             interpreter_start_seconds=interpreter_start_seconds,
             context_transform=self._transform_context,
+            enable_plan_cache=enable_plan_cache,
+            enable_credential_cache=enable_credential_cache,
+            sandbox_min_pool_size=sandbox_min_pool_size,
         )
         self.service = SparkConnectService(self.backend, clock=self.clock)
         self._context_transform = context_transform

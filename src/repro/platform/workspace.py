@@ -26,11 +26,14 @@ class Workspace:
         name: str = "workspace",
         clock: Clock | None = None,
         sandbox_backend: Backend = "inprocess",
+        store: Any = None,
     ):
         self.name = name
         self.clock = clock or SystemClock()
         self._sandbox_backend = sandbox_backend
-        self.catalog = UnityCatalog(clock=self.clock)
+        #: ``store`` lets benchmarks model storage latency (an ObjectStore
+        #: with ``read_latency_seconds``) without re-wiring the catalog.
+        self.catalog = UnityCatalog(clock=self.clock, store=store)
         self.clusters: dict[str, Any] = {}
         self._gateway: ServerlessGateway | None = None
 

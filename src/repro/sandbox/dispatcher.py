@@ -8,12 +8,27 @@ guarantees:
   multi-user compute) — no residual state crosses either boundary;
 - warm sandboxes are reused within a session, so the ~2 s cold start is paid
   once per (session, domain) and amortized across queries (§5).
+
+Two mechanisms move cold starts off the query path entirely:
+
+- :meth:`Dispatcher.prewarm` provisions sandboxes for a session's known
+  trust domains ahead of the first query;
+- a **spare pool** (``min_pool_size``) of unbound sandboxes provisioned at
+  dispatcher startup; a cache-missing acquire claims one by binding it to
+  the requested (session, trust domain) — safe because a spare has never
+  run any code — instead of paying a cold start.
+
+All pool operations take the dispatcher lock (scan tasks and forked operator
+subtrees acquire concurrently); contention is counted in
+:class:`DispatcherStats`.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator
 
 from repro.common.clock import Clock
 from repro.common.context import current_context, span_or_null
@@ -31,21 +46,116 @@ class DispatcherStats:
     #: Wall (or virtual) seconds spent waiting on cold starts.
     cold_start_seconds_total: float = 0.0
     cold_start_seconds_max: float = 0.0
+    #: Times the dispatcher lock was requested while another thread held it.
+    lock_contentions: int = 0
+    #: Sandboxes provisioned off the query path (prewarm + spare pool).
+    prewarmed: int = 0
+    #: Acquisitions satisfied by a prewarmed or spare sandbox.
+    prewarm_hits: int = 0
+
+
+#: Trust domain spare sandboxes carry until they are claimed. No UDF ever
+#: runs under it (claiming rebinds first), so it can never match user code.
+SPARE_DOMAIN = "<spare>"
+
+_PoolKey = tuple[str, str, str | None, frozenset[str]]
 
 
 class Dispatcher:
     """Routes user-code execution to per-(session, trust-domain) sandboxes."""
 
-    def __init__(self, cluster_manager: ClusterManager, clock: Clock | None = None):
+    def __init__(
+        self,
+        cluster_manager: ClusterManager,
+        clock: Clock | None = None,
+        min_pool_size: int = 0,
+    ):
         self._manager = cluster_manager
         self._clock = clock or cluster_manager.clock
         #: (session_id, trust_domain, environment, requirements)
         #: -> (owning manager, sandbox).
-        self._pool: dict[
-            tuple[str, str, str | None, frozenset[str]],
-            tuple[ClusterManager, Sandbox],
-        ] = {}
+        self._pool: dict[_PoolKey, tuple[ClusterManager, Sandbox]] = {}
+        #: Unbound sandboxes provisioned ahead of demand (see module doc).
+        self._spares: list[tuple[ClusterManager, Sandbox]] = []
+        #: Pool keys whose sandbox was provisioned off the query path.
+        self._prewarmed_keys: set[_PoolKey] = set()
+        self._lock = threading.Lock()
+        self.min_pool_size = max(0, min_pool_size)
         self.stats = DispatcherStats()
+        if self.min_pool_size:
+            self.ensure_min_pool()
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """The pool lock, counting contended entries."""
+        if not self._lock.acquire(blocking=False):
+            self.stats.lock_contentions += 1
+            self._lock.acquire()
+        try:
+            yield
+        finally:
+            self._lock.release()
+
+    # -- prewarming -----------------------------------------------------------------
+
+    def ensure_min_pool(self) -> int:
+        """Top the spare pool up to ``min_pool_size``; returns how many added.
+
+        Spares are provisioned with the default policy and no pinned
+        environment, so they can substitute for any acquire with matching
+        (default) settings; everything else falls back to a cold start.
+        """
+        created = 0
+        with self._locked():
+            while len(self._spares) < self.min_pool_size:
+                sandbox = self._manager.create_sandbox(SPARE_DOMAIN)
+                self._spares.append((self._manager, sandbox))
+                self.stats.prewarmed += 1
+                created += 1
+        return created
+
+    def prewarm(
+        self,
+        session_id: str,
+        trust_domains: list[str] | tuple[str, ...],
+        n: int | None = None,
+        policy: SandboxPolicy | None = None,
+        environment: str | None = None,
+        requirements: frozenset[str] = frozenset(),
+    ) -> int:
+        """Provision sandboxes for up to ``n`` of a session's trust domains.
+
+        Called ahead of the first query (e.g. at session attach, when the
+        session's notebook imports are known) so the ~2 s cold starts happen
+        off the query path. Domains already pooled are skipped. Returns the
+        number of sandboxes actually created.
+        """
+        limit = len(trust_domains) if n is None else min(n, len(trust_domains))
+        qctx = current_context()
+        created = 0
+        with self._locked():
+            for trust_domain in list(trust_domains)[:limit]:
+                key = (session_id, trust_domain, environment, requirements)
+                entry = self._pool.get(key)
+                if entry is not None and not entry[1].closed:
+                    continue
+                manager = self._manager.manager_for(requirements)
+                with span_or_null(
+                    qctx,
+                    "sandbox-prewarm",
+                    "sandbox.prewarm",
+                    trust_domain=trust_domain,
+                    session_id=session_id,
+                    environment=environment,
+                ):
+                    sandbox = manager.create_sandbox(
+                        trust_domain, policy, environment=environment
+                    )
+                self._pool[key] = (manager, sandbox)
+                self._prewarmed_keys.add(key)
+                self.stats.prewarmed += 1
+                created += 1
+        return created
 
     # -- acquisition ----------------------------------------------------------------
 
@@ -58,7 +168,7 @@ class Dispatcher:
         requirements: frozenset[str] = frozenset(),
     ) -> Sandbox:
         """Warm sandbox if one exists for this (session, domain, env,
-        resources); cold otherwise.
+        resources); a claimed spare if one is available; cold otherwise.
 
         ``environment`` is the workload-environment version the session
         pinned (§6.3): "the system will explicitly load the given workload
@@ -69,58 +179,107 @@ class Dispatcher:
         """
         key = (session_id, trust_domain, environment, requirements)
         qctx = current_context()
-        entry = self._pool.get(key)
-        if entry is not None and not entry[1].closed:
-            self.stats.warm_acquisitions += 1
-            if qctx is not None:
-                qctx.event(
-                    "sandbox-reused",
-                    trust_domain=trust_domain,
-                    session_id=session_id,
+        with self._locked():
+            entry = self._pool.get(key)
+            if entry is not None and not entry[1].closed:
+                self.stats.warm_acquisitions += 1
+                if key in self._prewarmed_keys:
+                    self.stats.prewarm_hits += 1
+                    self._prewarmed_keys.discard(key)
+                if qctx is not None:
+                    qctx.event(
+                        "sandbox-reused",
+                        trust_domain=trust_domain,
+                        session_id=session_id,
+                    )
+                return entry[1]
+            # A spare can stand in only for a default-shaped request: no
+            # pinned environment, no special resources, no custom policy.
+            if (
+                self._spares
+                and policy is None
+                and environment is None
+                and not requirements
+            ):
+                manager, sandbox = self._spares.pop()
+                # Binding before first use: the spare has executed nothing,
+                # so re-labeling its trust domain leaks no state across
+                # domains — this is exactly what makes prewarming sound.
+                sandbox.trust_domain = trust_domain
+                self._pool[key] = (manager, sandbox)
+                self.stats.warm_acquisitions += 1
+                self.stats.prewarm_hits += 1
+                if qctx is not None:
+                    qctx.event(
+                        "sandbox-spare-claimed",
+                        trust_domain=trust_domain,
+                        session_id=session_id,
+                    )
+                return sandbox
+            manager = self._manager.manager_for(requirements)
+            with span_or_null(
+                qctx,
+                "sandbox-cold-start",
+                "sandbox.acquire",
+                mode="cold",
+                trust_domain=trust_domain,
+                session_id=session_id,
+                environment=environment,
+            ) as span:
+                started = self._clock.now()
+                sandbox = manager.create_sandbox(
+                    trust_domain, policy, environment=environment
                 )
-            return entry[1]
-        manager = self._manager.manager_for(requirements)
-        with span_or_null(
-            qctx,
-            "sandbox-cold-start",
-            "sandbox.acquire",
-            mode="cold",
-            trust_domain=trust_domain,
-            session_id=session_id,
-            environment=environment,
-        ) as span:
-            started = self._clock.now()
-            sandbox = manager.create_sandbox(
-                trust_domain, policy, environment=environment
+                elapsed = self._clock.now() - started
+                if span is not None:
+                    span.set_attribute("cold_start_seconds", elapsed)
+            self.stats.cold_starts += 1
+            self.stats.cold_start_seconds_total += elapsed
+            self.stats.cold_start_seconds_max = max(
+                self.stats.cold_start_seconds_max, elapsed
             )
-            elapsed = self._clock.now() - started
-            if span is not None:
-                span.set_attribute("cold_start_seconds", elapsed)
-        self.stats.cold_starts += 1
-        self.stats.cold_start_seconds_total += elapsed
-        self.stats.cold_start_seconds_max = max(
-            self.stats.cold_start_seconds_max, elapsed
-        )
-        if qctx is not None:
-            qctx.telemetry.counter("sandbox.cold_starts").inc()
-        self._pool[key] = (manager, sandbox)
-        return sandbox
+            if qctx is not None:
+                qctx.telemetry.counter("sandbox.cold_starts").inc()
+            self._pool[key] = (manager, sandbox)
+            return sandbox
 
     def release_session(self, session_id: str) -> int:
         """Destroy all of one session's sandboxes; returns how many."""
-        doomed = [key for key in self._pool if key[0] == session_id]
-        for key in doomed:
-            manager, sandbox = self._pool.pop(key)
-            manager.destroy_sandbox(sandbox)
-        return len(doomed)
+        with self._locked():
+            doomed = [key for key in self._pool if key[0] == session_id]
+            for key in doomed:
+                manager, sandbox = self._pool.pop(key)
+                self._prewarmed_keys.discard(key)
+                manager.destroy_sandbox(sandbox)
+            return len(doomed)
 
     def pool_size(self) -> int:
-        return len(self._pool)
+        with self._locked():
+            return len(self._pool)
+
+    def spare_pool_size(self) -> int:
+        with self._locked():
+            return len(self._spares)
 
     def sandboxes_of(self, session_id: str) -> list[Sandbox]:
-        return [
-            entry[1] for key, entry in self._pool.items() if key[0] == session_id
-        ]
+        with self._locked():
+            return [
+                entry[1] for key, entry in self._pool.items() if key[0] == session_id
+            ]
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Pool shape + counters for ``system.access.cache_stats``."""
+        with self._locked():
+            return {
+                "pool_size": len(self._pool),
+                "spare_pool_size": len(self._spares),
+                "min_pool_size": self.min_pool_size,
+                "cold_starts": self.stats.cold_starts,
+                "warm_acquisitions": self.stats.warm_acquisitions,
+                "prewarmed": self.stats.prewarmed,
+                "prewarm_hits": self.stats.prewarm_hits,
+                "lock_contentions": self.stats.lock_contentions,
+            }
 
 
 class SandboxedUDFRuntime(UDFRuntime):

@@ -13,7 +13,9 @@ The paper's Figure 2 contrasts two access models:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.context import current_context, span_or_null
@@ -188,3 +190,160 @@ class CredentialVendor:
         if identity is not None:
             creds = [c for c in creds if c.identity == identity]
         return creds
+
+
+# ---------------------------------------------------------------------------
+# Credential cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CredentialCacheStats:
+    hits: int = 0
+    misses: int = 0
+    #: Re-vends triggered before expiry (remaining < fraction × lifetime).
+    refreshes: int = 0
+    #: Misses because the catalog policy epoch moved (grant/revoke etc.).
+    stale_epoch_misses: int = 0
+    #: Misses because the cached credential expired or was revoked.
+    expired_misses: int = 0
+
+
+class CredentialCache:
+    """TTL-aware memoization of vended credentials.
+
+    A multi-file / multi-task / repeated scan should exchange identity for a
+    storage credential once, not once per query. Entries are keyed by
+    (principal, securable, operations, on_behalf_of) and stamped with the
+    catalog **policy epoch** at vend time; a later epoch is a hard miss, so
+    any grant/revoke or policy change forces a fresh vend (which re-runs the
+    privilege check). Reuse is TTL-aware with *refresh-ahead*: once the
+    remaining lifetime drops below ``refresh_ahead_fraction`` of the total,
+    the next caller re-vends early instead of running a scan on a credential
+    about to expire mid-read. An optional validator (the vendor's liveness
+    check) catches out-of-band revocation.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        refresh_ahead_fraction: float = 0.2,
+        telemetry: Telemetry | None = None,
+    ):
+        if not 0.0 <= refresh_ahead_fraction < 1.0:
+            raise CredentialError(
+                "refresh_ahead_fraction must be in [0, 1); got "
+                f"{refresh_ahead_fraction}"
+            )
+        self._clock = clock or SystemClock()
+        self.refresh_ahead_fraction = refresh_ahead_fraction
+        self._telemetry = telemetry
+        self._lock = threading.Lock()
+        #: key -> (credential, policy epoch at vend time)
+        self._entries: dict[tuple, tuple[TemporaryCredential, int]] = {}
+        self.stats = CredentialCacheStats()
+
+    def _count(self, name: str) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter(name).inc()
+
+    @staticmethod
+    def _key(
+        principal: str,
+        securable: str,
+        operations: frozenset[str],
+        on_behalf_of: str | None,
+    ) -> tuple:
+        return (principal, securable, operations, on_behalf_of)
+
+    def _needs_refresh(self, credential: TemporaryCredential, now: float) -> bool:
+        lifetime = credential.expires_at - credential.issued_at
+        remaining = credential.expires_at - now
+        return remaining < self.refresh_ahead_fraction * lifetime
+
+    def get_or_vend(
+        self,
+        principal: str,
+        securable: str,
+        operations: frozenset[str],
+        on_behalf_of: str | None,
+        policy_epoch: int,
+        vend: Callable[[], TemporaryCredential],
+        validate: Callable[[TemporaryCredential], None] | None = None,
+    ) -> tuple[TemporaryCredential, bool]:
+        """Return ``(credential, reused)``; vends via ``vend()`` on a miss.
+
+        ``vend`` runs outside the lock (it performs the privilege check and
+        may trace/audit); a concurrent duplicate vend is harmless.
+        """
+        key = self._key(principal, securable, operations, on_behalf_of)
+        now = self._clock.now()
+        refreshing = False
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                credential, vended_epoch = entry
+                if vended_epoch != policy_epoch:
+                    del self._entries[key]
+                    self.stats.stale_epoch_misses += 1
+                    self._count("credential_cache.stale_epoch_misses")
+                elif credential.is_expired(now):
+                    del self._entries[key]
+                    self.stats.expired_misses += 1
+                    self._count("credential_cache.expired_misses")
+                elif self._needs_refresh(credential, now):
+                    del self._entries[key]
+                    refreshing = True
+                else:
+                    live = True
+                    if validate is not None:
+                        try:
+                            validate(credential)
+                        except CredentialError:
+                            live = False
+                    if live:
+                        self.stats.hits += 1
+                        self._count("credential_cache.hits")
+                        return credential, True
+                    # Revoked out of band (no epoch bump): treat as expired.
+                    del self._entries[key]
+                    self.stats.expired_misses += 1
+                    self._count("credential_cache.expired_misses")
+        credential = vend()
+        with self._lock:
+            self._entries[key] = (credential, policy_epoch)
+            if refreshing:
+                self.stats.refreshes += 1
+                self._count("credential_cache.refreshes")
+            else:
+                self.stats.misses += 1
+                self._count("credential_cache.misses")
+        return credential, False
+
+    def invalidate_principal(self, principal: str) -> int:
+        """Drop all cached credentials vended for one principal."""
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == principal]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Counters + size for ``system.access.cache_stats``."""
+        with self._lock:
+            return {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "refreshes": self.stats.refreshes,
+                "stale_epoch_misses": self.stats.stale_epoch_misses,
+                "expired_misses": self.stats.expired_misses,
+                "size": len(self._entries),
+                "refresh_ahead_fraction": self.refresh_ahead_fraction,
+            }

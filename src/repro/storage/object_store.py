@@ -17,6 +17,7 @@ reading the full object.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -65,10 +66,20 @@ class StorageStats:
 class ObjectStore:
     """In-memory blob store with per-operation credential checks."""
 
-    def __init__(self, clock: Clock | None = None, audit: AuditLog | None = None):
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        audit: AuditLog | None = None,
+        read_latency_seconds: float = 0.0,
+    ):
         self._clock = clock or SystemClock()
         self._audit = audit
         self._objects: dict[str, bytes] = {}
+        #: Modelled per-object fetch latency (cloud stores are remote; a GET
+        #: is a network round-trip). A real ``time.sleep`` — it releases the
+        #: GIL, so concurrent scan tasks genuinely overlap their reads, the
+        #: way threads overlap network I/O against S3/ADLS/GCS.
+        self.read_latency_seconds = read_latency_seconds
         self.stats = StorageStats()
 
     # -- internal -----------------------------------------------------------
@@ -108,6 +119,8 @@ class ObjectStore:
             data = self._objects[path]
         except KeyError:
             raise StorageError(f"no such object: '{path}'") from None
+        if self.read_latency_seconds > 0:
+            time.sleep(self.read_latency_seconds)
         self.stats.bytes_read += len(data)
         self.stats.objects_read += 1
         return data

@@ -222,6 +222,103 @@ class TestInvariant8_Egress:
             net.unregister_service("evil.example.com")
 
 
+class TestCacheInvalidation:
+    """Policy changes must invalidate every enforcement cache, immediately.
+
+    The secure-plan and credential caches key on the catalog policy epoch;
+    these tests change governance state between repeated queries and assert
+    no stale plan or credential ever serves data the new policy forbids.
+    """
+
+    def test_row_filter_change_invalidates_cached_plan(
+        self, workspace, standard_cluster, admin_client
+    ):
+        cache = standard_cluster.backend.plan_cache
+        alice = standard_cluster.connect("alice")
+        query = "SELECT id FROM main.sales.orders ORDER BY id"
+        assert alice.sql(query).collect() == [(1,), (2,), (3,), (4,)]
+        hits_before = cache.stats.hits
+        alice.sql(query).collect()
+        assert cache.stats.hits == hits_before + 1, "repeat must be cached"
+
+        admin_client.sql(
+            "ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')"
+        )
+        stale_before = cache.stats.stale_epoch_misses
+        assert alice.sql(query).collect() == [(1,), (3,)], (
+            "a cached pre-filter plan leaked hidden rows"
+        )
+        assert cache.stats.stale_epoch_misses == stale_before + 1
+
+        # Dropping the filter is itself a policy change: hard miss again.
+        admin_client.sql("ALTER TABLE main.sales.orders DROP ROW FILTER")
+        assert alice.sql(query).collect() == [(1,), (2,), (3,), (4,)]
+
+    def test_column_mask_change_invalidates_cached_plan(
+        self, workspace, standard_cluster, admin_client
+    ):
+        alice = standard_cluster.connect("alice")
+        query = "SELECT buyer FROM main.sales.orders ORDER BY id"
+        alice.sql(query).collect()
+        alice.sql(query).collect()  # primed in the plan cache
+        admin_client.sql(
+            "ALTER TABLE main.sales.orders ALTER COLUMN buyer SET MASK ('***')"
+        )
+        rows = alice.sql(query).collect()
+        assert {r[0] for r in rows} == {"***"}, "cached plan bypassed the mask"
+
+    def test_revoke_denies_despite_cached_plan_and_credential(
+        self, workspace, standard_cluster, admin_client
+    ):
+        alice = standard_cluster.connect("alice")
+        query = "SELECT id FROM main.sales.orders"
+        alice.sql(query).collect()
+        alice.sql(query).collect()  # plan + credential both cached
+        admin_client.sql("REVOKE SELECT ON main.sales.orders FROM analysts")
+        with pytest.raises(PermissionDenied):
+            alice.sql(query).collect()
+        # Re-granting restores access (another epoch bump, fresh resolution).
+        admin_client.sql("GRANT SELECT ON main.sales.orders TO analysts")
+        assert len(alice.sql(query).collect()) == 4
+
+    def test_grant_revoke_invalidates_cached_credential(
+        self, workspace, standard_cluster, admin_client
+    ):
+        source = standard_cluster.backend.data_source
+        alice = standard_cluster.connect("alice")
+        alice.sql("SELECT id FROM main.sales.orders").collect()
+        stale_before = source.credential_cache.stats.stale_epoch_misses
+        vended_before = source.stats.credentials_vended
+        admin_client.sql("GRANT SELECT ON main.sales.orders TO carol")
+        alice.sql("SELECT region FROM main.sales.orders").collect()
+        assert source.credential_cache.stats.stale_epoch_misses == stale_before + 1
+        assert source.stats.credentials_vended == vended_before + 1, (
+            "the post-grant scan must re-vend (re-running the privilege check)"
+        )
+
+    def test_view_redefinition_invalidates_cached_plan(
+        self, workspace, standard_cluster, admin_client
+    ):
+        admin_client.sql(
+            "CREATE VIEW main.sales.us_orders AS "
+            "SELECT id FROM main.sales.orders WHERE region = 'US'"
+        )
+        admin_client.sql("GRANT SELECT ON main.sales.us_orders TO analysts")
+        alice = standard_cluster.connect("alice")
+        query = "SELECT id FROM main.sales.us_orders ORDER BY id"
+        assert alice.sql(query).collect() == [(1,), (3,)]
+        assert alice.sql(query).collect() == [(1,), (3,)]
+        admin_client.sql("DROP VIEW main.sales.us_orders")
+        admin_client.sql(
+            "CREATE VIEW main.sales.us_orders AS "
+            "SELECT id FROM main.sales.orders WHERE region = 'EU'"
+        )
+        admin_client.sql("GRANT SELECT ON main.sales.us_orders TO analysts")
+        assert alice.sql(query).collect() == [(2,)], (
+            "a cached plan served the dropped view definition"
+        )
+
+
 class TestSessionHijacking:
     def test_session_of_other_user_unusable(self, standard_cluster, admin_client):
         alice = standard_cluster.connect("alice")

@@ -1,0 +1,230 @@
+"""Admission fairness under a saturating tenant, quantified.
+
+One Standard cluster, one concurrency slot, and a heavy tenant flooding it
+from many connections while a light tenant runs short interactive queries.
+Three scenarios, identical data and cluster configuration:
+
+- **solo**      — the light tenant alone (baseline latency).
+- **fair**      — flood + the stride-scheduling WorkloadManager: the light
+  tenant's next query is dispatched ahead of the flooder's backlog, so its
+  p95 stays within ~2x of solo.
+- **fifo**      — flood + the ``workload_fair_share=False`` baseline: one
+  global arrival-order queue, so every light query waits behind the whole
+  backlog (head-of-line blocking) and p95 inflates by >=4x.
+
+Storage latency is modelled with a real per-data-file ``time.sleep`` (see
+``bench_parallel_cache``), so service times are deterministic and the
+flooding threads genuinely overlap in the slot pool.
+
+Emits ``BENCH_admission_fairness.json`` with the three latency profiles and
+the fair-mode ``system.access.workload_stats`` snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from harness import print_table, write_bench_json
+
+from repro.platform import Workspace
+from repro.storage.object_store import ObjectStore
+
+#: Modelled cloud GET latency per data file.
+DATA_FILE_LATENCY_SECONDS = 0.010
+#: The light tenant's table spans more files than the heavy tenant's, so a
+#: light query is several times the service time of one heavy query — the
+#: regime where waiting behind a full heavy backlog hurts the most.
+LIGHT_FILES = 8
+HEAVY_FILES = 2
+ROWS_PER_FILE = 50
+#: Concurrent connections of the saturating tenant (ISSUE floor: >= 8).
+HEAVY_CONNECTIONS = 16
+#: Sequential samples the light tenant takes per scenario.
+LIGHT_SAMPLES = 12
+
+RESULTS: dict = {}
+
+
+class DataLatencyStore(ObjectStore):
+    """Object store whose fetch latency applies to data files only."""
+
+    def __init__(self, data_latency_seconds: float):
+        super().__init__()
+        self.data_latency_seconds = data_latency_seconds
+
+    def get(self, path, credential):
+        data = super().get(path, credential)
+        if path.endswith(".part"):
+            time.sleep(self.data_latency_seconds)
+        return data
+
+
+def _build_workspace() -> Workspace:
+    ws = Workspace(store=DataLatencyStore(DATA_FILE_LATENCY_SECONDS))
+    ws.add_user("admin", admin=True)
+    ws.add_user("heavy")
+    ws.add_user("light")
+    ws.catalog.create_catalog("main", owner="admin")
+    ws.catalog.create_schema("main.s", owner="admin")
+    ctx = ws.catalog.principals.context_for("admin")
+    from repro.engine.types import FLOAT, INT, Field, Schema
+
+    for table, files in (("light_t", LIGHT_FILES), ("heavy_t", HEAVY_FILES)):
+        ws.catalog.create_table(
+            f"main.s.{table}",
+            Schema((Field("id", INT), Field("v", FLOAT))),
+            owner="admin",
+        )
+        for commit in range(files):
+            base = commit * ROWS_PER_FILE
+            ws.catalog.write_table(
+                f"main.s.{table}",
+                {
+                    "id": list(range(base, base + ROWS_PER_FILE)),
+                    "v": [float(i) for i in range(ROWS_PER_FILE)],
+                },
+                ctx,
+            )
+    admin = ws.create_standard_cluster(name="setup").connect("admin")
+    for user, table in (("heavy", "heavy_t"), ("light", "light_t")):
+        admin.sql(f"GRANT USE CATALOG ON main TO {user}")
+        admin.sql(f"GRANT USE SCHEMA ON main.s TO {user}")
+        admin.sql(f"GRANT SELECT ON main.s.{table} TO {user}")
+    return ws
+
+
+def _make_cluster(ws: Workspace, name: str, fair_share: bool):
+    """A single-slot, single-executor cluster so contention is real and
+    per-query service time is deterministic (serial file fetches)."""
+    return ws.create_standard_cluster(
+        name=name,
+        workload_slots=1,
+        workload_fair_share=fair_share,
+        num_executors=1,
+    )
+
+
+def _light_p95(cluster, with_flood: bool) -> tuple[float, list[float]]:
+    """p95 (and all samples) of the light tenant's query latency."""
+    light = cluster.connect("light")
+    light_query = "SELECT count(*) AS n FROM main.s.light_t"
+    expected = [(LIGHT_FILES * ROWS_PER_FILE,)]
+    assert light.sql(light_query).collect() == expected  # warm caches
+
+    stop = threading.Event()
+    flooders: list[threading.Thread] = []
+    flood_errors: list[Exception] = []
+    if with_flood:
+        heavy_query = "SELECT count(*) AS n FROM main.s.heavy_t"
+
+        def flood(client) -> None:
+            try:
+                while not stop.is_set():
+                    client.sql(heavy_query).collect()
+            except Exception as exc:  # pragma: no cover - fails the bench
+                flood_errors.append(exc)
+
+        clients = [cluster.connect("heavy") for _ in range(HEAVY_CONNECTIONS)]
+        clients[0].sql(heavy_query).collect()  # warm caches once
+        flooders = [
+            threading.Thread(target=flood, args=(c,), daemon=True)
+            for c in clients
+        ]
+        for t in flooders:
+            t.start()
+        # Let the flood saturate the slot + queue before sampling.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if cluster.workload_manager.queue_depth() >= HEAVY_CONNECTIONS // 2:
+                break
+            time.sleep(0.005)
+
+    samples: list[float] = []
+    try:
+        for _ in range(LIGHT_SAMPLES):
+            start = time.perf_counter()
+            assert light.sql(light_query).collect() == expected
+            samples.append(time.perf_counter() - start)
+    finally:
+        stop.set()
+        for t in flooders:
+            t.join(timeout=60)
+    assert not flood_errors, flood_errors
+    ordered = sorted(samples)
+    p95 = ordered[max(0, int(round(0.95 * (len(ordered) - 1))))]
+    return p95, samples
+
+
+def test_admission_fairness():
+    """Light-tenant p95: solo vs fair-share manager vs FIFO baseline."""
+    ws = _build_workspace()
+
+    solo_p95, solo_samples = _light_p95(
+        _make_cluster(ws, "solo", fair_share=True), with_flood=False
+    )
+    fair_cluster = _make_cluster(ws, "fair", fair_share=True)
+    fair_p95, fair_samples = _light_p95(fair_cluster, with_flood=True)
+    fifo_p95, fifo_samples = _light_p95(
+        _make_cluster(ws, "fifo", fair_share=False), with_flood=True
+    )
+
+    fair_ratio = fair_p95 / solo_p95
+    fifo_ratio = fifo_p95 / solo_p95
+    print_table(
+        f"Light-tenant p95 vs {HEAVY_CONNECTIONS} flooding connections "
+        f"(1 slot)",
+        ["scenario", "p95 ms", "vs solo", "median ms"],
+        [
+            ["solo", f"{solo_p95 * 1000:.1f}", "1.00x",
+             f"{sorted(solo_samples)[len(solo_samples) // 2] * 1000:.1f}"],
+            ["fair-share", f"{fair_p95 * 1000:.1f}", f"{fair_ratio:.2f}x",
+             f"{sorted(fair_samples)[len(fair_samples) // 2] * 1000:.1f}"],
+            ["fifo", f"{fifo_p95 * 1000:.1f}", f"{fifo_ratio:.2f}x",
+             f"{sorted(fifo_samples)[len(fifo_samples) // 2] * 1000:.1f}"],
+        ],
+    )
+
+    snapshot = fair_cluster.workload_manager.stats_snapshot()
+    RESULTS["fairness"] = {
+        "solo_p95_ms": solo_p95 * 1000,
+        "fair_p95_ms": fair_p95 * 1000,
+        "fifo_p95_ms": fifo_p95 * 1000,
+        "fair_ratio": fair_ratio,
+        "fifo_ratio": fifo_ratio,
+        "solo_samples_ms": [s * 1000 for s in solo_samples],
+        "fair_samples_ms": [s * 1000 for s in fair_samples],
+        "fifo_samples_ms": [s * 1000 for s in fifo_samples],
+        "fair_workload_stats": snapshot,
+    }
+    # The fair-share manager admitted every query of both tenants.
+    assert snapshot["tenant.light.admitted"] >= LIGHT_SAMPLES
+    assert snapshot["shed_total"] == 0 and snapshot["admission_timeouts"] == 0
+    # Acceptance: fair share isolates the light tenant; FIFO does not.
+    assert fair_ratio <= 2.0, (
+        f"fair-share p95 inflated {fair_ratio:.2f}x vs solo (budget: 2x)"
+    )
+    assert fifo_ratio >= 4.0, (
+        f"FIFO baseline p95 only {fifo_ratio:.2f}x vs solo (expected >= 4x)"
+    )
+
+
+def test_write_json():
+    """Persist the measurement (runs after the benchmark above)."""
+    if "fairness" not in RESULTS:
+        pytest.skip("benchmark did not run")
+    path = write_bench_json(
+        "admission_fairness",
+        params={
+            "data_file_latency_ms": DATA_FILE_LATENCY_SECONDS * 1000,
+            "light_files": LIGHT_FILES,
+            "heavy_files": HEAVY_FILES,
+            "heavy_connections": HEAVY_CONNECTIONS,
+            "light_samples": LIGHT_SAMPLES,
+            "workload_slots": 1,
+        },
+        extra={"results": RESULTS},
+    )
+    print(f"\nwrote {path}")

@@ -17,7 +17,7 @@ from repro.engine.expressions import Alias, col
 from repro.engine.logical import LocalRelation, Project, UnresolvedRelation
 from repro.engine.optimizer import OptimizerConfig
 from repro.engine.types import INT, Field, Schema
-from repro.engine.udf import PythonUDF, udf
+from repro.engine.udf import PythonUDF
 from repro.sandbox import ClusterManager, Dispatcher, SandboxedUDFRuntime
 
 NUM_ROWS = 20_000

@@ -10,7 +10,6 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from dataclasses import dataclass
 from pathlib import Path
 
 from repro.platform import Workspace

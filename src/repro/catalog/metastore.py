@@ -125,6 +125,9 @@ class UnityCatalog:
         self._epoch_lock = threading.Lock()
         #: Named cache-statistics providers backing ``system.access.cache_stats``.
         self._cache_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
+        #: Named workload-statistics providers (admission queues, breakers)
+        #: backing ``system.access.workload_stats``.
+        self._workload_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
         #: Attribute-based access control: tags + tag policies (§2.3 ABAC).
         self.tags = TagStore()
         self.tags.on_change = lambda: self.bump_policy_epoch("abac-update")
@@ -168,6 +171,24 @@ class UnityCatalog:
         return {
             name: dict(provider())
             for name, provider in sorted(self._cache_stats_providers.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Workload-statistics registry (``system.access.workload_stats``)
+    # ------------------------------------------------------------------
+
+    def register_workload_stats_provider(
+        self, name: str, provider: Callable[[], dict[str, Any]]
+    ) -> None:
+        """Expose one scheduler component (a cluster's workload manager, a
+        circuit breaker) through the introspection table."""
+        self._workload_stats_providers[name] = provider
+
+    def workload_stats(self) -> dict[str, dict[str, Any]]:
+        """Snapshot of every registered scheduler's statistics, by scope."""
+        return {
+            name: dict(provider())
+            for name, provider in sorted(self._workload_stats_providers.items())
         }
 
     # ------------------------------------------------------------------

@@ -63,6 +63,11 @@ class QueryContext:
     #: Span id a root span of this context should parent onto (used when a
     #: child context crosses a component boundary, e.g. the gateway).
     parent_span_id: str | None = None
+    #: The admission ticket this query holds (set by the Connect service
+    #: after the WorkloadManager admitted it). Deliberately *not* inherited
+    #: by :meth:`child` contexts: delegated work (eFGAC sub-plans, scan
+    #: tasks) runs under the parent's slot, not a second one.
+    ticket: Any = None
     _span_stack: list[Span] = field(default_factory=list)
 
     # -- construction ---------------------------------------------------------------

@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Protocol
+from typing import Any, Iterator, Protocol
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.ids import new_id
@@ -117,6 +117,32 @@ class Counter:
         self.value += amount
 
 
+class Gauge:
+    """A point-in-time level (queue depth, slots in use, breaker state).
+
+    Unlike a :class:`Counter` it can go down; ``high_water`` remembers the
+    maximum level ever set, which is what capacity dashboards plot.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the level and update the high-water mark."""
+        self.value = float(value)
+        self.high_water = max(self.high_water, self.value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Raise the level by ``amount``."""
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Lower the level by ``amount`` (may go negative if misused)."""
+        self.value -= amount
+
+
 class Histogram:
     """A value distribution (span durations, payload sizes, batch rows)."""
 
@@ -159,6 +185,7 @@ class Telemetry:
         self._exporters: list[SpanExporter] = [self._memory, *exporters]
         self._open: dict[str, Span] = {}
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         # Scan tasks and forked operator subtrees finish spans and bump
         # counters from worker threads; one registry lock keeps the open-span
@@ -282,6 +309,14 @@ class Telemetry:
                 counter = self._counters[name] = Counter(name)
             return counter
 
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name)
+            return gauge
+
     def histogram(self, name: str) -> Histogram:
         with self._lock:
             return self._histogram_locked(name)
@@ -294,3 +329,7 @@ class Telemetry:
 
     def counters(self) -> dict[str, int]:
         return {name: c.value for name, c in self._counters.items()}
+
+    def gauges(self) -> dict[str, float]:
+        """Current level of every gauge, by name."""
+        return {name: g.value for name, g in self._gauges.items()}

@@ -439,6 +439,11 @@ class SparkConnectClient:
         self.server_version = response["server_version"]
         #: Trace id of the most recent execute_plan (for profile lookups).
         self.last_trace_id: str | None = None
+        #: When set, every execute carries this per-query deadline (another
+        #: protocol extension field; old servers ignore it). The workload
+        #: manager rejects up front if the admission queue alone would
+        #: exceed it.
+        self.deadline_seconds: float | None = None
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -467,6 +472,8 @@ class SparkConnectClient:
             "operation_id": operation_id,
             "trace_id": trace_id,
         }
+        if self.deadline_seconds is not None:
+            request["deadline_seconds"] = self.deadline_seconds
         received: list[dict[str, Any]] = []
         attempts = 0
         stream = self._channel.call_stream("execute_plan", request)

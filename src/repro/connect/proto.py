@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import base64
 import json
+import re
 from typing import Any
 
 from repro.errors import ProtocolError, VersionIncompatibleError
@@ -97,6 +98,28 @@ def message_type(message: dict[str, Any]) -> str:
 
 def is_command(plan: dict[str, Any]) -> bool:
     return message_type(plan).startswith("command.")
+
+
+def references_system_tables(obj: Any) -> bool:
+    """True if a wire relation mentions any ``system.*`` table.
+
+    Used by the plan cache (system tables materialize at resolve time, so
+    cached secure plans would freeze them) and by the workload manager's
+    admission lane detection (``system.*`` introspection reads ride the
+    always-admitted system lane).
+    """
+    if isinstance(obj, dict):
+        return any(references_system_tables(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return any(references_system_tables(v) for v in obj)
+    return isinstance(obj, str) and _SYSTEM_REF.search(obj) is not None
+
+
+#: ``system.`` as a qualified-name head: either the whole string is a table
+#: name (``system.access.x``) or it appears inside SQL text (``FROM
+#: system.access.x``). The look-behind excludes longer identifiers
+#: (``ecosystem.x``) and deeper qualifications (``cat.system.x``).
+_SYSTEM_REF = re.compile(r"(?:^|[^\w.])system\.")
 
 
 def is_relation(plan: dict[str, Any]) -> bool:

@@ -15,17 +15,21 @@ from typing import Any, Iterator, Protocol
 
 from repro.catalog.privileges import UserContext
 from repro.common.clock import Clock, SystemClock
-from repro.common.context import QueryContext
+from repro.common.context import QueryContext, QueryDeadlineExceeded
 from repro.common.telemetry import Telemetry
 from repro.connect import proto
 from repro.connect.sessions import (
     OP_FINISHED,
+    OP_QUEUED,
+    OP_RUNNING,
     OperationState,
     SessionManager,
     SessionState,
 )
 from repro.errors import (
+    AdmissionError,
     AnalysisError,
+    CircuitOpenError,
     ClusterAttachDenied,
     ClusterError,
     EgressDenied,
@@ -35,6 +39,7 @@ from repro.errors import (
     ParseError,
     PermissionDenied,
     ProtocolError,
+    RetryableError,
     SecurableAlreadyExists,
     SecurableNotFound,
     SessionError,
@@ -42,15 +47,27 @@ from repro.errors import (
     UserCodeError,
     VersionIncompatibleError,
 )
+from repro.scheduler.workload import LANE_INTERACTIVE, LANE_PRIORITY, LANE_SYSTEM
 
 #: Rows per streamed result batch ("Arrow IPC message" stand-in).
 RESULT_BATCH_ROWS = 1024
+
+#: Seconds between request-path housekeeping ticks (idle-session expiry and
+#: abandoned-operation reaping); the manual call remains for tests/ops.
+HOUSEKEEPING_INTERVAL = 60.0
+
+#: Session config key selecting the admission lane ("interactive"/"batch").
+LANE_CONFIG_KEY = "workload.lane"
+#: Session config key overriding the accounting tenant (e.g. trust domain).
+TENANT_CONFIG_KEY = "workload.tenant"
 
 #: error_class names the client maps back to exceptions.
 _ERROR_CLASSES: dict[str, type[LakeguardError]] = {
     cls.__name__: cls
     for cls in (
+        AdmissionError,
         AnalysisError,
+        CircuitOpenError,
         ClusterAttachDenied,
         ClusterError,
         EgressDenied,
@@ -59,6 +76,8 @@ _ERROR_CLASSES: dict[str, type[LakeguardError]] = {
         OperationGoneError,
         ParseError,
         ProtocolError,
+        QueryDeadlineExceeded,
+        RetryableError,
         SecurableAlreadyExists,
         SecurableNotFound,
         SessionError,
@@ -83,7 +102,20 @@ def error_to_message(exc: LakeguardError) -> dict[str, Any]:
         }
     if name not in _ERROR_CLASSES:
         name = "LakeguardError"
-    return {"@type": "error", "error_class": name, "message": str(exc)}
+    message: dict[str, Any] = {
+        "@type": "error",
+        "error_class": name,
+        "message": str(exc),
+    }
+    # Retryable errors carry their backoff hint (and admission reason)
+    # in-band so clients can schedule a sensible retry.
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        message["retry_after"] = retry_after
+    reason = getattr(exc, "reason", None)
+    if reason:
+        message["reason"] = reason
+    return message
 
 
 def raise_from_message(message: dict[str, Any]) -> None:
@@ -98,7 +130,16 @@ def raise_from_message(message: dict[str, Any]) -> None:
             message.get("securable", "?"),
         )
     cls = _ERROR_CLASSES.get(name, LakeguardError)
-    raise cls(message.get("message", "remote error"))
+    text = message.get("message", "remote error")
+    if issubclass(cls, AdmissionError):
+        raise cls(
+            text,
+            retry_after=float(message.get("retry_after", 0.0)),
+            reason=message.get("reason", ""),
+        )
+    if issubclass(cls, RetryableError):
+        raise cls(text, retry_after=float(message.get("retry_after", 0.0)))
+    raise cls(text)
 
 
 class ExecutionBackend(Protocol):
@@ -133,12 +174,17 @@ class SparkConnectService:
         sessions: SessionManager | None = None,
         server_version: int = proto.PROTOCOL_VERSION,
         result_batch_rows: int = RESULT_BATCH_ROWS,
+        housekeeping_interval: float | None = HOUSEKEEPING_INTERVAL,
     ):
         self._backend = backend
         self._clock = clock or SystemClock()
         self.sessions = sessions or SessionManager(clock=self._clock)
         self.server_version = server_version
         self._result_batch_rows = result_batch_rows
+        #: Admission control, when the backend provides a WorkloadManager.
+        self.workload_manager = getattr(backend, "workload_manager", None)
+        self._housekeeping_interval = housekeeping_interval
+        self._last_housekeeping = self._clock.now()
         #: Shared with the backend when it has one (so service spans land in
         #: the same registry as enforcement/executor spans).
         backend_telemetry = getattr(backend, "telemetry", None)
@@ -148,9 +194,27 @@ class SparkConnectService:
             else Telemetry(clock=self._clock)
         )
 
+    def maybe_housekeeping(self) -> dict[str, list[str]] | None:
+        """Request-path housekeeping tick: runs :meth:`housekeeping` when
+        ``housekeeping_interval`` seconds elapsed since the last run.
+
+        Every ``handle``/``handle_stream`` call invokes this, so a serving
+        cluster expires idle sessions and reaps abandoned operations without
+        any external scheduler; ``housekeeping_interval=None`` disables the
+        tick (manual invocation only).
+        """
+        if self._housekeeping_interval is None:
+            return None
+        now = self._clock.now()
+        if now - self._last_housekeeping < self._housekeeping_interval:
+            return None
+        return self.housekeeping()
+
     def housekeeping(self) -> dict[str, list[str]]:
         """Periodic maintenance (§3.2.3): evict idle sessions, tombstone
-        abandoned operations. The platform calls this on a schedule."""
+        abandoned operations. Runs from the request-path tick
+        (:meth:`maybe_housekeeping`) or a direct call."""
+        self._last_housekeeping = self._clock.now()
         expired = self.sessions.expire_idle_sessions()
         for session_id in expired:
             # Sessions are already closed; release backend resources too.
@@ -173,6 +237,7 @@ class SparkConnectService:
     # ------------------------------------------------------------------
 
     def handle(self, method: str, request: dict[str, Any]) -> dict[str, Any]:
+        self.maybe_housekeeping()
         try:
             return self._handle(method, request)
         except LakeguardError as exc:
@@ -230,6 +295,7 @@ class SparkConnectService:
     def handle_stream(
         self, method: str, request: dict[str, Any]
     ) -> Iterator[dict[str, Any]]:
+        self.maybe_housekeeping()
         try:
             yield from self._handle_stream(method, request)
         except LakeguardError as exc:
@@ -246,9 +312,10 @@ class SparkConnectService:
             op = self.sessions.start_operation(
                 session.session_id, request.get("operation_id")
             )
-            # "trace_id" is a protocol extension field: the dict wire format
-            # ignores unknown keys, so old clients simply get a
-            # server-assigned trace.
+            # "trace_id" and "deadline_seconds" are protocol extension
+            # fields: the dict wire format ignores unknown keys, so old
+            # clients simply get a server-assigned trace and no deadline.
+            deadline = request.get("deadline_seconds")
             query_ctx = QueryContext.create(
                 user=session.user_ctx.user,
                 telemetry=self.telemetry,
@@ -257,16 +324,26 @@ class SparkConnectService:
                 session_id=session.session_id,
                 cluster_id=getattr(self._backend, "cluster_id", ""),
                 operation_id=op.operation_id,
+                deadline_seconds=float(deadline) if deadline is not None else None,
             )
             op.trace_id = query_ctx.trace_id
-            with query_ctx.activate():
-                with query_ctx.span(
-                    "execute_plan",
-                    "service.operation",
-                    operation_id=op.operation_id,
-                    session_id=session.session_id,
-                ):
-                    self._run_operation(session, op, request["plan"])
+            self._admit_operation(session, op, query_ctx, request["plan"])
+            try:
+                with query_ctx.activate():
+                    with query_ctx.span(
+                        "execute_plan",
+                        "service.operation",
+                        operation_id=op.operation_id,
+                        session_id=session.session_id,
+                        lane=op.ticket.lane if op.ticket is not None else "",
+                    ):
+                        self._run_operation(session, op, request["plan"])
+            finally:
+                # Usually a no-op: the pipeline's execute stage released the
+                # slot already. Covers command paths and pre-execute errors.
+                ticket, op.ticket = op.ticket, None
+                if ticket is not None:
+                    ticket.release()
             yield from op.responses
             return
         if method == "reattach_execute":
@@ -289,6 +366,65 @@ class SparkConnectService:
             yield from op.remaining_from(start)
             return
         raise ProtocolError(f"unknown stream method '{method}'")
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def _lane_for(self, session: SessionState, plan: dict[str, Any]) -> str:
+        """Pick the admission lane: ``system.*`` reads bypass admission;
+        otherwise the session config chooses interactive (default) or batch.
+        """
+        if proto.references_system_tables(plan):
+            return LANE_SYSTEM
+        lane = session.config.get(LANE_CONFIG_KEY, LANE_INTERACTIVE)
+        if lane not in LANE_PRIORITY or lane == LANE_SYSTEM:
+            # Clients cannot claim the system lane via config.
+            lane = LANE_INTERACTIVE
+        return lane
+
+    def _admit_operation(
+        self,
+        session: SessionState,
+        op: OperationState,
+        query_ctx: QueryContext,
+        plan: dict[str, Any],
+    ) -> None:
+        """Pass the operation through the workload manager (if any).
+
+        While blocked in the admission queue the operation is visible as
+        ``QUEUED`` and holds its ticket, so ``interrupt`` can dequeue it;
+        rejected operations are tombstoned and the typed, retryable error
+        propagates to the client in-band.
+        """
+        if self.workload_manager is None:
+            return
+        op.status = OP_QUEUED
+        tenant = session.config.get(TENANT_CONFIG_KEY) or session.user_ctx.user
+        lane = self._lane_for(session, plan)
+        try:
+            ticket = self.workload_manager.admit(
+                user=session.user_ctx.user,
+                lane=lane,
+                tenant=tenant,
+                query_ctx=query_ctx,
+                # Expose the ticket while this thread blocks in the queue,
+                # so interrupt() from another thread can dequeue it.
+                on_enqueued=lambda t: setattr(op, "ticket", t),
+            )
+        except LakeguardError:
+            session.record_rejection()
+            try:
+                self.sessions.interrupt_operation(
+                    op.operation_id, session.session_id
+                )
+            except (OperationGoneError, SessionError):
+                pass  # an interrupt already tombstoned it
+            raise
+        op.ticket = ticket
+        op.status = OP_RUNNING
+        query_ctx.ticket = ticket
+        session.record_admission(ticket.queue_wait)
 
     # ------------------------------------------------------------------
     # Execution

@@ -23,6 +23,8 @@ DEFAULT_SESSION_TTL = 3600.0
 #: Seconds without reattach after which a broken operation is abandoned.
 DEFAULT_OPERATION_ABANDON_AFTER = 300.0
 
+#: Waiting in the workload manager's admission queue, not yet executing.
+OP_QUEUED = "QUEUED"
 OP_RUNNING = "RUNNING"
 OP_FINISHED = "FINISHED"
 OP_INTERRUPTED = "INTERRUPTED"
@@ -44,6 +46,9 @@ class OperationState:
     #: Trace the operation executes under (client-sent or server-assigned);
     #: ReattachExecute resumes this same trace.
     trace_id: str | None = None
+    #: The admission ticket while QUEUED/RUNNING; interrupting a QUEUED
+    #: operation cancels this ticket, dequeuing it without ever executing.
+    ticket: Any = None
 
     def remaining_from(self, index: int) -> list[dict[str, Any]]:
         return self.responses[index:]
@@ -67,9 +72,23 @@ class SessionState:
     #: Bumped whenever temp views/UDFs change; part of the secure-plan cache
     #: key, since session temp state resolves at plan-decode time.
     temp_state_version: int = 0
+    #: Per-tenant workload accounting, maintained by the Connect service:
+    #: queries this session got admitted / rejected, and total queue wait.
+    admitted_queries: int = 0
+    rejected_queries: int = 0
+    queue_wait_seconds: float = 0.0
 
     def bump_temp_state(self) -> None:
         self.temp_state_version += 1
+
+    def record_admission(self, queue_wait: float) -> None:
+        """Account one admitted query (and its admission-queue wait)."""
+        self.admitted_queries += 1
+        self.queue_wait_seconds += max(0.0, queue_wait)
+
+    def record_rejection(self) -> None:
+        """Account one query the workload manager refused to admit."""
+        self.rejected_queries += 1
 
 
 class SessionManager:
@@ -193,6 +212,13 @@ class SessionManager:
             self._tombstones[operation_id] = OP_FINISHED
 
     def interrupt_operation(self, operation_id: str, session_id: str) -> None:
+        """Interrupt a running — or still-queued — operation.
+
+        A QUEUED operation is blocked in the workload manager's admission
+        queue on its serving thread; cancelling its ticket dequeues it and
+        releases the reservation, so the blocked ``admit()`` call raises
+        instead of ever executing.
+        """
         op = self.get_operation(operation_id, session_id)
         self._finish_operation(op, OP_INTERRUPTED)
 
@@ -209,6 +235,13 @@ class SessionManager:
         return [op.operation_id for op in doomed]
 
     def _finish_operation(self, op: OperationState, status: str) -> None:
+        ticket = op.ticket
+        if ticket is not None:
+            # Queued -> dequeue; admitted -> free the slot. Both idempotent,
+            # so this is a safe backstop for abandon/close paths too.
+            if not ticket.cancel():
+                ticket.release()
+            op.ticket = None
         op.status = status
         self._operations.pop(op.operation_id, None)
         self._tombstones[op.operation_id] = status

@@ -90,6 +90,9 @@ class GovernedResolver:
     QUERY_PROFILE_TABLE = "system.access.query_profile"
     #: Hit/miss/size counters of every enforcement cache (admins only).
     CACHE_STATS_TABLE = "system.access.cache_stats"
+    #: Live admission-queue depths, wait times, shed counts and circuit-
+    #: breaker states (admins only).
+    WORKLOAD_STATS_TABLE = "system.access.workload_stats"
 
     def resolve_relation(
         self, name: str, options: dict | None = None
@@ -101,6 +104,8 @@ class GovernedResolver:
             return self._resolve_query_profile_table()
         if name == self.CACHE_STATS_TABLE:
             return self._resolve_cache_stats_table()
+        if name == self.WORKLOAD_STATS_TABLE:
+            return self._resolve_workload_stats_table()
         metadata = self._catalog.relation_metadata(
             name, self.acting_ctx, self._caps
         )
@@ -353,6 +358,49 @@ class GovernedResolver:
         schema = Schema(
             (
                 Field("cache", STRING),
+                Field("metric", STRING),
+                Field("value", FLOAT),
+            )
+        )
+        columns: list[list] = [
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
+        ]
+        return LocalRelation(schema, columns)
+
+    def _resolve_workload_stats_table(self) -> LogicalPlan:
+        """``system.access.workload_stats``: one row per scheduler metric.
+
+        Admin-only, like ``cache_stats``. Rows come from the providers each
+        scheduler component registers with the catalog — every cluster's
+        workload manager (queue depths, waits, sheds, per-tenant budgets)
+        and the serverless gateway's circuit breaker — as
+        ``(scope, metric, value)``, so operators can watch saturation and
+        breaker trips live, through plain governed SQL.
+        """
+        from repro.catalog.privileges import MANAGE
+        from repro.engine.logical import LocalRelation
+        from repro.engine.types import FLOAT, STRING, Field
+        from repro.errors import PermissionDenied
+
+        ctx = self.session_ctx
+        is_admin = (
+            not ctx.is_down_scoped
+            and self._catalog.principals.is_admin(ctx.user)
+        )
+        if not is_admin:
+            raise PermissionDenied(ctx.user, MANAGE, self.WORKLOAD_STATS_TABLE)
+        rows: list[tuple[str, str, float]] = []
+        for scope, stats in self._catalog.workload_stats().items():
+            for metric, value in sorted(stats.items()):
+                try:
+                    rows.append((scope, metric, float(value)))
+                except (TypeError, ValueError):
+                    continue  # non-numeric provider fields are not metrics
+        schema = Schema(
+            (
+                Field("scope", STRING),
                 Field("metric", STRING),
                 Field("value", FLOAT),
             )

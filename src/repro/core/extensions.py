@@ -13,7 +13,7 @@ and VACUUM.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Protocol
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.engine.logical import LogicalPlan
 from repro.errors import ProtocolError

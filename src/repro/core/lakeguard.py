@@ -15,7 +15,6 @@ and assembles, per session:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.catalog.metastore import UnityCatalog
@@ -46,6 +45,7 @@ from repro.errors import (
 from repro.sandbox.cluster_manager import Backend, ClusterManager
 from repro.sandbox.dispatcher import Dispatcher, SandboxedUDFRuntime
 from repro.sandbox.policy import SandboxPolicy
+from repro.scheduler.workload import TenantPolicy, WorkloadManager
 from repro.sql import ast_nodes as ast
 from repro.sql.parser import parse_statement
 
@@ -89,6 +89,12 @@ class LakeguardCluster:
         enable_credential_cache: bool = True,
         credential_refresh_ahead: float = 0.2,
         sandbox_min_pool_size: int = 0,
+        enable_workload_manager: bool = True,
+        workload_slots: int = 16,
+        workload_fair_share: bool = True,
+        workload_max_total_queue: int = 256,
+        workload_admission_timeout: float = 30.0,
+        workload_default_policy: TenantPolicy | None = None,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -108,8 +114,30 @@ class LakeguardCluster:
             provision_seconds=provision_seconds,
             interpreter_start_seconds=interpreter_start_seconds,
         )
+
+        #: Admission control: every Connect query passes through this before
+        #: executing (None when disabled — every query runs immediately).
+        self.workload_manager: WorkloadManager | None = None
+        if enable_workload_manager:
+            self.workload_manager = WorkloadManager(
+                name=self.cluster_id,
+                clock=self.clock,
+                telemetry=self.telemetry,
+                total_slots=workload_slots,
+                fair_share=workload_fair_share,
+                max_total_queue=workload_max_total_queue,
+                admission_timeout=workload_admission_timeout,
+                default_policy=workload_default_policy,
+            )
+            catalog.register_workload_stats_provider(
+                f"workload[{self.cluster_id}]",
+                self.workload_manager.stats_snapshot,
+            )
+
         self.dispatcher = Dispatcher(
-            self.cluster_manager, min_pool_size=sandbox_min_pool_size
+            self.cluster_manager,
+            min_pool_size=sandbox_min_pool_size,
+            workload_manager=self.workload_manager,
         )
         catalog.register_cache_stats_provider(
             f"sandbox_pool[{self.cluster_id}]", self.dispatcher.stats_snapshot
@@ -262,6 +290,7 @@ class LakeguardCluster:
             plan_cache=self.plan_cache,
             policy_epoch=lambda: self.catalog.policy_epoch,
             compute_id=self.caps.compute_id,
+            workload_manager=self.workload_manager,
         )
 
     def _run_pipeline(

@@ -22,11 +22,13 @@ ultimately folded into each remote payload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.common.context import QueryContext
 from repro.common.telemetry import Span
+from repro.connect.proto import references_system_tables
 from repro.connect.sessions import SessionState
 from repro.core.plan_cache import PlanCacheKey, SecurePlanCache, fingerprint_relation
 from repro.core.plan_codec import PlanDecoder
@@ -116,20 +118,6 @@ def _schema_message(schema: Schema) -> list[dict[str, str]]:
     return [{"name": f.qualified_name(), "type": f.dtype.name} for f in schema]
 
 
-def _references_system_tables(obj: Any) -> bool:
-    """True if a wire relation mentions any ``system.*`` table.
-
-    System tables (audit log, query profiles, cache stats) materialize
-    their rows at *resolve* time, so a cached secure plan would freeze
-    them; such queries always bypass the plan cache.
-    """
-    if isinstance(obj, dict):
-        return any(_references_system_tables(v) for v in obj.values())
-    if isinstance(obj, (list, tuple)):
-        return any(_references_system_tables(v) for v in obj)
-    return isinstance(obj, str) and obj.startswith("system.")
-
-
 def _remote_scans(plan: LogicalPlan) -> list[RemoteScan]:
     found: list[RemoteScan] = []
 
@@ -150,6 +138,7 @@ def build_enforcement_pipeline(
     plan_cache: SecurePlanCache | None = None,
     policy_epoch: Callable[[], int] | None = None,
     compute_id: str = "",
+    workload_manager: Any = None,
 ) -> QueryPipeline:
     """The standard governed-query pipeline over one session's engine.
 
@@ -159,6 +148,12 @@ def build_enforcement_pipeline(
     entirely, a miss inserts after optimize. ``policy_epoch`` must return
     the catalog's *current* governance epoch so any policy change since the
     plan was cached is a hard miss.
+
+    With a ``workload_manager``, the execute stage brackets the operator
+    run in :meth:`~repro.scheduler.workload.WorkloadManager.execution_slot`
+    — the admitted slot is marked busy for the duration of the stage span
+    and released (dispatching the next queued query) as soon as execution
+    finishes, rather than when the client drains the stream.
     """
 
     def _cache_key(state: PipelineState) -> PlanCacheKey:
@@ -178,7 +173,7 @@ def build_enforcement_pipeline(
             span.set_attribute(
                 "relation_type", (state.relation or {}).get("@type", "?")
             )
-            if plan_cache is not None and not _references_system_tables(
+            if plan_cache is not None and not references_system_tables(
                 state.relation
             ):
                 state.cache_key = _cache_key(state)
@@ -245,7 +240,19 @@ def build_enforcement_pipeline(
             auth=session.user_ctx,
             query_ctx=ctx,
         )
-        batch = engine.run_operator(state.operator, state.exec_ctx)
+        slot = (
+            workload_manager.execution_slot(ctx)
+            if workload_manager is not None
+            else nullcontext()
+        )
+        with slot as ticket:
+            if ticket is not None:
+                span.set_attribute("admission_tenant", ticket.tenant)
+                span.set_attribute("admission_lane", ticket.lane)
+                span.set_attribute(
+                    "queue_wait_seconds", round(ticket.queue_wait, 6)
+                )
+            batch = engine.run_operator(state.operator, state.exec_ctx)
         state.result = QueryResult(
             batch=batch,
             analyzed_plan=state.analyzed,

@@ -13,7 +13,6 @@ from typing import Protocol
 
 from repro.engine.aggregates import AggregateCall, is_aggregate_expression
 from repro.engine.expressions import (
-    Alias,
     BoundRef,
     Expression,
     SortOrder,

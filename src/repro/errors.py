@@ -91,6 +91,42 @@ class UnsupportedOperationError(LakeguardError):
 
 
 # ---------------------------------------------------------------------------
+# Workload management / overload behaviour
+# ---------------------------------------------------------------------------
+
+
+class RetryableError(LakeguardError):
+    """A transient condition: the caller should retry after ``retry_after``.
+
+    Carries a server-suggested backoff in seconds so clients (and the
+    Connect error codec) can surface *when* a retry is worthwhile instead of
+    hammering an overloaded component.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        self.retry_after = max(0.0, float(retry_after))
+        super().__init__(message)
+
+
+class AdmissionError(RetryableError):
+    """The workload manager refused to admit a query right now.
+
+    ``reason`` distinguishes backpressure ("queue_full"), rate limiting
+    ("rate_limited"), load shedding ("shed"), admission-queue timeouts
+    ("timeout"), up-front deadline rejection ("deadline"), and interrupts of
+    still-queued operations ("cancelled").
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0, reason: str = ""):
+        self.reason = reason
+        super().__init__(message, retry_after=retry_after)
+
+
+class CircuitOpenError(RetryableError):
+    """A circuit breaker is open: the protected backend is failing fast."""
+
+
+# ---------------------------------------------------------------------------
 # Spark Connect
 # ---------------------------------------------------------------------------
 

@@ -27,6 +27,7 @@ from repro.engine.optimizer import OptimizerConfig
 from repro.errors import ClusterAttachDenied
 from repro.sandbox.cluster_manager import Backend
 from repro.sandbox.policy import SandboxPolicy
+from repro.scheduler.workload import TenantPolicy
 
 
 class ComputeCluster:
@@ -51,6 +52,11 @@ class ComputeCluster:
         enable_plan_cache: bool = True,
         enable_credential_cache: bool = True,
         sandbox_min_pool_size: int = 0,
+        enable_workload_manager: bool = True,
+        workload_slots: int = 16,
+        workload_fair_share: bool = True,
+        workload_admission_timeout: float = 30.0,
+        workload_default_policy: TenantPolicy | None = None,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -73,8 +79,15 @@ class ComputeCluster:
             enable_plan_cache=enable_plan_cache,
             enable_credential_cache=enable_credential_cache,
             sandbox_min_pool_size=sandbox_min_pool_size,
+            enable_workload_manager=enable_workload_manager,
+            workload_slots=workload_slots,
+            workload_fair_share=workload_fair_share,
+            workload_admission_timeout=workload_admission_timeout,
+            workload_default_policy=workload_default_policy,
         )
         self.service = SparkConnectService(self.backend, clock=self.clock)
+        #: The backend's admission controller (None when disabled).
+        self.workload_manager = self.backend.workload_manager
         self._context_transform = context_transform
         self.attached_users: set[str] = set()
 

@@ -26,12 +26,13 @@ from repro.connect.channel import InProcessChannel
 from repro.connect.service import SparkConnectService
 from repro.core.lakeguard import LakeguardCluster
 from repro.engine.optimizer import OptimizerConfig
-from repro.errors import ClusterError, SessionError
+from repro.errors import ClusterError, SessionError, TransportError
 from repro.platform.workload_env import (
     WorkloadEnvironmentRegistry,
     standard_environments,
 )
 from repro.sandbox.cluster_manager import Backend
+from repro.scheduler.circuit_breaker import CircuitBreaker, retry_with_backoff
 
 #: Seconds charged (on the gateway clock) to provision a fresh cluster.
 DEFAULT_CLUSTER_PROVISION_SECONDS = 30.0
@@ -75,6 +76,11 @@ class ServerlessGateway:
         optimizer_config: OptimizerConfig | None = None,
         environments: WorkloadEnvironmentRegistry | None = None,
         num_executors: int = 2,
+        breaker_failure_threshold: int = 5,
+        breaker_base_backoff: float = 1.0,
+        breaker_max_backoff: float = 30.0,
+        efgac_retries: int = 2,
+        efgac_retry_base: float = 0.05,
     ):
         self._catalog = catalog
         self._clock = clock or SystemClock()
@@ -93,6 +99,24 @@ class ServerlessGateway:
         self._connection_history: list[int] = []
         self._connections_this_tick = 0
         self.stats = GatewayStats()
+        #: Circuit breaker guarding the eFGAC endpoint: when serverless is
+        #: down, dedicated-cluster remote scans fail fast with a retryable
+        #: CircuitOpenError instead of waiting out their deadlines.
+        self.breaker = CircuitBreaker(
+            name="efgac-gateway",
+            clock=self._clock,
+            telemetry=catalog.telemetry,
+            failure_threshold=breaker_failure_threshold,
+            base_backoff=breaker_base_backoff,
+            max_backoff=breaker_max_backoff,
+        )
+        self._efgac_retries = efgac_retries
+        self._efgac_retry_base = efgac_retry_base
+        #: Fault-injection flag: when set, eFGAC calls fail at the gateway.
+        self._outage = False
+        catalog.register_workload_stats_provider(
+            "efgac_breaker[serverless]", self.breaker.stats_snapshot
+        )
         for _ in range(min_clusters):
             self._provision_cluster()
 
@@ -262,26 +286,64 @@ class ServerlessGateway:
     # eFGAC endpoint (used by Dedicated clusters, §3.4)
     # ------------------------------------------------------------------
 
+    def set_outage(self, outage: bool) -> None:
+        """Fault injection: make every eFGAC call fail at the gateway.
+
+        Used by tests and ops drills to verify the breaker trips and
+        dedicated-cluster callers fail fast while serverless is down.
+        """
+        self._outage = outage
+
+    def _check_outage(self) -> None:
+        if self._outage:
+            raise ClusterError("serverless gateway is unreachable (outage)")
+
+    def _protected(self, fn):
+        """Run an eFGAC call through retries + the circuit breaker.
+
+        Transient gateway failures are retried with jittered exponential
+        backoff; a run of failures opens the breaker, after which calls
+        raise :class:`~repro.errors.CircuitOpenError` without touching the
+        gateway until the backoff elapses and a half-open probe succeeds.
+        """
+        return retry_with_backoff(
+            lambda: self.breaker.call(fn),
+            clock=self._clock,
+            retries=self._efgac_retries,
+            base_delay=self._efgac_retry_base,
+            retry_on=(ClusterError, TransportError),
+        )
+
     def submit(
         self, user: str, relation: dict[str, Any]
     ) -> tuple[list[dict[str, str]], list[list[Any]]]:
         """Run an eFGAC sub-plan as ``user`` on a serverless cluster."""
         self.stats.efgac_subqueries += 1
-        cluster = self._least_loaded_or_provision()
-        qctx = current_context()
-        if qctx is not None:
-            # The backend call below creates a child context off the ambient
-            # one, so the remote sub-plan lands in the caller's trace tree.
-            qctx.event(
-                "gateway-efgac-route",
-                cluster=cluster.backend.cluster_id,
-                user=user,
-            )
-        return cluster.backend.run_relation_for_user(user, relation)
+
+        def run() -> tuple[list[dict[str, str]], list[list[Any]]]:
+            self._check_outage()
+            cluster = self._least_loaded_or_provision()
+            qctx = current_context()
+            if qctx is not None:
+                # The backend call below creates a child context off the
+                # ambient one, so the remote sub-plan lands in the caller's
+                # trace tree.
+                qctx.event(
+                    "gateway-efgac-route",
+                    cluster=cluster.backend.cluster_id,
+                    user=user,
+                )
+            return cluster.backend.run_relation_for_user(user, relation)
+
+        return self._protected(run)
 
     def analyze(self, user: str, relation: dict[str, Any]) -> list[dict[str, str]]:
-        cluster = self._least_loaded_or_provision()
-        return cluster.backend.analyze_relation_for_user(user, relation)
+        def run() -> list[dict[str, str]]:
+            self._check_outage()
+            cluster = self._least_loaded_or_provision()
+            return cluster.backend.analyze_relation_for_user(user, relation)
+
+        return self._protected(run)
 
     def _least_loaded_or_provision(self) -> _BackendCluster:
         if not self._clusters:

@@ -69,6 +69,7 @@ class Dispatcher:
         cluster_manager: ClusterManager,
         clock: Clock | None = None,
         min_pool_size: int = 0,
+        workload_manager: Any = None,
     ):
         self._manager = cluster_manager
         self._clock = clock or cluster_manager.clock
@@ -79,11 +80,26 @@ class Dispatcher:
         self._spares: list[tuple[ClusterManager, Sandbox]] = []
         #: Pool keys whose sandbox was provisioned off the query path.
         self._prewarmed_keys: set[_PoolKey] = set()
+        #: Workload manager that sandbox claims are charged to: each pooled
+        #: sandbox counts against its owning tenant's in-flight budget until
+        #: the session releases it. Spares are unowned, so only *claimed*
+        #: pool entries are charged. Maps pool key -> charged tenant.
+        self._workload = workload_manager
+        self._claim_tenants: dict[_PoolKey, str] = {}
         self._lock = threading.Lock()
         self.min_pool_size = max(0, min_pool_size)
         self.stats = DispatcherStats()
         if self.min_pool_size:
             self.ensure_min_pool()
+
+    def _charge_locked(self, key: _PoolKey, trust_domain: str) -> None:
+        """Charge a new pool entry to the acting tenant's sandbox budget."""
+        if self._workload is None or key in self._claim_tenants:
+            return
+        qctx = current_context()
+        tenant = qctx.user if qctx is not None and qctx.user else trust_domain
+        self._claim_tenants[key] = tenant
+        self._workload.charge_sandbox(tenant)
 
     @contextmanager
     def _locked(self) -> Iterator[None]:
@@ -152,6 +168,7 @@ class Dispatcher:
                         trust_domain, policy, environment=environment
                     )
                 self._pool[key] = (manager, sandbox)
+                self._charge_locked(key, trust_domain)
                 self._prewarmed_keys.add(key)
                 self.stats.prewarmed += 1
                 created += 1
@@ -207,6 +224,7 @@ class Dispatcher:
                 # domains — this is exactly what makes prewarming sound.
                 sandbox.trust_domain = trust_domain
                 self._pool[key] = (manager, sandbox)
+                self._charge_locked(key, trust_domain)
                 self.stats.warm_acquisitions += 1
                 self.stats.prewarm_hits += 1
                 if qctx is not None:
@@ -241,17 +259,27 @@ class Dispatcher:
             if qctx is not None:
                 qctx.telemetry.counter("sandbox.cold_starts").inc()
             self._pool[key] = (manager, sandbox)
+            self._charge_locked(key, trust_domain)
             return sandbox
 
     def release_session(self, session_id: str) -> int:
         """Destroy all of one session's sandboxes; returns how many."""
+        refunds: dict[str, int] = {}
         with self._locked():
             doomed = [key for key in self._pool if key[0] == session_id]
             for key in doomed:
                 manager, sandbox = self._pool.pop(key)
                 self._prewarmed_keys.discard(key)
+                tenant = self._claim_tenants.pop(key, None)
+                if tenant is not None:
+                    refunds[tenant] = refunds.get(tenant, 0) + 1
                 manager.destroy_sandbox(sandbox)
-            return len(doomed)
+        # Refund outside the pool lock: release_sandbox reschedules queued
+        # queries under the workload manager's own lock.
+        if self._workload is not None:
+            for tenant, count in refunds.items():
+                self._workload.release_sandbox(tenant, count)
+        return len(doomed)
 
     def pool_size(self) -> int:
         with self._locked():
@@ -279,6 +307,7 @@ class Dispatcher:
                 "prewarmed": self.stats.prewarmed,
                 "prewarm_hits": self.stats.prewarm_hits,
                 "lock_contentions": self.stats.lock_contentions,
+                "charged_claims": len(self._claim_tenants),
             }
 
 

@@ -16,7 +16,7 @@ import threading
 from typing import Any, Callable
 from urllib.parse import urlparse
 
-from repro.errors import EgressDenied, SandboxError
+from repro.errors import SandboxError
 from repro.sandbox.policy import SandboxPolicy
 
 _STATE = threading.local()

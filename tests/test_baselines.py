@@ -151,7 +151,6 @@ class TestExternalFilterBaseline:
         """LakeFormation-style service ships rows; Lakeguard ships states."""
         from repro.baselines.external_filter import external_filter_rules
         from repro.core.efgac import efgac_rules
-        from repro.engine.logical import RemoteScan
 
         admin_client.sql("ALTER TABLE main.sales.orders SET ROW FILTER (region = 'US')")
 

@@ -7,7 +7,6 @@ from repro.catalog import (
     COMPUTE_STANDARD,
     ComputeCapabilities,
     UnityCatalog,
-    UserContext,
 )
 from repro.catalog.policies import ColumnMask, RowFilter
 from repro.catalog.scopes import ANNOTATION_REQUIRES_EXTERNAL_FGAC

@@ -12,7 +12,6 @@ from repro.connect.sessions import SessionManager
 from repro.errors import (
     OperationGoneError,
     SessionError,
-    TransportError,
     VersionIncompatibleError,
 )
 

@@ -89,5 +89,5 @@ def _is_trivial(func) -> bool:
         source = inspect.getsource(func)
     except OSError:
         return True
-    lines = [l for l in source.strip().splitlines() if l.strip()]
+    lines = [ln for ln in source.strip().splitlines() if ln.strip()]
     return len(lines) <= 7

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.connect.client import col, udf
-from repro.engine.logical import RemoteScan, Scan, SecureView
+from repro.engine.logical import Scan, SecureView
 from repro.errors import PermissionDenied
 
 pytestmark = pytest.mark.usefixtures("admin_client")

@@ -4,7 +4,6 @@ import pytest
 
 from repro.engine.aggregates import AggregateCall
 from repro.engine.analyzer import Analyzer, DictResolver
-from repro.engine.batch import ColumnBatch
 from repro.engine.executor import LocalDataSource, QueryEngine
 from repro.engine.expressions import (
     Alias,

@@ -17,7 +17,6 @@ from repro.engine.expressions import (
     InList,
     IsAccountGroupMember,
     IsNull,
-    Literal,
     Not,
     PythonUDFCall,
     bind_expression,

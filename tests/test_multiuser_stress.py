@@ -3,11 +3,16 @@
 Simulates the paper's target deployment: many identities, different grants
 and policies, queries interleaved round-robin on shared compute — with the
 invariant that every result is exactly what that identity is entitled to,
-no matter what ran before or after on the same cluster.
+no matter what ran before or after on the same cluster — and that one
+tenant's load cannot starve another's admission.
 """
+
+import threading
+import time
 
 import pytest
 
+from repro.common.context import QueryDeadlineExceeded
 from repro.connect.client import col, udf
 from repro.platform import Workspace
 
@@ -129,3 +134,98 @@ class TestInterleavedWorkload:
         assert cluster.backend.cluster_manager.stats.active == 1
         client.close()
         assert cluster.backend.cluster_manager.stats.active == 0
+
+
+class TestWorkloadUnderContention:
+    """Admission-control behaviour while tenants compete for slots."""
+
+    def test_deadline_enforced_while_waiting_in_admission_queue(
+        self, busy_workspace
+    ):
+        """A query whose deadline lapses in the admission queue fails with a
+        typed wire error — it never gets a slot or executes."""
+        ws, cluster = busy_workspace
+        manager = cluster.workload_manager
+        executed_before = manager.stats_snapshot().get("tenant.user0.admitted", 0)
+        # Occupy every slot so the deadline-carrying query must queue.
+        held = [manager.admit(f"squatter{i}") for i in range(manager.total_slots)]
+        try:
+            user0 = cluster.connect("user0")
+            user0.deadline_seconds = 0.1
+            started = time.monotonic()
+            with pytest.raises(QueryDeadlineExceeded):
+                user0.sql("SELECT id FROM m.s.events").collect()
+            # It gave up at the deadline, not at the admission timeout.
+            assert time.monotonic() - started < 5.0
+        finally:
+            for ticket in held:
+                ticket.release()
+        after = manager.stats_snapshot().get("tenant.user0.admitted", 0)
+        assert after == executed_before
+        assert manager.queue_depth() == 0
+        # The same query with room to breathe succeeds.
+        user0.deadline_seconds = 30.0
+        assert len(user0.sql("SELECT id FROM m.s.events").collect()) == 10
+
+    def test_cross_tenant_isolation_under_concurrent_load(self, busy_workspace):
+        """A tenant flooding the cluster cannot starve the others: every
+        light-tenant query is admitted, and fair share interleaves them
+        ahead of the flooder's backlog instead of behind all of it."""
+        ws, _ = busy_workspace
+        # Few slots so eight flooding connections genuinely saturate them.
+        cluster = ws.create_standard_cluster(name="contended", workload_slots=4)
+        manager = cluster.workload_manager
+        heavy = [cluster.connect("user0") for _ in range(8)]
+        light_clients = [cluster.connect(f"user{i}") for i in (1, 2)]
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def flood(client) -> None:
+            while not stop.is_set():
+                try:
+                    client.sql("SELECT v FROM m.s.events").collect()
+                except Exception as exc:  # pragma: no cover - fails the test
+                    errors.append(exc)
+                    return
+
+        flooders = [
+            threading.Thread(target=flood, args=(c,), daemon=True) for c in heavy
+        ]
+        for t in flooders:
+            t.start()
+        light_results: list[int] = []
+
+        def light_work(client, expect_region) -> None:
+            for _ in range(5):
+                rows = client.sql("SELECT region FROM m.s.events").collect()
+                assert {r[0] for r in rows} == {expect_region}
+                light_results.append(len(rows))
+
+        try:
+            light_threads = [
+                threading.Thread(
+                    target=light_work, args=(c, expected_region(i))
+                )
+                for i, c in zip((1, 2), light_clients)
+            ]
+            for t in light_threads:
+                t.start()
+            for t in light_threads:
+                t.join(timeout=60)
+                assert not t.is_alive(), "light tenant starved under load"
+        finally:
+            stop.set()
+            for t in flooders:
+                t.join(timeout=60)
+        assert not errors, errors
+        # Every light query was admitted (none shed, none timed out) and the
+        # results stayed exactly the tenant's governed view throughout.
+        assert len(light_results) == 10
+        snapshot = manager.stats_snapshot()
+        assert snapshot["tenant.user1.admitted"] >= 5
+        assert snapshot["tenant.user2.admitted"] >= 5
+        assert snapshot["tenant.user1.shed"] == 0
+        assert snapshot["tenant.user2.shed"] == 0
+        assert snapshot["admission_timeouts"] == 0
+        # The flooder got the bulk of the slots but not all of them.
+        assert snapshot["tenant.user0.admitted"] > snapshot["tenant.user1.admitted"]

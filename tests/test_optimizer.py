@@ -24,7 +24,7 @@ from repro.engine.logical import (
     UnresolvedRelation,
 )
 from repro.engine.optimizer import Optimizer, OptimizerConfig
-from repro.engine.types import FLOAT, INT, STRING, Field, Schema, schema_of
+from repro.engine.types import FLOAT, INT, STRING, Field, Schema
 from repro.engine.udf import udf
 
 SCHEMA = Schema((Field("id", INT), Field("region", STRING), Field("v", FLOAT)))

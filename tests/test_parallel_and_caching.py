@@ -26,7 +26,7 @@ from repro.engine.types import Field, INT, STRING, Schema
 from repro.errors import PermissionDenied, TrustDomainViolation
 from repro.platform import Workspace
 from repro.sandbox.cluster_manager import ClusterManager
-from repro.sandbox.dispatcher import SPARE_DOMAIN, Dispatcher
+from repro.sandbox.dispatcher import Dispatcher
 from repro.storage.credentials import (
     LIST,
     READ,

@@ -21,9 +21,7 @@ from repro.engine.expressions import (
     InList,
     IsNull,
     Like,
-    Literal,
     Not,
-    PythonUDFCall,
     bind_expression,
     col,
     lit,

@@ -9,7 +9,6 @@ from repro.platform import Workspace
 from repro.platform.serverless import ServerlessGateway
 from repro.platform.workload_env import (
     WorkloadEnvironment,
-    WorkloadEnvironmentRegistry,
     standard_environments,
 )
 
@@ -171,7 +170,7 @@ class TestServerlessGateway:
                 client.close()
             gateway.autoscale()
         loads = gateway.cluster_loads()
-        spare = sum(2 - l for l in loads)
+        spare = sum(2 - n for n in loads)
         assert spare >= 4, f"forecasted capacity not pre-provisioned: {loads}"
 
     def test_session_migration_is_transparent(self):

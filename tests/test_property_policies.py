@@ -5,13 +5,9 @@ and randomized policy predicates, asserting the visibility set is always
 exactly what the policy defines — for every surface and every user.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.catalog.policies import ColumnMask, RowFilter
-from repro.connect.sessions import SessionState
 from repro.platform import Workspace
-from repro.sql.parser import parse_expression
 
 REGIONS = ["US", "EU", "APAC", None]
 

@@ -9,9 +9,7 @@ import pytest
 from repro.connect.client import col, udf
 from repro.errors import (
     EgressDenied,
-    LakeguardError,
     PermissionDenied,
-    SessionError,
     TrustDomainViolation,
 )
 from repro.sandbox import net

@@ -3,7 +3,7 @@ and the queryable audit system table."""
 
 import pytest
 
-from repro.errors import AnalysisError, ParseError, PermissionDenied, SecurableNotFound
+from repro.errors import AnalysisError, ParseError, PermissionDenied
 from repro.sql import ast_nodes as ast
 from repro.sql.parser import parse_statement
 

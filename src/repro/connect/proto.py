@@ -101,12 +101,15 @@ def is_command(plan: dict[str, Any]) -> bool:
 
 
 def references_system_tables(obj: Any) -> bool:
-    """True if a wire relation mentions any ``system.*`` table.
+    """True if any string in the wire plan *mentions* ``system.`` — a
+    deliberately over-broad substring scan (it matches inside SQL string
+    literals too).
 
-    Used by the plan cache (system tables materialize at resolve time, so
-    cached secure plans would freeze them) and by the workload manager's
-    admission lane detection (``system.*`` introspection reads ride the
-    always-admitted system lane).
+    Only safe for the plan cache's conservative bypass: system tables
+    materialize at resolve time, so cached secure plans would freeze them,
+    and a false positive merely skips caching one plan. Never use this for
+    admission/privilege decisions — use :func:`referenced_tables`, which
+    resolves table references structurally and cannot be spoofed by data.
     """
     if isinstance(obj, dict):
         return any(references_system_tables(v) for v in obj.values())
@@ -120,6 +123,86 @@ def references_system_tables(obj: Any) -> bool:
 #: system.access.x``). The look-behind excludes longer identifiers
 #: (``ecosystem.x``) and deeper qualifications (``cat.system.x``).
 _SYSTEM_REF = re.compile(r"(?:^|[^\w.])system\.")
+
+
+def referenced_tables(plan: dict[str, Any]) -> set[str] | None:
+    """The table names a wire plan structurally references, or ``None``.
+
+    Collects ``relation.read``/``command.write_table`` targets and parses
+    SQL text (``relation.sql``/``command.sql``) into its AST to take the
+    FROM/JOIN/INSERT table names — string *literals* are never inspected,
+    so embedding a table name in data cannot forge a reference. Returns
+    ``None`` whenever any part of the plan resists structural resolution
+    (opaque extension payloads, raw ``expr.sql`` fragments, unparseable or
+    non-query SQL): callers must treat ``None`` as "unknown", not "none".
+
+    The workload manager's lane detection keys off this: only a plan whose
+    references provably all land in ``system.*`` rides the always-admitted
+    system lane.
+    """
+    tables: set[str] = set()
+    return tables if _collect_tables(plan, tables) else None
+
+
+def _collect_tables(obj: Any, out: set[str]) -> bool:
+    """Walk a wire tree collecting table names; False = unresolvable."""
+    if isinstance(obj, dict):
+        mtype = obj.get("@type")
+        if mtype in ("relation.read", "command.write_table"):
+            name = obj.get("table")
+            if not isinstance(name, str):
+                return False
+            out.add(name)
+            return True
+        if mtype in ("relation.sql", "command.sql"):
+            text = obj.get("query") if mtype == "relation.sql" else obj.get("sql")
+            return _collect_sql_tables(text, out)
+        if mtype in ("relation.extension", "command.extension", "expr.sql"):
+            return False
+        return all(_collect_tables(v, out) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return all(_collect_tables(v, out) for v in obj)
+    return True  # scalars — including string literals — reference nothing
+
+
+def _collect_sql_tables(text: Any, out: set[str]) -> bool:
+    if not isinstance(text, str):
+        return False
+    # Imported lazily: the SQL front-end sits above this wire module.
+    from repro.errors import LakeguardError
+    from repro.sql.parser import parse_statement
+
+    try:
+        statement = parse_statement(text)
+    except LakeguardError:
+        return False
+    return _collect_statement_tables(statement, out)
+
+
+def _collect_statement_tables(statement: Any, out: set[str]) -> bool:
+    from repro.sql import ast_nodes as ast
+
+    if isinstance(statement, ast.UnionStatement):
+        return all(_collect_statement_tables(s, out) for s in statement.inputs)
+    if isinstance(statement, ast.SelectStatement):
+        sources = [j.source for j in statement.joins]
+        if statement.source is not None:
+            sources.append(statement.source)
+        for source in sources:
+            if isinstance(source, ast.TableSource):
+                out.add(source.name)
+            elif isinstance(source, ast.SubquerySource):
+                if not _collect_statement_tables(source.query, out):
+                    return False
+            else:
+                return False
+        return True
+    if isinstance(statement, ast.InsertStatement):
+        out.add(statement.table)
+        return True
+    # DDL/DCL/introspection statements: not structurally resolvable here,
+    # and never candidates for the system lane anyway.
+    return False
 
 
 def is_relation(plan: dict[str, Any]) -> bool:

@@ -372,11 +372,21 @@ class SparkConnectService:
     # ------------------------------------------------------------------
 
     def _lane_for(self, session: SessionState, plan: dict[str, Any]) -> str:
-        """Pick the admission lane: ``system.*`` reads bypass admission;
-        otherwise the session config chooses interactive (default) or batch.
+        """Pick the admission lane: a relation whose *structurally resolved*
+        table references all land in ``system.*`` is an introspection read
+        and bypasses admission; otherwise the session config chooses
+        interactive (default) or batch.
+
+        The resolution walks relation/SQL-AST table nodes, never raw
+        strings — a ``system.`` substring inside a literal, comment or
+        identifier cannot route a query onto the unthrottled system lane.
+        Unknown shapes (``referenced_tables`` returns ``None``) stay on the
+        admitted lanes, which is the conservative direction.
         """
-        if proto.references_system_tables(plan):
-            return LANE_SYSTEM
+        if proto.is_relation(plan):
+            tables = proto.referenced_tables(plan)
+            if tables and all(t.startswith("system.") for t in tables):
+                return LANE_SYSTEM
         lane = session.config.get(LANE_CONFIG_KEY, LANE_INTERACTIVE)
         if lane not in LANE_PRIORITY or lane == LANE_SYSTEM:
             # Clients cannot claim the system lane via config.

@@ -217,7 +217,9 @@ class SessionManager:
         A QUEUED operation is blocked in the workload manager's admission
         queue on its serving thread; cancelling its ticket dequeues it and
         releases the reservation, so the blocked ``admit()`` call raises
-        instead of ever executing.
+        instead of ever executing. A RUNNING operation is only tombstoned:
+        its concurrency slot stays held until the serving thread finishes,
+        because execution cannot be preempted.
         """
         op = self.get_operation(operation_id, session_id)
         self._finish_operation(op, OP_INTERRUPTED)
@@ -236,12 +238,17 @@ class SessionManager:
 
     def _finish_operation(self, op: OperationState, status: str) -> None:
         ticket = op.ticket
-        if ticket is not None:
-            # Queued -> dequeue; admitted -> free the slot. Both idempotent,
-            # so this is a safe backstop for abandon/close paths too.
-            if not ticket.cancel():
-                ticket.release()
+        if ticket is not None and ticket.cancel():
+            # QUEUED: dequeued and its reservation released; the blocked
+            # admit() call on the serving thread raises instead of running.
             op.ticket = None
+        # An ADMITTED ticket is deliberately left alone: there is no
+        # preemption, so the serving thread is still executing in its slot.
+        # Releasing here would let the scheduler dispatch past total_slots
+        # (repeated interrupts -> unbounded overcommit) and record a
+        # truncated service time into the wait-estimator EWMA. The
+        # execute-stage bracket / handle_stream ``finally`` on the serving
+        # thread frees the slot when the operator actually finishes.
         op.status = status
         self._operations.pop(op.operation_id, None)
         self._tombstones[op.operation_id] = status

@@ -93,11 +93,22 @@ class Dispatcher:
             self.ensure_min_pool()
 
     def _charge_locked(self, key: _PoolKey, trust_domain: str) -> None:
-        """Charge a new pool entry to the acting tenant's sandbox budget."""
+        """Charge a new pool entry to the admitting tenant's sandbox budget.
+
+        The tenant comes from the admission ticket on the ambient
+        :class:`QueryContext` — the same identity the WorkloadManager
+        admitted the query under, including a ``workload.tenant`` session
+        override (trust-domain accounting on shared compute). Un-admitted
+        paths (prewarm at attach, direct backend calls) fall back to the
+        context user, then the trust domain.
+        """
         if self._workload is None or key in self._claim_tenants:
             return
         qctx = current_context()
-        tenant = qctx.user if qctx is not None and qctx.user else trust_domain
+        ticket = getattr(qctx, "ticket", None) if qctx is not None else None
+        tenant = getattr(ticket, "tenant", None)
+        if not tenant:
+            tenant = qctx.user if qctx is not None and qctx.user else trust_domain
         self._claim_tenants[key] = tenant
         self._workload.charge_sandbox(tenant)
 

@@ -67,7 +67,12 @@ class CircuitBreaker:
         self._lock = threading.Lock()
         self._state = STATE_CLOSED
         self._consecutive_failures = 0
+        #: Lifetime opens (stats only; never drives backoff).
         self._open_count = 0
+        #: Opens within the *current* outage; drives the backoff exponent
+        #: and resets when a success closes the breaker, so a fresh outage
+        #: after full recovery starts back at ``base_backoff``.
+        self._outage_opens = 0
         self._opened_at = 0.0
         self._current_backoff = 0.0
         self._probe_in_flight = False
@@ -133,6 +138,7 @@ class CircuitBreaker:
             if self._state != STATE_CLOSED:
                 self._state = STATE_CLOSED
                 self._current_backoff = 0.0
+                self._outage_opens = 0
                 self._counter("closed")
                 self._gauge_state_locked()
 
@@ -148,9 +154,10 @@ class CircuitBreaker:
     def _trip_locked(self) -> None:
         self._state = STATE_OPEN
         self._open_count += 1
+        self._outage_opens += 1
         self._opened_at = self._clock.now()
         base = min(
-            self.max_backoff, self.base_backoff * (2 ** (self._open_count - 1))
+            self.max_backoff, self.base_backoff * (2 ** (self._outage_opens - 1))
         )
         # Full jitter keeps re-probes from synchronizing across callers.
         spread = base * self.jitter
@@ -174,6 +181,7 @@ class CircuitBreaker:
             self._state = STATE_CLOSED
             self._consecutive_failures = 0
             self._current_backoff = 0.0
+            self._outage_opens = 0
             self._probe_in_flight = False
             self._gauge_state_locked()
 

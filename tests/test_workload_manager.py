@@ -315,6 +315,39 @@ class TestCancellation:
         ticket.release()
 
 
+class TestReferencedTables:
+    """Structural table-reference resolution (the lane-detection input)."""
+
+    def test_read_and_sql_tables_resolve_structurally(self):
+        assert proto.referenced_tables(proto.read_table("m.s.t")) == {"m.s.t"}
+        assert proto.referenced_tables(
+            proto.sql_relation("SELECT a FROM system.access.audit")
+        ) == {"system.access.audit"}
+
+    def test_string_literals_do_not_count_as_references(self):
+        plan = proto.filter_relation(
+            proto.read_table("m.s.t"),
+            proto.binary(
+                "=", proto.column("note"), proto.literal("see system.docs")
+            ),
+        )
+        assert proto.referenced_tables(plan) == {"m.s.t"}
+        sql = proto.sql_relation(
+            "SELECT id FROM m.s.notes WHERE note = 'see system.docs'"
+        )
+        assert proto.referenced_tables(sql) == {"m.s.notes"}
+
+    def test_joins_collect_every_source(self):
+        plan = proto.sql_relation(
+            "SELECT a.id FROM m.s.t a JOIN system.access.audit b ON a.id = b.id"
+        )
+        assert proto.referenced_tables(plan) == {"m.s.t", "system.access.audit"}
+
+    def test_unresolvable_shapes_return_none(self):
+        assert proto.referenced_tables(proto.relation_extension("x", {})) is None
+        assert proto.referenced_tables(proto.sql_relation("NOT SQL AT ALL")) is None
+
+
 class TestSandboxBudget:
     def test_sandbox_claims_count_against_in_flight_budget(self):
         mgr = make_manager(clock=SystemClock(), total_slots=4)
@@ -400,6 +433,30 @@ class TestCircuitBreaker:
         assert breaker.state == STATE_OPEN
         second_backoff = breaker.stats_snapshot()["current_backoff_seconds"]
         assert second_backoff == pytest.approx(first_backoff * 2)
+
+    def test_backoff_resets_after_recovery(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            clock=clock, failure_threshold=1, base_backoff=1.0, jitter=0.0
+        )
+        with pytest.raises(ClusterError):
+            breaker.call(self._failing)
+        clock.advance(1.5)
+        with pytest.raises(ClusterError):
+            breaker.call(self._failing)  # failed half-open probe: doubles
+        assert breaker.stats_snapshot()["current_backoff_seconds"] == (
+            pytest.approx(2.0)
+        )
+        clock.advance(2.5)
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == STATE_CLOSED
+        # A fresh outage after full recovery starts from base_backoff again
+        # — the backoff exponent is per-outage, not the lifetime open count.
+        with pytest.raises(ClusterError):
+            breaker.call(self._failing)
+        snapshot = breaker.stats_snapshot()
+        assert snapshot["current_backoff_seconds"] == pytest.approx(1.0)
+        assert snapshot["open_count"] == 3  # lifetime stat still cumulative
 
     def test_retry_with_backoff_retries_then_succeeds(self):
         clock = VirtualClock()
@@ -565,6 +622,39 @@ class TestServiceAdmissionWiring:
             held.release()
         assert cluster.workload_manager.system_bypass >= 1
 
+    def test_system_literal_cannot_escape_admission(self, small_workspace):
+        """A ``system.`` substring inside a string literal must not route
+        the query onto the unthrottled system lane (admission bypass)."""
+        ws = small_workspace
+        cluster = ws.create_standard_cluster()
+        admin = cluster.connect("admin")
+        admin.sql("CREATE TABLE m.s.notes (id int, note string)")
+        admin.sql("INSERT INTO m.s.notes VALUES (1, 'see system.docs')")
+        bypass_before = cluster.workload_manager.system_bypass
+        admitted_before = cluster.workload_manager.admitted_total
+        rows = admin.sql(
+            "SELECT id FROM m.s.notes WHERE note = 'see system.docs'"
+        ).collect()
+        assert len(rows) == 1
+        assert cluster.workload_manager.system_bypass == bypass_before
+        assert cluster.workload_manager.admitted_total == admitted_before + 1
+
+    def test_mixed_system_and_user_reads_are_admitted_normally(
+        self, small_workspace
+    ):
+        """Joining a system table with a user table is not pure
+        introspection: it must pass through ordinary admission."""
+        ws = small_workspace
+        cluster = ws.create_standard_cluster()
+        admin = cluster.connect("admin")
+        admin.sql("CREATE TABLE m.s.t (id int)")
+        bypass_before = cluster.workload_manager.system_bypass
+        admin.sql(
+            "SELECT t.id FROM m.s.t t "
+            "JOIN system.access.workload_stats w ON t.id = t.id"
+        ).collect()
+        assert cluster.workload_manager.system_bypass == bypass_before
+
 
 class TestQueuedInterrupt:
     def test_interrupt_dequeues_queued_operation(self, small_workspace):
@@ -624,6 +714,28 @@ class TestQueuedInterrupt:
         assert cluster.workload_manager.queue_depth() == 0
         held.release()
         assert cluster.workload_manager.slots_in_use() == 0
+
+    def test_interrupt_running_op_keeps_slot_until_completion(self):
+        """Interrupting a RUNNING operation must not free its slot while
+        the serving thread is still executing (there is no preemption);
+        repeated interrupts previously overcommitted the slot pool."""
+        from repro.catalog.privileges import UserContext
+        from repro.connect.sessions import OP_RUNNING, SessionManager
+
+        mgr = make_manager(total_slots=1)
+        sessions = SessionManager()
+        session = sessions.create_session(UserContext(user="alice"))
+        op = sessions.start_operation(session.session_id)
+        op.ticket = mgr.admit("alice")
+        op.status = OP_RUNNING
+        sessions.interrupt_operation(op.operation_id, session.session_id)
+        assert sessions._tombstones[op.operation_id] == OP_INTERRUPTED
+        # The serving thread still occupies the slot...
+        assert mgr.slots_in_use() == 1
+        assert op.ticket is not None and op.ticket.state == "ADMITTED"
+        # ...until its completion bracket releases the ticket.
+        op.ticket.release()
+        assert mgr.slots_in_use() == 0
 
 
 class TestWorkloadStatsTable:
@@ -768,3 +880,27 @@ class TestDispatcherCharging:
         admin.close()
         snapshot = cluster.workload_manager.stats_snapshot()
         assert snapshot["tenant.admin.sandbox_claims"] == 0
+
+    def test_claims_follow_the_admission_tenant_override(self, small_workspace):
+        """With a ``workload.tenant`` session override, sandbox claims debit
+        the tenant the query was *admitted* under, not the raw user — the
+        multi-user trust-domain accounting case."""
+        ws = small_workspace
+        cluster = ws.create_standard_cluster()
+        admin = cluster.connect("admin")
+        admin.set_config(**{"workload.tenant": "team-data"})
+        admin.sql("CREATE TABLE m.s.t (id int, v float)")
+        admin.sql("INSERT INTO m.s.t VALUES (1, 1.0)")
+        from repro.connect.client import col, udf
+
+        @udf("float")
+        def double(x):
+            return x * 2
+
+        admin.table("m.s.t").select(double(col("v"))).collect()
+        snapshot = cluster.workload_manager.stats_snapshot()
+        assert snapshot["tenant.team-data.sandbox_claims"] == 1
+        assert snapshot.get("tenant.admin.sandbox_claims", 0) == 0
+        admin.close()
+        snapshot = cluster.workload_manager.stats_snapshot()
+        assert snapshot["tenant.team-data.sandbox_claims"] == 0

@@ -19,6 +19,8 @@ from repro.baselines.per_user_clusters import (
 
 
 class TestMembraneComparison:
+    """Shared Lakeguard cluster vs Membrane's static two-domain split."""
+
     @pytest.fixture(scope="class")
     def sweep(self):
         model = MembraneClusterModel(total_nodes=20, user_domain_nodes=8)
@@ -63,6 +65,8 @@ class TestMembraneComparison:
 
 
 class TestPerUserClusters:
+    """Per-user dedicated clusters vs one shared Standard cluster."""
+
     @pytest.fixture(scope="class")
     def sweep(self):
         rows = []

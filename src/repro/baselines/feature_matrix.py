@@ -92,6 +92,8 @@ PAPER_COMPETITORS: dict[str, dict[str, str]] = {
 
 @dataclass
 class ProbeResult:
+    """Outcome of one live capability probe (a Table 1 cell)."""
+
     feature: str
     value: str
     detail: str = ""

@@ -35,6 +35,8 @@ class WorkloadPhase:
 
 @dataclass(frozen=True)
 class PhaseOutcome:
+    """Makespan and utilization of one workload phase on one model."""
+
     makespan: float
     utilization: float
 

@@ -36,6 +36,8 @@ class InteractiveSession:
 
 @dataclass(frozen=True)
 class FleetOutcome:
+    """Aggregate cost of serving a user population on one fleet model."""
+
     node_hours: float
     busy_node_hours: float
     peak_nodes: int

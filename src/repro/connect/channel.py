@@ -66,6 +66,8 @@ class Channel(Protocol):
 
 @dataclass
 class ChannelStats:
+    """Wire-level traffic counters for one in-process channel."""
+
     requests: int = 0
     responses: int = 0
     bytes_sent: int = 0

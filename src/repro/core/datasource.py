@@ -40,6 +40,8 @@ from repro.storage.table_format import DataFile, LakeTableStorage
 
 @dataclass
 class ScanStats:
+    """Per-query scan counters: files, credentials, executor tasks."""
+
     files_read: int = 0
     credentials_vended: int = 0
     credential_cache_hits: int = 0

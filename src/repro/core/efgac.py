@@ -225,6 +225,8 @@ RemoteSubmit = Callable[[str, dict[str, Any]], tuple[list[dict[str, str]], list[
 
 @dataclass
 class RemoteQueryStats:
+    """Counters for sub-plans shipped to the serverless endpoint."""
+
     subqueries: int = 0
     inline_results: int = 0
     staged_results: int = 0

@@ -93,6 +93,15 @@ class GovernedResolver:
     #: Live admission-queue depths, wait times, shed counts and circuit-
     #: breaker states (admins only).
     WORKLOAD_STATS_TABLE = "system.access.workload_stats"
+    #: Every registered ``system.access.*`` table, the single source of
+    #: truth for introspection surfaces (README's listing is diffed against
+    #: this in tests/test_documentation.py).
+    SYSTEM_TABLES = (
+        AUDIT_TABLE,
+        QUERY_PROFILE_TABLE,
+        CACHE_STATS_TABLE,
+        WORKLOAD_STATS_TABLE,
+    )
 
     def resolve_relation(
         self, name: str, options: dict | None = None

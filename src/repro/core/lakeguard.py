@@ -31,6 +31,7 @@ from repro.core.enforcement import GovernedResolver
 from repro.core.pipeline import PipelineState, build_enforcement_pipeline
 from repro.core.plan_cache import SecurePlanCache
 from repro.core.plan_codec import PlanDecoder
+from repro.engine.compile import KernelCache, KernelCompiler
 from repro.engine.executor import ExecutionConfig, QueryEngine, QueryResult
 from repro.engine.expressions import UDFRuntime
 from repro.engine.logical import LogicalPlan
@@ -84,6 +85,8 @@ class LakeguardCluster:
         provision_seconds: float = 0.0,
         interpreter_start_seconds: float = 0.0,
         context_transform: ContextTransform | None = None,
+        engine_compile: bool = True,
+        kernel_cache_capacity: int = 256,
         enable_plan_cache: bool = True,
         plan_cache_capacity: int = 128,
         enable_credential_cache: bool = True,
@@ -142,6 +145,22 @@ class LakeguardCluster:
         catalog.register_cache_stats_provider(
             f"sandbox_pool[{self.cluster_id}]", self.dispatcher.stats_snapshot
         )
+
+        #: Expression compilation: one cluster-wide kernel cache so every
+        #: session (and every plan-cache entry) reuses generated kernels for
+        #: structurally congruent expressions (None when disabled).
+        self.engine_compile = engine_compile
+        self.kernel_cache: KernelCache | None = None
+        self._kernel_compiler: KernelCompiler | None = None
+        if engine_compile:
+            self.kernel_cache = KernelCache(
+                capacity=kernel_cache_capacity, telemetry=self.telemetry
+            )
+            self._kernel_compiler = KernelCompiler(cache=self.kernel_cache)
+            catalog.register_cache_stats_provider(
+                f"kernel_cache[{self.cluster_id}]",
+                self.kernel_cache.stats_snapshot,
+            )
 
         #: Secure-plan cache: memoizes parse→resolve→rewrite→optimize output,
         #: invalidated by the catalog policy epoch (None when disabled).
@@ -255,12 +274,15 @@ class LakeguardCluster:
             resolver=resolver,
             data_source=self.data_source,
             config=ExecutionConfig(
-                batch_size=self.batch_size, num_executors=self.num_executors
+                batch_size=self.batch_size,
+                num_executors=self.num_executors,
+                compile_enabled=self.engine_compile,
             ),
             optimizer_config=self.optimizer_config,
             extra_rules=extra_rules,
             udf_runtime=self._udf_runtime(session),
             remote_executor=self.remote_executor,
+            kernel_compiler=self._kernel_compiler,
         )
 
     # -- relations --------------------------------------------------------------

@@ -30,7 +30,12 @@ from repro.common.context import QueryContext
 from repro.common.telemetry import Span
 from repro.connect.proto import references_system_tables
 from repro.connect.sessions import SessionState
-from repro.core.plan_cache import PlanCacheKey, SecurePlanCache, fingerprint_relation
+from repro.core.plan_cache import (
+    CachedSecurePlan,
+    PlanCacheKey,
+    SecurePlanCache,
+    fingerprint_relation,
+)
 from repro.core.plan_codec import PlanDecoder
 from repro.engine.executor import QueryEngine, QueryResult
 from repro.engine.logical import LogicalPlan, RemoteScan
@@ -78,6 +83,10 @@ class PipelineState:
     #: whether resolve/rewrite/optimize were satisfied from the cache.
     cache_key: PlanCacheKey | None = None
     cache_hit: bool = False
+    #: The live cache entry (on hit *or* after insert), so the physical
+    #: operator tree — compiled kernels included — can ride the same entry
+    #: and die with it when the policy epoch bumps.
+    cache_entry: CachedSecurePlan | None = None
 
 
 @dataclass(frozen=True)
@@ -182,6 +191,7 @@ def build_enforcement_pipeline(
                     state.analyzed = entry.analyzed
                     state.optimized = entry.optimized
                     state.cache_hit = True
+                    state.cache_entry = entry
                     span.set_attribute("plan_cache", "hit")
                     return
                 span.set_attribute("plan_cache", "miss")
@@ -224,12 +234,23 @@ def build_enforcement_pipeline(
             and not state.cache_hit
             and state.cache_key is not None
         ):
-            plan_cache.insert(
+            state.cache_entry = plan_cache.insert(
                 state.cache_key, state.relation, state.analyzed, state.optimized
             )
 
     def encode_plan(ctx: QueryContext, state: PipelineState, span: Span) -> None:
-        state.operator = engine.plan_physical(state.optimized)
+        entry = state.cache_entry
+        if entry is not None and entry.physical is not None:
+            # The physical tree (with its compiled kernels already bound)
+            # rides the secure-plan entry: same key, same policy-epoch
+            # invalidation, zero re-planning / re-compilation on a hit.
+            state.operator = entry.physical
+            span.set_attribute("physical_cache", "hit")
+        else:
+            state.operator = engine.plan_physical(state.optimized)
+            if entry is not None:
+                entry.physical = state.operator
+                span.set_attribute("physical_cache", "miss")
         span.set_attribute("physical_operators", _count_operators(state.operator))
 
     def execute(ctx: QueryContext, state: PipelineState, span: Span) -> None:

@@ -76,10 +76,16 @@ class CachedSecurePlan:
     optimized: LogicalPlan
     policy_epoch: int
     hits: int = 0
+    #: Physical operator tree (with any compiled kernels bound to it),
+    #: attached by the pipeline after first planning. It shares this entry's
+    #: lifetime, so a policy-epoch bump invalidates plan and kernels alike.
+    physical: Any = None
 
 
 @dataclass
 class PlanCacheStats:
+    """Hit/miss/eviction counters for the secure-plan cache."""
+
     hits: int = 0
     misses: int = 0
     #: Misses caused specifically by a policy-epoch bump (the entry existed
@@ -142,18 +148,23 @@ class SecurePlanCache:
         relation: dict[str, Any],
         analyzed: LogicalPlan,
         optimized: LogicalPlan,
-    ) -> None:
-        """Store a freshly resolved plan, evicting LRU past capacity."""
+    ) -> CachedSecurePlan:
+        """Store a freshly resolved plan, evicting LRU past capacity.
+
+        Returns the inserted entry so the caller can attach the physical
+        operator tree (with its compiled kernels) once planning happens.
+        """
         with self._lock:
             previous = self._by_identity.get(key.identity())
             if previous is not None and previous != key:
                 self._entries.pop(previous, None)
-            self._entries[key] = CachedSecurePlan(
+            entry = CachedSecurePlan(
                 relation=relation,
                 analyzed=analyzed,
                 optimized=optimized,
                 policy_epoch=key.policy_epoch,
             )
+            self._entries[key] = entry
             self._entries.move_to_end(key)
             self._by_identity[key.identity()] = key
             self.stats.insertions += 1
@@ -163,6 +174,7 @@ class SecurePlanCache:
                     del self._by_identity[evicted_key.identity()]
                 self.stats.evictions += 1
                 self._count("plan_cache.evictions")
+            return entry
 
     def clear(self) -> None:
         with self._lock:

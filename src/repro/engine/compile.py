@@ -1,0 +1,845 @@
+"""Compiled expression kernels: lowering expression trees to Python code.
+
+The interpreter in :mod:`repro.engine.expressions` re-walks the tree for
+every batch and evaluates each node with a per-element ``zip`` loop, so the
+hot path of every governed scan — row filters, column masks, secure-view
+predicates — pays tree dispatch *per batch* and list-comprehension overhead
+*per node per element*. This module removes that interpretation tax the way
+Flare does for Spark plans: an analyzed expression list is lowered into one
+generated-and-``compile()``d Python function that evaluates every output in
+a single fused loop, with NULL checks short-circuited inline, constants
+folded at lowering time, and common subexpressions computed once per row.
+
+Trust boundaries stay intact by construction:
+
+- :class:`~repro.engine.expressions.PythonUDFCall` nodes (and any node type
+  this module does not recognize) are **opaque**: the kernel never inlines
+  them. The bound wrapper pre-evaluates each opaque node through the normal
+  interpreter — which consults ``ctx.udf_results``, so sandbox fusion
+  semantics (one round-trip per fusion group) are byte-identical — and the
+  generated code merely reads the resulting column.
+- Kernels are pure functions of expression *structure*: the cache key is a
+  structural fingerprint covering operators, literals, column positions and
+  builtin names, never data or identity. Session identity still enters at
+  run time through :class:`~repro.engine.expressions.EvalContext` (for
+  ``CURRENT_USER()`` / group membership), exactly like the interpreter.
+- Compiled kernels reach queries by riding the physical operator tree that
+  is stored on a :class:`~repro.core.plan_cache.CachedSecurePlan`, so they
+  are invalidated with the plan by the same catalog policy epoch; the
+  :class:`KernelCache` itself is content-addressed and can never serve a
+  structurally wrong artifact.
+
+Any failure to lower (unknown shapes, codegen bugs, ``compile()`` errors)
+is counted and reported as *no kernel*: callers keep the interpreter path,
+so compilation is strictly an optimization, never a correctness risk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.common.context import current_context, span_or_null
+from repro.common.telemetry import Telemetry
+from repro.engine.batch import ONE_ROW, ColumnBatch
+from repro.engine.expressions import (
+    BUILTIN_FUNCTIONS,
+    Alias,
+    Arithmetic,
+    BooleanOp,
+    BoundRef,
+    CaseWhen,
+    Cast,
+    Comparison,
+    CurrentUser,
+    EvalContext,
+    Expression,
+    FunctionCall,
+    InList,
+    IsAccountGroupMember,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+)
+
+DEFAULT_KERNEL_CACHE_CAPACITY = 256
+
+#: Node types the code generator knows how to inline. Matched by exact type,
+#: not ``isinstance``: a subclass may override ``eval`` with semantics the
+#: generator cannot see, so unknown subtypes fall back to opaque handling.
+_COMPILABLE: tuple[type, ...] = (
+    Literal,
+    BoundRef,
+    Alias,
+    Cast,
+    Not,
+    IsNull,
+    Arithmetic,
+    Comparison,
+    BooleanOp,
+    InList,
+    Like,
+    CaseWhen,
+    FunctionCall,
+    CurrentUser,
+    IsAccountGroupMember,
+)
+_COMPILABLE_SET = frozenset(_COMPILABLE)
+
+#: Row-invariant leaves: compiling a projection made only of these would be
+#: slower than the interpreter (``BoundRef.eval`` returns the column list
+#: without copying; constants use ``[v] * n``), so such lists are skipped.
+_TRIVIAL = (Literal, BoundRef, Alias, CurrentUser, IsAccountGroupMember)
+
+#: Node types safe to fold to a literal when all children are literals
+#: (mirrors the optimizer's ``_FOLDABLE``; all are deterministic built-ins).
+_FOLDABLE = (Arithmetic, Comparison, BooleanOp, Not, FunctionCall, Cast, IsNull)
+
+_CMP_TOKENS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: How env-slot constants are rebuilt from a congruent tree's nodes.
+_ENV_BUILDERS: dict[str, Callable[[Expression], Any]] = {
+    "inlist": lambda node: node._value_set,  # noqa: SLF001 - engine-internal
+    "like": lambda node: node._regex,  # noqa: SLF001 - engine-internal
+    "cast": lambda node: node._cast_one,  # noqa: SLF001 - engine-internal
+    "func": lambda node: BUILTIN_FUNCTIONS[node.name][0],
+}
+
+
+def _is_opaque(node: Expression) -> bool:
+    """True when the generator must not inline this node (user code or an
+    unknown node type); the wrapper pre-evaluates it via the interpreter."""
+    return node.is_user_code or type(node) not in _COMPILABLE_SET
+
+
+def _canonical_walk(exprs: Sequence[Expression]) -> list[Expression]:
+    """Preorder walk over an expression list that does NOT descend into
+    opaque subtrees.
+
+    Fingerprint-congruent trees produce positionally aligned walks (opaque
+    fingerprints ignore their subtree on purpose), which is what lets a
+    cached artifact's env spec — ``(name, walk index, kind)`` triples — be
+    rebound against any congruent tree.
+    """
+    order: list[Expression] = []
+
+    def visit(node: Expression) -> None:
+        order.append(node)
+        if _is_opaque(node):
+            return
+        for child in node.children:
+            visit(child)
+
+    for expr in exprs:
+        visit(expr)
+    return order
+
+
+def _node_signature(node: Expression) -> str:
+    """Structural identity of one node, excluding children and excluding
+    anything inside opaque subtrees (see :func:`_canonical_walk`)."""
+    if _is_opaque(node):
+        return "opaque"
+    if isinstance(node, Literal):
+        return f"lit:{type(node.value).__name__}:{node.value!r}"
+    if isinstance(node, BoundRef):
+        return f"ref:{node.index}"
+    if isinstance(node, Alias):
+        return "alias"
+    if isinstance(node, Cast):
+        return f"cast:{node.target.name}"
+    if isinstance(node, Not):
+        return "not"
+    if isinstance(node, IsNull):
+        return f"isnull:{int(node.negated)}"
+    if isinstance(node, (Arithmetic, Comparison, BooleanOp)):
+        return f"{type(node).__name__}:{node.op}"
+    if isinstance(node, InList):
+        return f"inlist:{int(node.negated)}:{node.values!r}"
+    if isinstance(node, Like):
+        return f"like:{int(node.negated)}:{node.pattern!r}"
+    if isinstance(node, CaseWhen):
+        return f"case:{node.num_branches}:{int(node.has_else)}"
+    if isinstance(node, FunctionCall):
+        return f"fn:{node.name}:{len(node.children)}"
+    if isinstance(node, CurrentUser):
+        return "current_user"
+    if isinstance(node, IsAccountGroupMember):
+        return f"group:{node.group!r}"
+    raise TypeError(f"unhandled node type {type(node).__name__}")  # pragma: no cover
+
+
+def expression_fingerprint(exprs: Sequence[Expression], mode: str = "project") -> str:
+    """Structural sha256 of an expression list (the kernel-cache key).
+
+    Two lists with equal fingerprints are congruent: same shapes, operators,
+    literals and column positions everywhere the generator inlines code, and
+    opaque slots in the same positions (whatever those slots compute).
+    """
+    digest = hashlib.sha256(f"{mode}|{len(exprs)}".encode())
+
+    def visit(node: Expression) -> None:
+        sig = _node_signature(node)
+        n_children = 0 if _is_opaque(node) else len(node.children)
+        digest.update(f"{sig}|{n_children};".encode())
+        if _is_opaque(node):
+            return
+        for child in node.children:
+            visit(child)
+
+    for expr in exprs:
+        visit(expr)
+    return digest.hexdigest()
+
+
+def _fold(node: Expression) -> Expression:
+    """Constant-fold deterministic all-literal subtrees at lowering time.
+
+    Unlike the optimizer's ``fold_expression`` this never descends into
+    opaque subtrees: rebuilding a ``PythonUDFCall`` would mint a fresh
+    ``expr_id`` and disconnect it from its fusion group's cached results.
+    """
+    if _is_opaque(node):
+        return node
+    new_children = tuple(_fold(c) for c in node.children)
+    if new_children != node.children:
+        node = node.with_children(new_children)
+    if (
+        isinstance(node, _FOLDABLE)
+        and node.children
+        and all(isinstance(c, Literal) for c in node.children)
+        and node.deterministic
+    ):
+        try:
+            folded = Literal(node.eval(ONE_ROW, EvalContext())[0])
+        except Exception:  # noqa: BLE001 - keep runtime error semantics
+            return node
+        if node.dtype is not None and folded.dtype != node.dtype:
+            # e.g. CAST(NULL AS INT) would fold to an *untyped* NULL literal
+            # (STRING by default), and rebuilding a typed parent around it
+            # re-runs type binding and fails. Keep the typed node instead.
+            return node
+        return folded
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledArtifact:
+    """One cache entry: the generated function plus its rebinding recipe."""
+
+    fingerprint: str
+    source: str
+    fn: Callable[[list[list[Any]], int, EvalContext, dict[str, Any], list[list[Any]]], list[list[Any]]]
+    #: ``(env name, canonical walk index, builder kind)`` triples.
+    env_spec: tuple[tuple[str, int, str], ...]
+    #: Canonical walk indexes of opaque nodes, in slot order.
+    opaque_spec: tuple[int, ...]
+    num_outputs: int
+
+
+class _SharedState:
+    """State shared between the fast and checked code-generation passes.
+
+    Per-row leaf loads (columns, opaque results) and row-invariant bindings
+    (env constants, group membership, the user) are emitted once and used by
+    both generated bodies; only the per-node computation code differs.
+    """
+
+    def __init__(self, walk_index: dict[int, int]):
+        self.walk_index = walk_index  # id(node) -> canonical walk position
+        self.prelude: list[str] = []
+        #: Per-row leaf loads, emitted at the top of the loop body.
+        self.loads: list[str] = []
+        self.env_spec: list[tuple[str, int, str]] = []
+        self.opaque_spec: list[int] = []
+        #: Loaded leaf variables whose non-NULL-ness the fast path assumes.
+        self.guard_vars: list[str] = []
+        self._env_memo: dict[tuple[int, str], str] = {}
+        self._cols_bound: set[int] = set()
+        self._col_loads: dict[int, str] = {}
+        self._opaque_slots: dict[int, int] = {}
+        self._groups_bound: dict[str, str] = {}
+        self.user_bound = False
+        self.counter = 0
+
+    def env(self, node: Expression, kind: str) -> str:
+        walk_pos = self.walk_index[id(node)]
+        memo = self._env_memo.get((walk_pos, kind))
+        if memo is not None:
+            return memo
+        name = f"_e{len(self.env_spec)}"
+        self.env_spec.append((name, walk_pos, kind))
+        self.prelude.append(f"{name} = _env[{name!r}]")
+        self._env_memo[(walk_pos, kind)] = name
+        return name
+
+    def column_value(self, index: int) -> str:
+        """Per-row value of one input column, loaded once per row."""
+        var = self._col_loads.get(index)
+        if var is None:
+            if index not in self._cols_bound:
+                self._cols_bound.add(index)
+                self.prelude.append(f"_c{index} = _cols[{index}]")
+            var = f"_l{index}"
+            self._col_loads[index] = var
+            self.loads.append(f"{var} = _c{index}[_i]")
+            self.guard_vars.append(var)
+        return var
+
+    def opaque_value(self, node: Expression) -> str:
+        """Per-row value of one pre-evaluated opaque column."""
+        walk_pos = self.walk_index[id(node)]
+        slot = self._opaque_slots.get(walk_pos)
+        if slot is None:
+            slot = len(self.opaque_spec)
+            self._opaque_slots[walk_pos] = slot
+            self.opaque_spec.append(walk_pos)
+            self.prelude.append(f"_o{slot} = _opq[{slot}]")
+            var = f"_lo{slot}"
+            self.loads.append(f"{var} = _o{slot}[_i]")
+            self.guard_vars.append(var)
+        return f"_lo{slot}"
+
+    def group_flag(self, group: str) -> str:
+        name = self._groups_bound.get(group)
+        if name is None:
+            name = f"_g{len(self._groups_bound)}"
+            self._groups_bound[group] = name
+            self.prelude.append(f"{name} = ({group!r} in _ctx.groups)")
+        return name
+
+    def guard_condition(self) -> str | None:
+        """``x is not None and ...`` over every loaded leaf, or None."""
+        if not self.guard_vars:
+            return None
+        return " and ".join(f"{v} is not None" for v in self.guard_vars)
+
+
+class _CodeGen:
+    """Lowers one expression list into the body of a kernel function.
+
+    Two passes share one :class:`_SharedState`: the *checked* pass emits
+    full NULL propagation; the *fast* pass (``assume_nonnull=True``) treats
+    every guarded leaf as non-NULL, eliding the per-node None conditionals
+    that dominate interpreter and checked-kernel cost alike. Intrinsic NULL
+    sources (division by zero, NULL-safe builtins, else-less CASE) keep
+    their checks in both passes.
+    """
+
+    def __init__(self, shared: _SharedState, assume_nonnull: bool = False):
+        self._shared = shared
+        self._assume_nonnull = assume_nonnull
+        self.body: list[str] = []
+        self._cse: dict[Any, tuple[str, bool]] = {}
+
+    # -- small helpers ------------------------------------------------------
+
+    def _var(self) -> str:
+        self._shared.counter += 1
+        return f"_v{self._shared.counter}"
+
+    def _assign(self, expr_code: str, maybe_null: bool) -> tuple[str, bool]:
+        var = self._var()
+        self.body.append(f"{var} = {expr_code}")
+        return var, maybe_null
+
+    @staticmethod
+    def _null_check(*operands: tuple[str, bool]) -> str | None:
+        checks = [f"{tok} is None" for tok, maybe in operands if maybe]
+        return " or ".join(checks) if checks else None
+
+    def _struct_key(self, node: Expression) -> Any:
+        if _is_opaque(node):
+            # Opaque slots are never shared (two structurally congruent
+            # trees may put *different* computations in the same slot).
+            return ("opaque", id(node))
+        return (_node_signature(node),) + tuple(
+            self._struct_key(c) for c in node.children
+        )
+
+    def _leaf(self, var: str) -> tuple[str, bool]:
+        """A loaded leaf value: non-NULL by assumption on the fast path."""
+        return var, not self._assume_nonnull
+
+    # -- node lowering ------------------------------------------------------
+
+    def emit(self, node: Expression) -> tuple[str, bool]:
+        """Lower one node; returns ``(token, maybe_null)`` where the token is
+        valid inside the per-row loop body."""
+        key = self._struct_key(node)
+        cached = self._cse.get(key)
+        if cached is not None:
+            return cached
+        result = self._emit_uncached(node)
+        self._cse[key] = result
+        return result
+
+    def _emit_uncached(self, node: Expression) -> tuple[str, bool]:
+        if _is_opaque(node):
+            return self._leaf(self._shared.opaque_value(node))
+
+        if isinstance(node, Literal):
+            return f"({node.value!r})", node.value is None
+        if isinstance(node, BoundRef):
+            return self._leaf(self._shared.column_value(node.index))
+        if isinstance(node, Alias):
+            return self.emit(node.children[0])
+        if isinstance(node, CurrentUser):
+            if not self._shared.user_bound:
+                self._shared.user_bound = True
+                self._shared.prelude.append("_user = _ctx.user")
+            return "_user", True
+        if isinstance(node, IsAccountGroupMember):
+            return self._shared.group_flag(node.group), False
+        if isinstance(node, Cast):
+            child = self.emit(node.children[0])
+            env = self._shared.env(node, "cast")
+            return self._assign(f"{env}({child[0]})", True)
+        if isinstance(node, Not):
+            tok, maybe = self.emit(node.children[0])
+            if maybe:
+                return self._assign(f"(None if {tok} is None else (not {tok}))", True)
+            return self._assign(f"(not {tok})", False)
+        if isinstance(node, IsNull):
+            tok, maybe = self.emit(node.children[0])
+            if not maybe:
+                # Known non-NULL input (e.g. the fast path): constant answer.
+                return f"({node.negated!r})", False
+            op = "is not" if node.negated else "is"
+            return self._assign(f"({tok} {op} None)", False)
+        if isinstance(node, Arithmetic):
+            return self._emit_arith(node)
+        if isinstance(node, Comparison):
+            a = self.emit(node.children[0])
+            b = self.emit(node.children[1])
+            core = f"({a[0]} {_CMP_TOKENS[node.op]} {b[0]})"
+            check = self._null_check(a, b)
+            if check:
+                return self._assign(f"(None if {check} else {core})", True)
+            return self._assign(core, False)
+        if isinstance(node, BooleanOp):
+            return self._emit_boolean(node)
+        if isinstance(node, InList):
+            tok, maybe = self.emit(node.children[0])
+            env = self._shared.env(node, "inlist")
+            op = "not in" if node.negated else "in"
+            core = f"({tok} {op} {env})"
+            if maybe:
+                return self._assign(f"(None if {tok} is None else {core})", True)
+            return self._assign(core, False)
+        if isinstance(node, Like):
+            tok, maybe = self.emit(node.children[0])
+            env = self._shared.env(node, "like")
+            hit = f"bool({env}.match(str({tok})))"
+            core = f"(not {hit})" if node.negated else hit
+            if maybe:
+                return self._assign(f"(None if {tok} is None else {core})", True)
+            return self._assign(core, False)
+        if isinstance(node, CaseWhen):
+            branches = [
+                (self.emit(cond)[0], self.emit(value)[0])
+                for cond, value in node.branches()
+            ]
+            otherwise = node.otherwise()
+            tail = self.emit(otherwise)[0] if otherwise is not None else "None"
+            for cond_tok, val_tok in reversed(branches):
+                tail = f"({val_tok} if {cond_tok} else {tail})"
+            return self._assign(tail, True)
+        if isinstance(node, FunctionCall):
+            args = [self.emit(c)[0] for c in node.children]
+            env = self._shared.env(node, "func")
+            return self._assign(f"{env}({', '.join(args)})", True)
+        raise TypeError(f"unhandled node type {type(node).__name__}")  # pragma: no cover
+
+    def _emit_arith(self, node: Arithmetic) -> tuple[str, bool]:
+        a = self.emit(node.children[0])
+        b = self.emit(node.children[1])
+        checks = [f"{tok} is None" for tok, maybe in (a, b) if maybe]
+        rhs = node.children[1]
+        if node.op in ("/", "%") and not (
+            isinstance(rhs, Literal) and rhs.value not in (None, 0)
+        ):
+            # SQL: x / 0 and x % 0 are NULL. The None checks run first in
+            # the or-chain, so a NULL divisor never reaches the == 0 test.
+            checks.append(f"{b[0]} == 0")
+        core = f"({a[0]} {node.op} {b[0]})"
+        if checks:
+            return self._assign(f"(None if {' or '.join(checks)} else {core})", True)
+        return self._assign(core, False)
+
+    def _emit_boolean(self, node: BooleanOp) -> tuple[str, bool]:
+        a = self.emit(node.children[0])
+        b = self.emit(node.children[1])
+        check = self._null_check(a, b)
+        if check is None:
+            # Non-NULL operands: plain two-valued logic.
+            op = "and" if node.op == "AND" else "or"
+            return self._assign(f"(bool({a[0]}) {op} bool({b[0]}))", False)
+        if node.op == "AND":
+            both = f"(bool({a[0]}) and bool({b[0]}))"
+            code = (
+                f"(False if ({a[0]} is False or {b[0]} is False) "
+                f"else (None if {check} else {both}))"
+            )
+        else:
+            both = f"(bool({a[0]}) or bool({b[0]}))"
+            code = (
+                f"(True if ({a[0]} is True or {b[0]} is True) "
+                f"else (None if {check} else {both}))"
+            )
+        return self._assign(code, True)
+
+
+def _assemble(
+    fingerprint: str,
+    prelude: list[str],
+    loop_setup: list[str],
+    loop_body: list[str],
+    returns: list[str],
+) -> tuple[str, Callable]:
+    """Render, ``compile()`` and ``exec`` the kernel source."""
+    lines = ["def _kernel(_cols, _n, _ctx, _env, _opq):"]
+    lines += [f"    {line}" for line in prelude]
+    lines += [f"    {line}" for line in loop_setup]
+    lines.append("    for _i in range(_n):")
+    lines += [f"        {line}" for line in loop_body]
+    lines.append(f"    return [{', '.join(returns)}]")
+    source = "\n".join(lines)
+    namespace: dict[str, Any] = {}
+    code = compile(source, f"<kernel:{fingerprint[:12]}>", "exec")
+    exec(code, namespace)  # noqa: S102 - source is generated above, not user input
+    return source, namespace["_kernel"]
+
+
+def _dual_body(
+    shared: _SharedState, make_body: Callable[[_CodeGen], list[str]]
+) -> list[str]:
+    """Assemble the per-row loop body with NULL specialization.
+
+    The checked pass is generated first (loading every leaf into shared
+    per-row locals); if any loaded leaf can be NULL, a second *fast* body is
+    generated under ``assume_nonnull`` and the loop dispatches per row::
+
+        <leaf loads>
+        if <every leaf> is not None:   # fast body, no NULL conditionals
+        else:                          # checked body, full 3VL
+    """
+    checked = _CodeGen(shared)
+    checked_body = make_body(checked)
+    guard = shared.guard_condition()
+    if guard is None:
+        return shared.loads + checked_body
+    fast = _CodeGen(shared, assume_nonnull=True)
+    fast_body = make_body(fast)
+    return (
+        shared.loads
+        + [f"if {guard}:"]
+        + [f"    {line}" for line in fast_body]
+        + ["else:"]
+        + [f"    {line}" for line in checked_body]
+    )
+
+
+def _generate_projection(
+    exprs: Sequence[Expression], fingerprint: str
+) -> CompiledArtifact:
+    """Lower a projection list: all outputs computed in one fused loop."""
+    walk = _canonical_walk(exprs)
+    shared = _SharedState({id(node): i for i, node in enumerate(walk)})
+
+    def make_body(gen: _CodeGen) -> list[str]:
+        tokens = [gen.emit(expr)[0] for expr in exprs]
+        return gen.body + [f"_out{j}[_i] = {tok}" for j, tok in enumerate(tokens)]
+
+    body = _dual_body(shared, make_body)
+    setup = [f"_out{j} = [None] * _n" for j in range(len(exprs))]
+    source, fn = _assemble(
+        fingerprint, shared.prelude, setup, body,
+        [f"_out{j}" for j in range(len(exprs))],
+    )
+    return CompiledArtifact(
+        fingerprint=fingerprint,
+        source=source,
+        fn=fn,
+        env_spec=tuple(shared.env_spec),
+        opaque_spec=tuple(shared.opaque_spec),
+        num_outputs=len(exprs),
+    )
+
+
+def _generate_filter_projection(
+    condition: Expression, exprs: Sequence[Expression], fingerprint: str
+) -> CompiledArtifact:
+    """Lower filter→project into one loop with append-based outputs, so the
+    intermediate filtered batch is never materialized."""
+    all_exprs = [condition, *exprs]
+    walk = _canonical_walk(all_exprs)
+    shared = _SharedState({id(node): i for i, node in enumerate(walk)})
+
+    def make_body(gen: _CodeGen) -> list[str]:
+        cond_tok = gen.emit(condition)[0]
+        # SQL filter semantics: NULL and False both drop the row (truthiness).
+        gen.body.append(f"if not {cond_tok}:")
+        gen.body.append("    continue")
+        tokens = [gen.emit(expr)[0] for expr in exprs]
+        return gen.body + [f"_a{j}({tok})" for j, tok in enumerate(tokens)]
+
+    body = _dual_body(shared, make_body)
+    setup: list[str] = []
+    for j in range(len(exprs)):
+        setup.append(f"_out{j} = []")
+        setup.append(f"_a{j} = _out{j}.append")
+    source, fn = _assemble(
+        fingerprint, shared.prelude, setup, body,
+        [f"_out{j}" for j in range(len(exprs))],
+    )
+    return CompiledArtifact(
+        fingerprint=fingerprint,
+        source=source,
+        fn=fn,
+        env_spec=tuple(shared.env_spec),
+        opaque_spec=tuple(shared.opaque_spec),
+        num_outputs=len(exprs),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bound kernels
+# ---------------------------------------------------------------------------
+
+
+class CompiledKernels:
+    """A cached artifact bound to one concrete expression list.
+
+    Binding rebuilds the env constants (IN-list sets, LIKE regexes, cast and
+    builtin callables) and collects the opaque nodes from *this* tree, so a
+    single artifact serves every structurally congruent expression list.
+    """
+
+    __slots__ = ("artifact", "_env", "_opaque")
+
+    def __init__(self, artifact: CompiledArtifact, exprs: Sequence[Expression]):
+        walk = _canonical_walk(exprs)
+        self.artifact = artifact
+        self._env = {
+            name: _ENV_BUILDERS[kind](walk[index])
+            for name, index, kind in artifact.env_spec
+        }
+        self._opaque = [walk[index] for index in artifact.opaque_spec]
+
+    @property
+    def fingerprint(self) -> str:
+        return self.artifact.fingerprint
+
+    def eval_all(self, batch: ColumnBatch, ctx: EvalContext) -> list[list[Any]]:
+        """Evaluate every output column for one batch.
+
+        Opaque nodes run first through the interpreter (picking up fused-UDF
+        results from ``ctx.udf_results`` exactly as interpreted evaluation
+        would); the generated function then computes all outputs in one pass.
+        """
+        opaque_columns = [node.eval(batch, ctx) for node in self._opaque]
+        return self.artifact.fn(
+            batch.columns, batch.num_rows, ctx, self._env, opaque_columns
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KernelCacheStats:
+    """Counters surfaced through ``system.access.cache_stats``."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    compile_errors: int = 0
+
+
+class KernelCache:
+    """Bounded, thread-safe LRU of compiled artifacts keyed by fingerprint.
+
+    Content-addressed: the fingerprint fully determines the generated code,
+    so entries can never go stale — governance changes invalidate the *plan*
+    (and the kernels riding it) through the secure-plan cache's policy
+    epoch, not this cache.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_KERNEL_CACHE_CAPACITY,
+        telemetry: Telemetry | None = None,
+    ):
+        self.capacity = max(1, capacity)
+        self._telemetry = telemetry
+        self._entries: OrderedDict[str, CompiledArtifact] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = KernelCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _count(self, name: str) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter(name).inc()
+
+    def get(self, fingerprint: str) -> CompiledArtifact | None:
+        """LRU lookup; counts a hit or miss."""
+        with self._lock:
+            artifact = self._entries.get(fingerprint)
+            if artifact is not None:
+                self._entries.move_to_end(fingerprint)
+                self.stats.hits += 1
+                self._count("kernel_cache.hits")
+                return artifact
+            self.stats.misses += 1
+            self._count("kernel_cache.misses")
+            return None
+
+    def put(self, fingerprint: str, artifact: CompiledArtifact) -> None:
+        """Insert one artifact, evicting least-recently-used past capacity."""
+        with self._lock:
+            self._entries[fingerprint] = artifact
+            self._entries.move_to_end(fingerprint)
+            self.stats.insertions += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                self._count("kernel_cache.evictions")
+
+    def note_error(self) -> None:
+        """Record one failed compilation (the caller fell back)."""
+        with self._lock:
+            self.stats.compile_errors += 1
+        self._count("kernel_cache.compile_errors")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Counters + size for ``system.access.cache_stats``."""
+        with self._lock:
+            return {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "insertions": self.stats.insertions,
+                "evictions": self.stats.evictions,
+                "compile_errors": self.stats.compile_errors,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Compiler
+# ---------------------------------------------------------------------------
+
+
+class KernelCompiler:
+    """Front door: fold → fingerprint → cache lookup → generate → bind.
+
+    Every public method returns ``None`` instead of raising when the input
+    is not worth compiling or lowering fails, so callers can use the result
+    as an optional fast path with the interpreter as the always-available
+    fallback.
+    """
+
+    def __init__(self, cache: KernelCache | None = None):
+        # Explicit None check: an empty KernelCache is falsy (__len__ == 0),
+        # and a shared-but-empty cluster cache must still be adopted.
+        self.cache = cache if cache is not None else KernelCache()
+
+    # -- public API ---------------------------------------------------------
+
+    def compile_projection(
+        self, exprs: Sequence[Expression]
+    ) -> CompiledKernels | None:
+        """Compile a projection list into one multi-output kernel."""
+        try:
+            folded = tuple(_fold(e) for e in exprs)
+            if not self._worth_compiling(folded):
+                return None
+            fingerprint = expression_fingerprint(folded, mode="project")
+            artifact = self._lookup_or_generate(
+                fingerprint, lambda: _generate_projection(folded, fingerprint),
+                outputs=len(folded),
+            )
+            return CompiledKernels(artifact, folded)
+        except Exception:  # noqa: BLE001 - fall back to the interpreter
+            self.cache.note_error()
+            return None
+
+    def compile_predicate(self, condition: Expression) -> CompiledKernels | None:
+        """Compile one predicate; ``eval_all`` returns ``[mask]``."""
+        return self.compile_projection((condition,))
+
+    def compile_filter_projection(
+        self, condition: Expression, exprs: Sequence[Expression]
+    ) -> CompiledKernels | None:
+        """Compile fused filter→project (no intermediate batch).
+
+        Refuses (returns ``None``) when any node is opaque: a pre-evaluated
+        UDF would otherwise see pre-filter rows, changing how often user
+        code runs relative to the unfused plan.
+        """
+        try:
+            folded_cond = _fold(condition)
+            folded = tuple(_fold(e) for e in exprs)
+            for expr in (folded_cond, *folded):
+                if any(_is_opaque(node) for node in _canonical_walk((expr,))):
+                    return None
+            fingerprint = expression_fingerprint(
+                (folded_cond, *folded), mode="filter-project"
+            )
+            artifact = self._lookup_or_generate(
+                fingerprint,
+                lambda: _generate_filter_projection(folded_cond, folded, fingerprint),
+                outputs=len(folded),
+            )
+            return CompiledKernels(artifact, (folded_cond, *folded))
+        except Exception:  # noqa: BLE001 - fall back to the interpreter
+            self.cache.note_error()
+            return None
+
+    # -- internals ----------------------------------------------------------
+
+    def _lookup_or_generate(
+        self, fingerprint: str, build: Callable[[], CompiledArtifact], outputs: int
+    ) -> CompiledArtifact:
+        artifact = self.cache.get(fingerprint)
+        if artifact is not None:
+            return artifact
+        with span_or_null(
+            current_context(),
+            "kernel-compile",
+            "engine.compile",
+            fingerprint=fingerprint[:12],
+            outputs=outputs,
+        ):
+            artifact = build()
+        self.cache.put(fingerprint, artifact)
+        return artifact
+
+    @staticmethod
+    def _worth_compiling(exprs: Sequence[Expression]) -> bool:
+        """At least one inlinable computation beyond bare refs/constants."""
+        for node in _canonical_walk(exprs):
+            if _is_opaque(node):
+                continue
+            if not isinstance(node, _TRIVIAL):
+                return True
+        return False

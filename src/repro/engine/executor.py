@@ -14,6 +14,7 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.common.context import QueryContext, current_context, span_or_null
 from repro.engine.analyzer import Analyzer, RelationResolver
 from repro.engine.batch import ColumnBatch, chunk_batch
+from repro.engine.compile import KernelCompiler
 from repro.engine.expressions import EvalContext, UDFRuntime
 from repro.engine.logical import LogicalPlan, RemoteScan, TableRef
 from repro.engine.optimizer import Optimizer, OptimizerConfig, Rule
@@ -34,6 +35,10 @@ class ExecutionConfig:
     batch_size: int = DEFAULT_BATCH_SIZE
     #: Number of simulated executor workers a scan is spread across.
     num_executors: int = 2
+    #: Lower expressions to compiled kernels at plan time (interpreted
+    #: evaluation remains the automatic fallback for anything the compiler
+    #: refuses or fails on).
+    compile_enabled: bool = True
 
 
 class LocalDataSource:
@@ -85,12 +90,19 @@ class QueryEngine:
         extra_rules: Sequence[Rule] = (),
         udf_runtime: UDFRuntime | None = None,
         remote_executor: RemoteExecutor | None = None,
+        kernel_compiler: KernelCompiler | None = None,
     ):
         self.config = config or ExecutionConfig()
         self._analyzer = Analyzer(resolver)
         self._optimizer_config = optimizer_config or OptimizerConfig()
         self._extra_rules = tuple(extra_rules)
-        self._planner = PhysicalPlanner()
+        # A shared compiler (e.g. the cluster-wide one, for cross-session
+        # kernel reuse) wins; otherwise the engine owns a private cache.
+        compiler = None
+        if self.config.compile_enabled:
+            compiler = kernel_compiler or KernelCompiler()
+        self.kernel_compiler = compiler
+        self._planner = PhysicalPlanner(compiler)
         self._data_source = data_source
         self._udf_runtime = udf_runtime
         self._remote_executor = remote_executor

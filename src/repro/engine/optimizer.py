@@ -144,6 +144,8 @@ class EliminateSubqueryAliases:
 
 @dataclass
 class FoldConstants:
+    """Replace deterministic all-literal subtrees with their value."""
+
     name: str = "FoldConstants"
 
     def apply(self, plan: LogicalPlan) -> LogicalPlan:
@@ -181,6 +183,8 @@ class SimplifyFilters:
 
 @dataclass
 class CombineFilters:
+    """Merge adjacent Filter nodes into one conjunctive predicate."""
+
     name: str = "CombineFilters"
 
     def apply(self, plan: LogicalPlan) -> LogicalPlan:

@@ -8,20 +8,30 @@ The governance hooks at this layer:
 - :class:`PhysProject` executes fused Python-UDF groups through the context's
   ``UDFRuntime`` — one sandbox round-trip per fusion group per batch.
 - :class:`PhysRemoteScan` delegates an eFGAC sub-plan to a remote endpoint.
+
+Expression-heavy operators (filter, project, sort keys, join keys, aggregate
+accumulation) accept an optional compiled kernel from
+:mod:`repro.engine.compile`; when present it replaces interpreted tree
+walking with one generated loop per batch. Kernels are produced at plan
+time, so a compile failure simply leaves the interpreter path in place.
 """
 
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Protocol, Sequence
 
+from repro.common.context import span_or_null
 from repro.engine.aggregates import AggregateCall
 from repro.engine.batch import ColumnBatch, chunk_batch
+from repro.engine.compile import CompiledKernels, KernelCompiler
 from repro.engine.expressions import (
     BoundRef,
     EvalContext,
     Expression,
+    Literal,
     PythonUDFCall,
     SortOrder,
 )
@@ -270,18 +280,34 @@ class PhysRemoteScan(PhysicalOperator):
 
 
 class PhysFilter(PhysicalOperator):
-    """Row filtering with SQL semantics (NULL predicate drops the row)."""
+    """Row filtering with SQL semantics (NULL predicate drops the row).
 
-    def __init__(self, child: PhysicalOperator, condition: Expression):
+    With a compiled ``kernel`` the predicate mask comes from one generated
+    loop per batch instead of interpreted tree walking; the result is
+    identical (the kernel is lowered from the same expression tree).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        condition: Expression,
+        kernel: CompiledKernels | None = None,
+    ):
         super().__init__(child.schema, (child,))
         self._condition = condition
+        self._kernel = kernel
 
     def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
-        for batch in self.children[0].execute(ctx):
-            if batch.num_rows == 0:
-                yield batch
-                continue
-            yield batch.filter(self._condition.eval(batch, ctx.eval_ctx))
+        with _kernel_span(ctx, self._kernel, "filter"):
+            for batch in self.children[0].execute(ctx):
+                if batch.num_rows == 0:
+                    yield batch
+                    continue
+                if self._kernel is not None:
+                    mask = self._kernel.eval_all(batch, ctx.eval_ctx)[0]
+                else:
+                    mask = self._condition.eval(batch, ctx.eval_ctx)
+                yield batch.filter(mask)
 
 
 class PhysProject(PhysicalOperator):
@@ -292,9 +318,16 @@ class PhysProject(PhysicalOperator):
     expression evaluation picks them up without re-running the user code.
     """
 
-    def __init__(self, child: PhysicalOperator, exprs: tuple[Expression, ...], schema: Schema):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        exprs: tuple[Expression, ...],
+        schema: Schema,
+        kernel: CompiledKernels | None = None,
+    ):
         super().__init__(schema, (child,))
         self._exprs = exprs
+        self._kernel = kernel
         self._fusion_groups = self._collect_fusion_groups(exprs)
 
     @staticmethod
@@ -310,13 +343,19 @@ class PhysProject(PhysicalOperator):
 
     def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
         eval_ctx = ctx.eval_ctx
-        for batch in self.children[0].execute(ctx):
-            eval_ctx.udf_results.clear()
-            if batch.num_rows and self._fusion_groups and eval_ctx.udf_runtime:
-                self._run_fused_groups(batch, ctx)
-            columns = [e.eval(batch, eval_ctx) for e in self._exprs]
-            eval_ctx.udf_results.clear()
-            yield ColumnBatch(self.schema, columns)
+        with _kernel_span(ctx, self._kernel, "project"):
+            for batch in self.children[0].execute(ctx):
+                eval_ctx.udf_results.clear()
+                if batch.num_rows and self._fusion_groups and eval_ctx.udf_runtime:
+                    self._run_fused_groups(batch, ctx)
+                if self._kernel is not None:
+                    # Opaque (UDF) nodes inside the kernel read the fused
+                    # results planted above, exactly like interpreted eval.
+                    columns = self._kernel.eval_all(batch, eval_ctx)
+                else:
+                    columns = [e.eval(batch, eval_ctx) for e in self._exprs]
+                eval_ctx.udf_results.clear()
+                yield ColumnBatch(self.schema, columns)
 
     def _run_fused_groups(self, batch: ColumnBatch, ctx: ExecContext) -> None:
         runtime = ctx.eval_ctx.udf_runtime
@@ -335,6 +374,50 @@ class PhysProject(PhysicalOperator):
                         f"for {batch.num_rows} rows"
                     )
             ctx.eval_ctx.udf_results.update(results)
+
+
+class PhysFilterProject(PhysicalOperator):
+    """Fused filter→project running one compiled loop per batch.
+
+    The intermediate filtered batch is never materialized: the kernel tests
+    the predicate and appends the projected values row by row. The planner
+    only builds this operator when the compiler accepted both the condition
+    and the projection list (no user code — a pre-filter UDF invocation
+    would change how often user code runs — and no unknown node types).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        condition: Expression,
+        exprs: tuple[Expression, ...],
+        schema: Schema,
+        kernel: CompiledKernels,
+    ):
+        super().__init__(schema, (child,))
+        self._condition = condition
+        self._exprs = exprs
+        self._kernel = kernel
+
+    def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
+        with _kernel_span(ctx, self._kernel, "filter-project"):
+            for batch in self.children[0].execute(ctx):
+                yield ColumnBatch(
+                    self.schema, self._kernel.eval_all(batch, ctx.eval_ctx)
+                )
+
+
+def _kernel_span(ctx: ExecContext, kernel: CompiledKernels | None, operator: str):
+    """An ``engine.kernel`` span spanning one operator's batch stream (no-op
+    without a kernel or a traced context)."""
+    if kernel is None:
+        return nullcontext()
+    return span_or_null(
+        ctx.eval_ctx.query_ctx,
+        f"kernel:{operator}",
+        "engine.kernel",
+        fingerprint=kernel.fingerprint[:12],
+    )
 
 
 class PhysLimit(PhysicalOperator):
@@ -385,16 +468,25 @@ class PhysDistinct(PhysicalOperator):
 class PhysSort(PhysicalOperator):
     """Full materializing sort with per-key direction and NULL placement."""
 
-    def __init__(self, child: PhysicalOperator, orders: tuple[SortOrder, ...]):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        orders: tuple[SortOrder, ...],
+        key_kernel: CompiledKernels | None = None,
+    ):
         super().__init__(child.schema, (child,))
         self._orders = orders
+        self._key_kernel = key_kernel
 
     def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
         full = ColumnBatch.concat(self.schema, list(self.children[0].execute(ctx)))
         if full.num_rows == 0:
             yield full
             return
-        key_columns = [o.expr.eval(full, ctx.eval_ctx) for o in self._orders]
+        if self._key_kernel is not None:
+            key_columns = self._key_kernel.eval_all(full, ctx.eval_ctx)
+        else:
+            key_columns = [o.expr.eval(full, ctx.eval_ctx) for o in self._orders]
         indices = list(range(full.num_rows))
         # Stable sort from the least-significant key to the most significant.
         for order, keys in reversed(list(zip(self._orders, key_columns))):
@@ -453,6 +545,7 @@ class PhysHashAggregate(PhysicalOperator):
         outputs: tuple[Expression, ...],
         schema: Schema,
         mode: str = AGG_MODE_COMPLETE,
+        compiler: KernelCompiler | None = None,
     ):
         super().__init__(schema, (child,))
         self._groupings = groupings
@@ -466,6 +559,16 @@ class PhysHashAggregate(PhysicalOperator):
                 if isinstance(node, AggregateCall) and node.expr_id not in seen:
                     seen.add(node.expr_id)
                     self._agg_calls.append(node)
+        # One kernel computes grouping keys + aggregate inputs per batch
+        # (COUNT(*) contributes a constant-True column, matching the
+        # interpreted path). None when everything is a bare ref/constant.
+        self._accum_kernel: CompiledKernels | None = None
+        if compiler is not None and mode != AGG_MODE_FINAL:
+            accum_exprs = tuple(groupings) + tuple(
+                call.child if call.child is not None else Literal(True)
+                for call in self._agg_calls
+            )
+            self._accum_kernel = compiler.compile_projection(accum_exprs)
 
     # -- state accumulation ------------------------------------------------------
 
@@ -479,26 +582,40 @@ class PhysHashAggregate(PhysicalOperator):
                 key_cols = batch.columns[: len(self._groupings)]
                 self._merge_partial_batch(batch, key_cols, groups)
             else:
-                key_cols = [g.eval(batch, ctx.eval_ctx) for g in self._groupings]
-                self._update_from_rows(batch, key_cols, groups, ctx)
+                if self._accum_kernel is not None:
+                    cols = self._accum_kernel.eval_all(batch, ctx.eval_ctx)
+                    key_cols = cols[: len(self._groupings)]
+                    value_cols = cols[len(self._groupings):]
+                else:
+                    key_cols = [
+                        g.eval(batch, ctx.eval_ctx) for g in self._groupings
+                    ]
+                    value_cols = self._value_columns(batch, ctx)
+                self._update_from_rows(batch, key_cols, value_cols, groups)
         if not groups and not self._groupings:
             # Global aggregate over empty input still yields one row.
             groups[()] = [call.func.create() for call in self._agg_calls]
         return groups
 
-    def _update_from_rows(
-        self,
-        batch: ColumnBatch,
-        key_cols: list[list[Any]],
-        groups: dict[tuple, list[Any]],
-        ctx: ExecContext,
-    ) -> None:
+    def _value_columns(
+        self, batch: ColumnBatch, ctx: ExecContext
+    ) -> list[list[Any]]:
+        """Interpreted aggregate-input columns, one per distinct call."""
         value_cols = []
         for call in self._agg_calls:
             if call.child is None:
                 value_cols.append([True] * batch.num_rows)  # COUNT(*)
             else:
                 value_cols.append(call.child.eval(batch, ctx.eval_ctx))
+        return value_cols
+
+    def _update_from_rows(
+        self,
+        batch: ColumnBatch,
+        key_cols: list[list[Any]],
+        value_cols: list[list[Any]],
+        groups: dict[tuple, list[Any]],
+    ) -> None:
         for row_idx in range(batch.num_rows):
             key = tuple(col[row_idx] for col in key_cols)
             states = groups.get(key)
@@ -654,10 +771,17 @@ class PhysJoin(PhysicalOperator):
         how: str,
         condition: Expression | None,
         schema: Schema,
+        compiler: KernelCompiler | None = None,
     ):
         super().__init__(schema, (left, right))
         self._how = how
         self._condition = condition
+        self._compiler = compiler
+        # Lazily compiled (left keys, right keys) kernels: key expressions
+        # depend on the left input's width, known only once batches flow.
+        self._key_kernels: tuple[
+            CompiledKernels | None, CompiledKernels | None
+        ] | None = None
 
     def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
         # Both inputs are materialized anyway, so they are safe to build
@@ -775,14 +899,29 @@ class PhysJoin(PhysicalOperator):
         left_width = left.num_columns
         # Right-side key expressions reference combined-schema positions.
         shifted = [self._shift_refs(k, -left_width) for k in right_keys]
+        if self._compiler is not None and self._key_kernels is None:
+            # Compiled once per operator; None entries (e.g. bare-column
+            # keys, where interpretation is already a no-copy read) keep
+            # the interpreted path for that side.
+            self._key_kernels = (
+                self._compiler.compile_projection(tuple(left_keys)),
+                self._compiler.compile_projection(tuple(shifted)),
+            )
+        left_kernel, right_kernel = self._key_kernels or (None, None)
         table: dict[tuple, list[int]] = {}
-        right_key_cols = [k.eval(right, ctx.eval_ctx) for k in shifted]
+        if right_kernel is not None:
+            right_key_cols = right_kernel.eval_all(right, ctx.eval_ctx)
+        else:
+            right_key_cols = [k.eval(right, ctx.eval_ctx) for k in shifted]
         for j in range(right.num_rows):
             key = tuple(col[j] for col in right_key_cols)
             if any(k is None for k in key):
                 continue
             table.setdefault(key, []).append(j)
-        left_key_cols = [k.eval(left, ctx.eval_ctx) for k in left_keys]
+        if left_kernel is not None:
+            left_key_cols = left_kernel.eval_all(left, ctx.eval_ctx)
+        else:
+            left_key_cols = [k.eval(left, ctx.eval_ctx) for k in left_keys]
         candidates: list[tuple[int, int]] = []
         for i in range(left.num_rows):
             key = tuple(col[i] for col in left_key_cols)
@@ -873,7 +1012,17 @@ class PhysUnion(PhysicalOperator):
 
 
 class PhysicalPlanner:
-    """Maps an optimized logical plan to a physical operator tree."""
+    """Maps an optimized logical plan to a physical operator tree.
+
+    With a :class:`~repro.engine.compile.KernelCompiler`, expression-heavy
+    operators receive compiled kernels and ``Project(Filter(x))`` shapes
+    collapse into :class:`PhysFilterProject` when the compiler accepts the
+    fusion. Every kernel is optional: a refused or failed compilation keeps
+    the interpreted operator, so planning never fails due to compilation.
+    """
+
+    def __init__(self, compiler: KernelCompiler | None = None):
+        self._compiler = compiler
 
     def plan(self, logical: LogicalPlan) -> PhysicalOperator:
         """Recursively select a physical operator for each logical node."""
@@ -886,10 +1035,22 @@ class PhysicalPlanner:
         if isinstance(logical, RemoteScan):
             return PhysRemoteScan(logical)
         if isinstance(logical, Filter):
-            return PhysFilter(self.plan(logical.child), logical.condition)
+            kernel = None
+            if self._compiler is not None:
+                kernel = self._compiler.compile_predicate(logical.condition)
+            return PhysFilter(
+                self.plan(logical.child), logical.condition, kernel=kernel
+            )
         if isinstance(logical, Project):
+            fused = self._plan_fused_filter_project(logical)
+            if fused is not None:
+                return fused
+            kernel = None
+            if self._compiler is not None:
+                kernel = self._compiler.compile_projection(logical.exprs)
             return PhysProject(
-                self.plan(logical.child), logical.exprs, logical.schema
+                self.plan(logical.child), logical.exprs, logical.schema,
+                kernel=kernel,
             )
         if isinstance(logical, Aggregate):
             return PhysHashAggregate(
@@ -898,6 +1059,7 @@ class PhysicalPlanner:
                 logical.aggregates,
                 logical.schema,
                 mode=logical.mode,
+                compiler=self._compiler,
             )
         if isinstance(logical, Join):
             return PhysJoin(
@@ -906,9 +1068,17 @@ class PhysicalPlanner:
                 logical.how,
                 logical.condition,
                 logical.schema,
+                compiler=self._compiler,
             )
         if isinstance(logical, Sort):
-            return PhysSort(self.plan(logical.child), logical.orders)
+            key_kernel = None
+            if self._compiler is not None:
+                key_kernel = self._compiler.compile_projection(
+                    tuple(o.expr for o in logical.orders)
+                )
+            return PhysSort(
+                self.plan(logical.child), logical.orders, key_kernel=key_kernel
+            )
         if isinstance(logical, Limit):
             return PhysLimit(self.plan(logical.child), logical.limit, logical.offset)
         if isinstance(logical, Distinct):
@@ -924,4 +1094,29 @@ class PhysicalPlanner:
             return child
         raise UnsupportedOperationError(
             f"no physical implementation for {type(logical).__name__}"
+        )
+
+    def _plan_fused_filter_project(
+        self, logical: Project
+    ) -> PhysFilterProject | None:
+        """Collapse ``Project(Filter(x))`` into one compiled operator.
+
+        Only when the compiler accepts condition *and* projections — it
+        refuses any user code or unknown node, which keeps sandbox fusion
+        and UDF invocation counts identical to the unfused plan.
+        """
+        if self._compiler is None or not isinstance(logical.child, Filter):
+            return None
+        filter_node = logical.child
+        kernel = self._compiler.compile_filter_projection(
+            filter_node.condition, logical.exprs
+        )
+        if kernel is None:
+            return None
+        return PhysFilterProject(
+            self.plan(filter_node.child),
+            filter_node.condition,
+            logical.exprs,
+            logical.schema,
+            kernel,
         )

@@ -49,7 +49,10 @@ class ComputeCluster:
         context_transform: Callable[[UserContext], UserContext] | None = None,
         provision_seconds: float = 0.0,
         interpreter_start_seconds: float = 0.0,
+        engine_compile: bool = True,
+        kernel_cache_capacity: int = 256,
         enable_plan_cache: bool = True,
+        plan_cache_capacity: int = 128,
         enable_credential_cache: bool = True,
         sandbox_min_pool_size: int = 0,
         enable_workload_manager: bool = True,
@@ -76,7 +79,10 @@ class ComputeCluster:
             provision_seconds=provision_seconds,
             interpreter_start_seconds=interpreter_start_seconds,
             context_transform=self._transform_context,
+            engine_compile=engine_compile,
+            kernel_cache_capacity=kernel_cache_capacity,
             enable_plan_cache=enable_plan_cache,
+            plan_cache_capacity=plan_cache_capacity,
             enable_credential_cache=enable_credential_cache,
             sandbox_min_pool_size=sandbox_min_pool_size,
             enable_workload_manager=enable_workload_manager,

@@ -20,6 +20,8 @@ from repro.errors import PermissionDenied
 
 @dataclass(frozen=True)
 class LibraryApproval:
+    """One admin's recorded sign-off on an engine library."""
+
     library: str
     approver: str
     role: str  # "workspace_admin" | "cluster_admin"

@@ -40,6 +40,8 @@ DEFAULT_CLUSTER_PROVISION_SECONDS = 30.0
 
 @dataclass
 class GatewayStats:
+    """Routing counters for the workspace serverless gateway."""
+
     connections: int = 0
     forwarded: int = 0
     provisioned: int = 0

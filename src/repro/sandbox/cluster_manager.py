@@ -28,6 +28,8 @@ DEFAULT_INTERPRETER_START_SECONDS = 0.2
 
 @dataclass
 class ClusterManagerStats:
+    """Sandbox lifecycle counters kept by the cluster manager."""
+
     created: int = 0
     destroyed: int = 0
     active: int = 0

@@ -41,6 +41,8 @@ from repro.sandbox.sandbox import Sandbox
 
 @dataclass
 class DispatcherStats:
+    """Sandbox acquisition counters (cold vs warm) per dispatcher."""
+
     cold_starts: int = 0
     warm_acquisitions: int = 0
     #: Wall (or virtual) seconds spent waiting on cold starts.

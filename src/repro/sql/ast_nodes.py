@@ -36,6 +36,8 @@ class SubquerySource:
 
 @dataclass
 class JoinClause:
+    """One JOIN: kind, right-hand source, and ON condition."""
+
     how: str
     source: "FromSource"
     condition: Expression | None
@@ -54,6 +56,8 @@ class SelectItem:
 
 @dataclass
 class OrderItem:
+    """One ORDER BY item: expression plus direction."""
+
     expr: Expression
     ascending: bool = True
     nulls_first: bool | None = None
@@ -61,6 +65,8 @@ class OrderItem:
 
 @dataclass
 class SelectStatement:
+    """A full SELECT query block."""
+
     items: list[SelectItem]
     source: FromSource | None = None
     joins: list[JoinClause] = field(default_factory=list)
@@ -90,6 +96,8 @@ QueryStatement = SelectStatement | UnionStatement
 
 @dataclass
 class CreateViewStatement:
+    """``CREATE [MATERIALIZED] VIEW``."""
+
     name: str
     query_sql: str  # original text of the defining query
     materialized: bool = False
@@ -98,6 +106,8 @@ class CreateViewStatement:
 
 @dataclass
 class CreateTableStatement:
+    """``CREATE TABLE`` with typed columns."""
+
     name: str
     columns: list[tuple[str, str]]  # (name, type-name)
 
@@ -112,28 +122,38 @@ class CreateTableAsSelectStatement:
 
 @dataclass
 class DropObjectStatement:
+    """``DROP TABLE/VIEW/...``."""
+
     kind: str  # "TABLE" or "VIEW"
     name: str
 
 
 @dataclass
 class ShowGrantsStatement:
+    """``SHOW GRANTS ON <securable>``."""
+
     securable: str
 
 
 @dataclass
 class DescribeStatement:
+    """``DESCRIBE <relation>``."""
+
     name: str
 
 
 @dataclass
 class InsertStatement:
+    """``INSERT INTO ... VALUES ...``."""
+
     table: str
     rows: list[list[Any]]
 
 
 @dataclass
 class GrantStatement:
+    """``GRANT <privilege> ON <securable> TO <principal>``."""
+
     privilege: str
     securable: str
     principal: str
@@ -141,6 +161,8 @@ class GrantStatement:
 
 @dataclass
 class RevokeStatement:
+    """``REVOKE <privilege> ON <securable> FROM <principal>``."""
+
     privilege: str
     securable: str
     principal: str
@@ -148,17 +170,23 @@ class RevokeStatement:
 
 @dataclass
 class SetRowFilterStatement:
+    """``ALTER TABLE ... SET ROW FILTER (<predicate>)``."""
+
     table: str
     condition: Expression
 
 
 @dataclass
 class DropRowFilterStatement:
+    """``ALTER TABLE ... DROP ROW FILTER``."""
+
     table: str
 
 
 @dataclass
 class SetColumnMaskStatement:
+    """``ALTER TABLE ... ALTER COLUMN ... SET MASK (<expr>)``."""
+
     table: str
     column: str
     mask: Expression
@@ -166,6 +194,8 @@ class SetColumnMaskStatement:
 
 @dataclass
 class DropColumnMaskStatement:
+    """``ALTER TABLE ... ALTER COLUMN ... DROP MASK``."""
+
     table: str
     column: str
 

@@ -32,6 +32,8 @@ _ONE_CHAR_OPS = "+-*/%(),.=<>"
 
 @dataclass(frozen=True)
 class Token:
+    """One lexeme: kind, raw text, and source position."""
+
     kind: str
     value: str
     position: int

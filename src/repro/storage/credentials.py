@@ -199,6 +199,8 @@ class CredentialVendor:
 
 @dataclass
 class CredentialCacheStats:
+    """Hit/miss/refresh counters for the credential cache."""
+
     hits: int = 0
     misses: int = 0
     #: Re-vends triggered before expiry (remaining < fraction × lifetime).

@@ -1,14 +1,17 @@
 """Documentation hygiene: every public module, class and function in the
 library carries a docstring (deliverable (e): doc comments on every public
-item)."""
+item), and the README's system-tables listing matches the live registry."""
 
 import importlib
 import inspect
 import pkgutil
+import re
+from pathlib import Path
 
 import pytest
 
 import repro
+from repro.core.enforcement import GovernedResolver
 
 
 def _public_modules():
@@ -91,3 +94,25 @@ def _is_trivial(func) -> bool:
         return True
     lines = [ln for ln in source.strip().splitlines() if ln.strip()]
     return len(lines) <= 7
+
+
+def test_readme_lists_every_system_table():
+    """The README's system-tables table names every registered
+    ``system.access.*`` table — no more, no fewer.
+
+    The registry (``GovernedResolver.SYSTEM_TABLES``) is the source of
+    truth; this test is what keeps the doc from silently rotting when a new
+    introspection table is added.
+    """
+    readme = (Path(__file__).parent.parent / "README.md").read_text()
+    match = re.search(
+        r"### System tables\n(.*?)(?=\n#{2,3} )", readme, flags=re.DOTALL
+    )
+    assert match, "README has no '### System tables' section"
+    documented = set(re.findall(r"`(system\.access\.[a-z_]+)`", match.group(1)))
+    registered = set(GovernedResolver.SYSTEM_TABLES)
+    assert documented == registered, (
+        f"README system-tables listing is out of sync: "
+        f"missing {sorted(registered - documented)}, "
+        f"extra {sorted(documented - registered)}"
+    )

@@ -1,0 +1,202 @@
+"""Recovery ablation — governed execution under a seeded 1% chaos schedule.
+
+The acceptance experiment for the fault-injection layer: a 4-executor
+Standard cluster runs a mixed scan + sandboxed-UDF workload while the chaos
+engine fires a **seeded, 1%-per-call** fault schedule on ``storage.get`` and
+``sandbox.invoke``. Two configurations:
+
+- **recovery on** (the default: bounded scan retries, credential re-vend,
+  one safe pre-delivery UDF replay) — every query must return exactly the
+  fault-free results, and ``system.access.fault_stats`` must show both the
+  injected triggers and the recoveries that absorbed them;
+- **recovery off** (``scan_retries=0, udf_invoke_retry=False``) — the same
+  seeded schedule demonstrably fails queries.
+
+Everything is deterministic: with seed 1337 the per-point RNGs trigger
+sandbox deaths on invoke calls 8 and 31 and storage faults from GET call
+170 onward, so both fault kinds fire inside the 40-iteration workload.
+
+Emits ``BENCH_fault_recovery.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from harness import print_table, write_bench_json
+
+from repro.common.faults import FaultSpec
+from repro.connect.client import col, udf
+from repro.errors import LakeguardError
+from repro.platform import Workspace
+
+SEED = 1337
+FAULT_RATE = 0.01
+NUM_FILES = 8
+ROWS_PER_FILE = 50
+QUERY_ITERATIONS = 40
+
+RESULTS: dict = {}
+
+
+@udf("float")
+def boosted(amount):
+    return amount * 1.1
+
+
+def build_cluster(scan_retries: int, udf_invoke_retry: bool):
+    """A 4-executor governed cluster over an 8-file sales table."""
+    ws = Workspace()
+    ws.add_user("admin", admin=True)
+    ws.add_user("alice")
+    ws.add_group("analysts", ["alice"])
+    ws.catalog.create_catalog("m", owner="admin")
+    ws.catalog.create_schema("m.s", owner="admin")
+    cluster = ws.create_standard_cluster(
+        name="chaos-bench",
+        num_executors=4,
+        scan_retries=scan_retries,
+        udf_invoke_retry=udf_invoke_retry,
+    )
+    admin = cluster.connect("admin")
+    admin.sql("CREATE TABLE m.s.sales (id int, region string, amount float)")
+    regions = ("US", "EU", "APAC")
+    for f in range(NUM_FILES):  # one commit per file -> a real multi-file scan
+        values = ", ".join(
+            f"({f * ROWS_PER_FILE + i}, '{regions[i % 3]}', {float(i % 17)})"
+            for i in range(ROWS_PER_FILE)
+        )
+        admin.sql(f"INSERT INTO m.s.sales VALUES {values}")
+    admin.sql("GRANT USE CATALOG ON m TO analysts")
+    admin.sql("GRANT USE SCHEMA ON m.s TO analysts")
+    admin.sql("GRANT SELECT ON m.s.sales TO analysts")
+    return ws, cluster
+
+
+def arm_chaos(ws: Workspace) -> None:
+    """The acceptance schedule: 1% on storage reads and sandbox invokes."""
+    ws.catalog.faults.seed = SEED
+    for point in ("storage.get", "sandbox.invoke"):
+        ws.catalog.faults.arm(
+            point,
+            FaultSpec(kind="raise", probability=FAULT_RATE, only_in_query=True),
+        )
+
+
+def run_workload(cluster, iterations: int, expected=None):
+    """Alternate a parallel scan and a sandboxed-UDF query ``iterations``
+    times; returns (first results, mismatches vs expected, failures)."""
+    alice = cluster.connect("alice")
+    first = None
+    mismatches = 0
+    failures = 0
+    for _ in range(iterations):
+        try:
+            scan = sorted(alice.sql("SELECT id, amount FROM m.s.sales").collect())
+            boosted_rows = sorted(
+                alice.table("m.s.sales")
+                .select(col("id"), boosted(col("amount")))
+                .collect()
+            )
+        except LakeguardError:
+            failures += 1
+            continue
+        result = (scan, boosted_rows)
+        if first is None:
+            first = result
+        if expected is not None and result != expected:
+            mismatches += 1
+    return first, mismatches, failures
+
+
+def test_recovery_on_matches_fault_free():
+    ws, cluster = build_cluster(scan_retries=2, udf_invoke_retry=True)
+    started = time.perf_counter()
+    baseline, _, baseline_failures = run_workload(cluster, 3)
+    fault_free_seconds = (time.perf_counter() - started) / 3
+    assert baseline_failures == 0
+
+    arm_chaos(ws)
+    started = time.perf_counter()
+    _, mismatches, failures = run_workload(
+        cluster, QUERY_ITERATIONS, expected=baseline
+    )
+    chaos_seconds = (time.perf_counter() - started) / QUERY_ITERATIONS
+    faults = ws.catalog.faults
+    storage_triggers = faults.trigger_count("storage.get")
+    sandbox_triggers = faults.trigger_count("sandbox.invoke")
+    recovery = cluster.backend.data_source.recovery_stats
+    udf_retries = cluster.backend.dispatcher.stats.udf_retries
+
+    # The acceptance bar: faults fired on both points, every query
+    # recovered, and every result was fault-free-identical.
+    assert failures == 0 and mismatches == 0
+    assert storage_triggers > 0 and sandbox_triggers > 0
+    assert recovery.scan_retries > 0 and udf_retries > 0
+    stats = ws.catalog.fault_stats()
+    assert stats["faults[catalog]"]["recovered.scan.task_retry"] >= 1.0
+    assert stats[f"recovery[{cluster.name}]"]["udf_retries"] >= 1.0
+
+    RESULTS["recovery_on"] = {
+        "queries": QUERY_ITERATIONS * 2,
+        "failures": failures,
+        "mismatches": mismatches,
+        "storage_triggers": storage_triggers,
+        "sandbox_triggers": sandbox_triggers,
+        "scan_retries": recovery.scan_retries,
+        "credential_revends": recovery.credential_revends,
+        "udf_retries": udf_retries,
+        "fault_free_seconds_per_iter": round(fault_free_seconds, 6),
+        "chaos_seconds_per_iter": round(chaos_seconds, 6),
+        "fault_stats": stats,
+    }
+
+
+def test_recovery_off_demonstrably_fails():
+    ws, cluster = build_cluster(scan_retries=0, udf_invoke_retry=False)
+    arm_chaos(ws)
+    _, _, failures = run_workload(cluster, QUERY_ITERATIONS)
+    faults = ws.catalog.faults
+    assert failures > 0, "the same schedule must break an unprotected cluster"
+    RESULTS["recovery_off"] = {
+        "queries": QUERY_ITERATIONS * 2,
+        "failures": failures,
+        "storage_triggers": faults.trigger_count("storage.get"),
+        "sandbox_triggers": faults.trigger_count("sandbox.invoke"),
+    }
+
+
+def test_write_json():
+    """Persist the ablation (runs after the two measurements above)."""
+    if "recovery_on" not in RESULTS or "recovery_off" not in RESULTS:
+        pytest.skip("benchmarks did not run")
+    on, off = RESULTS["recovery_on"], RESULTS["recovery_off"]
+    print_table(
+        "Recovery ablation — seeded 1% faults on storage.get + sandbox.invoke "
+        f"(seed {SEED}, {QUERY_ITERATIONS} iterations, 4 executors)",
+        ["mode", "queries", "failed", "storage faults", "sandbox faults",
+         "scan retries", "udf replays"],
+        [
+            ["recovery on", on["queries"], on["failures"],
+             on["storage_triggers"], on["sandbox_triggers"],
+             on["scan_retries"], on["udf_retries"]],
+            ["recovery off", off["queries"], off["failures"],
+             off["storage_triggers"], off["sandbox_triggers"], 0, 0],
+        ],
+    )
+    path = write_bench_json(
+        "fault_recovery",
+        params={
+            "seed": SEED,
+            "fault_rate": FAULT_RATE,
+            "fault_points": ["storage.get", "sandbox.invoke"],
+            "num_files": NUM_FILES,
+            "rows_per_file": ROWS_PER_FILE,
+            "iterations": QUERY_ITERATIONS,
+            "num_executors": 4,
+        },
+        extra={"results": RESULTS},
+    )
+    assert path.exists()

@@ -47,6 +47,7 @@ from repro.catalog.securables import (
     split_name,
 )
 from repro.common.audit import AuditLog
+from repro.common.faults import FaultInjector
 from repro.common.telemetry import Telemetry
 from repro.common.clock import Clock, SystemClock
 from repro.engine.logical import TableRef
@@ -110,8 +111,17 @@ class UnityCatalog:
         self.telemetry = (
             telemetry if telemetry is not None else Telemetry(clock=self.clock)
         )
+        #: The deployment-wide chaos engine. Storage, credential vending,
+        #: sandboxes, channels and the serverless gateway all consult this
+        #: one injector, so a test (or the CI chaos job, via the
+        #: ``LAKEGUARD_CHAOS_*`` environment variables) arms faults in one
+        #: place and every layer's recovery machinery gets exercised.
+        self.faults = FaultInjector(clock=self.clock, telemetry=self.telemetry)
+        self.faults.arm_from_env()
         self.store = store or ObjectStore(clock=self.clock, audit=None)
+        self.store.faults = self.faults
         self.vendor = CredentialVendor(clock=self.clock, telemetry=self.telemetry)
+        self.vendor.faults = self.faults
         self.principals = PrincipalDirectory()
         self.grants = PrivilegeStore()
         self._catalogs: dict[str, CatalogObject] = {}
@@ -128,6 +138,12 @@ class UnityCatalog:
         #: Named workload-statistics providers (admission queues, breakers)
         #: backing ``system.access.workload_stats``.
         self._workload_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
+        #: Named fault/recovery-statistics providers (the chaos engine and
+        #: each cluster's recovery layer) backing ``system.access.fault_stats``.
+        self._fault_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
+        self.register_fault_stats_provider(
+            "faults[catalog]", self.faults.stats_snapshot
+        )
         #: Attribute-based access control: tags + tag policies (§2.3 ABAC).
         self.tags = TagStore()
         self.tags.on_change = lambda: self.bump_policy_epoch("abac-update")
@@ -189,6 +205,23 @@ class UnityCatalog:
         return {
             name: dict(provider())
             for name, provider in sorted(self._workload_stats_providers.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Fault-statistics registry (``system.access.fault_stats``)
+    # ------------------------------------------------------------------
+
+    def register_fault_stats_provider(
+        self, name: str, provider: Callable[[], dict[str, Any]]
+    ) -> None:
+        """Expose one fault/recovery source through the introspection table."""
+        self._fault_stats_providers[name] = provider
+
+    def fault_stats(self) -> dict[str, dict[str, Any]]:
+        """Snapshot of injected-fault triggers and recovery counters, by scope."""
+        return {
+            name: dict(provider())
+            for name, provider in sorted(self._fault_stats_providers.items())
         }
 
     # ------------------------------------------------------------------

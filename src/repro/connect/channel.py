@@ -38,7 +38,14 @@ class LatencyModel:
 
 @dataclass
 class FaultInjector:
-    """Cuts connections to exercise the reattach path."""
+    """Cuts connections to exercise the reattach path (legacy scheduler).
+
+    The channel also accepts the systemwide chaos engine
+    (:class:`repro.common.faults.FaultInjector`) in its place: anything with
+    a ``check(point)`` method is consulted at the ``channel.stream`` fault
+    point before each streamed item, so one seeded schedule can cut
+    connections alongside storage and sandbox faults.
+    """
 
     #: Drop the stream after this many items (-1 = never).
     drop_stream_after: int = -1
@@ -83,13 +90,21 @@ class InProcessChannel:
         service: "ServiceLike",
         clock: Clock | None = None,
         latency: LatencyModel | None = None,
-        faults: FaultInjector | None = None,
+        faults: Any = None,
     ):
         self._service = service
         self._clock = clock or SystemClock()
         self._latency = latency or LatencyModel()
         self._faults = faults or FaultInjector()
         self.stats = ChannelStats()
+
+    def _should_drop(self, items_sent: int) -> bool:
+        """Consult whichever fault source the channel was built with."""
+        should_drop = getattr(self._faults, "should_drop", None)
+        if should_drop is not None:
+            return bool(should_drop(items_sent))
+        # Systemwide chaos engine: one seeded ``channel.stream`` point.
+        return bool(self._faults.check("channel.stream").triggered)
 
     def _send(self, request: dict[str, Any]) -> dict[str, Any]:
         wire = proto.encode_message(request)
@@ -117,7 +132,7 @@ class InProcessChannel:
         decoded = self._send(request)
         items_sent = 0
         for response in self._service.handle_stream(method, decoded):
-            if self._faults.should_drop(items_sent):
+            if self._should_drop(items_sent):
                 self.stats.connections_dropped += 1
                 raise TransportError(
                     f"connection reset after {items_sent} stream items"

@@ -32,17 +32,26 @@ from repro.errors import (
     CircuitOpenError,
     ClusterAttachDenied,
     ClusterError,
+    CorruptObjectError,
+    CredentialError,
     EgressDenied,
     ExecutionError,
+    FaultInjectedError,
     LakeguardError,
     OperationGoneError,
     ParseError,
     PermissionDenied,
     ProtocolError,
     RetryableError,
+    SandboxDied,
+    SandboxError,
     SecurableAlreadyExists,
     SecurableNotFound,
     SessionError,
+    StorageAccessDenied,
+    StorageError,
+    TransientCredentialError,
+    TransientStorageError,
     UnsupportedOperationError,
     UserCodeError,
     VersionIncompatibleError,
@@ -70,17 +79,26 @@ _ERROR_CLASSES: dict[str, type[LakeguardError]] = {
         CircuitOpenError,
         ClusterAttachDenied,
         ClusterError,
+        CorruptObjectError,
+        CredentialError,
         EgressDenied,
         ExecutionError,
+        FaultInjectedError,
         LakeguardError,
         OperationGoneError,
         ParseError,
         ProtocolError,
         QueryDeadlineExceeded,
         RetryableError,
+        SandboxDied,
+        SandboxError,
         SecurableAlreadyExists,
         SecurableNotFound,
         SessionError,
+        StorageAccessDenied,
+        StorageError,
+        TransientCredentialError,
+        TransientStorageError,
         UnsupportedOperationError,
         UserCodeError,
         VersionIncompatibleError,
@@ -210,10 +228,10 @@ class SparkConnectService:
             return None
         return self.housekeeping()
 
-    def housekeeping(self) -> dict[str, list[str]]:
+    def housekeeping(self) -> dict[str, Any]:
         """Periodic maintenance (§3.2.3): evict idle sessions, tombstone
-        abandoned operations. Runs from the request-path tick
-        (:meth:`maybe_housekeeping`) or a direct call."""
+        abandoned operations, probe sandbox liveness. Runs from the
+        request-path tick (:meth:`maybe_housekeeping`) or a direct call."""
         self._last_housekeeping = self._clock.now()
         expired = self.sessions.expire_idle_sessions()
         for session_id in expired:
@@ -230,7 +248,17 @@ class SparkConnectService:
             except LakeguardError:
                 pass
         abandoned = self.sessions.reap_abandoned_operations()
-        return {"expired_sessions": expired, "abandoned_operations": abandoned}
+        result: dict[str, Any] = {
+            "expired_sessions": expired,
+            "abandoned_operations": abandoned,
+        }
+        # Sandbox self-healing rides the same tick: sweep the backend's
+        # dispatcher pool for workers that died while idle and respawn
+        # spares, so the next query never lands on a corpse.
+        dispatcher = getattr(self._backend, "dispatcher", None)
+        if dispatcher is not None:
+            result["sandbox_liveness"] = dispatcher.probe_liveness()
+        return result
 
     # ------------------------------------------------------------------
     # Unary methods

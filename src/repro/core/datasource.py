@@ -21,20 +21,33 @@ Two performance layers live here:
 
 from __future__ import annotations
 
+import random
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.catalog.metastore import UnityCatalog
-from repro.common.context import QueryContext, span_or_null
+from repro.common.context import QueryContext, QueryDeadlineExceeded, span_or_null
 from repro.catalog.privileges import UserContext
 from repro.catalog.scopes import ComputeCapabilities
 from repro.engine.batch import ColumnBatch, chunk_batch
 from repro.engine.expressions import EvalContext
 from repro.engine.logical import TableRef
-from repro.errors import ExecutionError
-from repro.storage.credentials import LIST, READ, CredentialCache
+from repro.errors import (
+    CredentialError,
+    ExecutionError,
+    RetryableError,
+    StorageAccessDenied,
+)
+from repro.storage.credentials import (
+    LIST,
+    READ,
+    CredentialCache,
+    TemporaryCredential,
+)
 from repro.storage.table_format import DataFile, LakeTableStorage
 
 
@@ -50,6 +63,50 @@ class ScanStats:
     parallel_scans: int = 0
 
 
+@dataclass
+class RecoveryStats:
+    """Fault-recovery counters kept by one governed data source."""
+
+    #: File reads replayed after a transient storage/credential failure.
+    scan_retries: int = 0
+    #: Credentials re-vended mid-query after auth expiry / revocation.
+    credential_revends: int = 0
+    #: Straggler scan tasks hedged with a duplicate submission.
+    hedges_launched: int = 0
+    #: Hedged duplicates that finished before the original task.
+    hedge_wins: int = 0
+
+
+class _SharedCredential:
+    """One credential shared by a scan's tasks, re-vendable mid-query.
+
+    When storage rejects the credential mid-scan (expiry, out-of-band
+    revocation), the first task to notice re-vends under the holder's lock;
+    racing tasks that held the same stale credential pick up the
+    replacement instead of each paying its own vend.
+    """
+
+    def __init__(
+        self,
+        credential: TemporaryCredential,
+        revend: Callable[[], TemporaryCredential],
+    ):
+        self._lock = threading.Lock()
+        self._credential = credential
+        self._revend = revend
+
+    def current(self) -> TemporaryCredential:
+        with self._lock:
+            return self._credential
+
+    def replace(self, stale: TemporaryCredential) -> TemporaryCredential:
+        """Swap out ``stale``; no-op if another task already replaced it."""
+        with self._lock:
+            if self._credential is stale:
+                self._credential = self._revend()
+            return self._credential
+
+
 class GovernedDataSource:
     """DataSource implementation backed by Unity Catalog storage."""
 
@@ -60,17 +117,30 @@ class GovernedDataSource:
         num_executors: int = 2,
         enable_credential_cache: bool = True,
         credential_refresh_ahead: float = 0.2,
+        scan_retries: int = 2,
+        scan_retry_base_delay: float = 0.02,
+        hedge_after_seconds: float | None = None,
     ):
         self._catalog = catalog
         self._caps = caps
         self._num_executors = max(1, num_executors)
+        #: Bounded per-file retries for retryable storage/credential faults
+        #: (0 disables recovery — the ablation baseline).
+        self._scan_retries = max(0, scan_retries)
+        self._scan_retry_base = scan_retry_base_delay
+        #: Hedge a straggler task with a duplicate submission after this
+        #: many *wall-clock* seconds (None disables hedging). Wall-clock by
+        #: construction: the wait happens on a real Future of a real pool.
+        self._hedge_after = hedge_after_seconds
         self.stats = ScanStats()
+        self.recovery_stats = RecoveryStats()
         self.credential_cache: CredentialCache | None = None
         if enable_credential_cache:
             self.credential_cache = CredentialCache(
                 clock=catalog.clock,
                 refresh_ahead_fraction=credential_refresh_ahead,
                 telemetry=catalog.telemetry,
+                faults=catalog.faults,
             )
             catalog.register_cache_stats_provider(
                 f"credential_cache[{caps.compute_id}]",
@@ -78,6 +148,15 @@ class GovernedDataSource:
             )
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+
+    def recovery_stats_snapshot(self) -> dict[str, float]:
+        """Flat recovery counters for ``system.access.fault_stats``."""
+        return {
+            "scan_retries": float(self.recovery_stats.scan_retries),
+            "credential_revends": float(self.recovery_stats.credential_revends),
+            "hedges_launched": float(self.recovery_stats.hedges_launched),
+            "hedge_wins": float(self.recovery_stats.hedge_wins),
+        }
 
     def _task_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
@@ -139,6 +218,24 @@ class GovernedDataSource:
                 f"'{table.full_name}' has no storage visible to this compute"
             )
         credential = self._credential_for(table, ctx)
+        vend_principal = (
+            self._delegate_context(table.auth_delegate).user
+            if table.auth_delegate is not None
+            else ctx.user
+        )
+
+        def revend() -> TemporaryCredential:
+            # Auth expired (or was revoked out of band) mid-query: drop the
+            # cached entry so _credential_for re-runs the privilege check
+            # and vends fresh, then count the recovery.
+            if self.credential_cache is not None:
+                self.credential_cache.invalidate_principal(vend_principal)
+            fresh = self._credential_for(table, ctx)
+            self.recovery_stats.credential_revends += 1
+            self._catalog.faults.record_recovery("credential.revend")
+            return fresh
+
+        holder = _SharedCredential(credential, revend)
         storage = LakeTableStorage(self._catalog.store, table.storage_root)
         snapshot = storage.snapshot(credential, version=table.snapshot_version)
         batch_size = getattr(eval_ctx, "batch_size", 0)
@@ -152,6 +249,37 @@ class GovernedDataSource:
 
         qctx: QueryContext | None = getattr(eval_ctx, "query_ctx", None)
 
+        def read_with_recovery(
+            data_file: DataFile,
+            task_ctx: QueryContext | None,
+            rng: random.Random,
+        ) -> dict[str, list]:
+            """One file read with bounded, deadline-aware retries.
+
+            Transient storage faults are simply retried; a credential
+            rejection additionally re-vends through the shared holder
+            (at most once per stale credential across all tasks).
+            """
+            attempt = 0
+            while True:
+                cred = holder.current()
+                try:
+                    columns = storage.read_file(data_file, cred)
+                    if attempt:
+                        self._catalog.faults.record_recovery("scan.task_retry")
+                    return columns
+                except (StorageAccessDenied, CredentialError) as exc:
+                    if attempt >= self._scan_retries:
+                        raise
+                    holder.replace(cred)
+                    self._retry_backoff(attempt, task_ctx, rng, exc, data_file)
+                    attempt += 1
+                except RetryableError as exc:
+                    if attempt >= self._scan_retries:
+                        raise
+                    self._retry_backoff(attempt, task_ctx, rng, exc, data_file)
+                    attempt += 1
+
         def run_task(
             task_index: int,
             task_files: list[DataFile],
@@ -159,6 +287,7 @@ class GovernedDataSource:
         ) -> list[ColumnBatch]:
             # Materialize the task's files inside its span so the span
             # measures the read, not downstream operator time.
+            rng = random.Random(f"scan-retry:{task_index}")
             with span_or_null(
                 task_ctx,
                 f"scan-task-{task_index}",
@@ -170,7 +299,7 @@ class GovernedDataSource:
             ):
                 batches = []
                 for data_file in task_files:
-                    columns = storage.read_file(data_file, credential)
+                    columns = read_with_recovery(data_file, task_ctx, rng)
                     batches.append(ColumnBatch.from_dict(table.schema, columns))
                 return batches
 
@@ -197,7 +326,9 @@ class GovernedDataSource:
             # Consume in submission order: deterministic output regardless
             # of which worker finishes first.
             for task_index, task_files, future in futures:
-                batches = future.result()
+                batches = self._await_task(
+                    pool, future, run_task, task_index, task_files, qctx
+                )
                 self.stats.executor_tasks += 1
                 self.stats.files_read += len(task_files)
                 for batch in batches:
@@ -215,3 +346,92 @@ class GovernedDataSource:
                         yield chunk
         if not produced:
             yield ColumnBatch.empty(table.schema)
+
+    # -- recovery helpers ------------------------------------------------------
+
+    def _retry_backoff(
+        self,
+        attempt: int,
+        task_ctx: QueryContext | None,
+        rng: random.Random,
+        exc: Exception,
+        data_file: DataFile,
+    ) -> None:
+        """Sleep before a scan-task retry; never sleeps past the deadline.
+
+        The backoff grows exponentially with full jitter (task-seeded, so a
+        run replays). When the task context carries a deadline the sleep is
+        checked against it first — crossing it raises
+        :class:`~repro.common.context.QueryDeadlineExceeded` chained to the
+        transient failure instead of burning the remaining budget.
+        """
+        delay = self._scan_retry_base * (2**attempt)
+        delay *= 1.0 - rng.uniform(0.0, 0.5)
+        if task_ctx is not None:
+            remaining = task_ctx.remaining()
+            if remaining is not None and delay >= remaining:
+                raise QueryDeadlineExceeded(
+                    f"query {task_ctx.trace_id}: retrying scan of "
+                    f"'{data_file.path}' would cross the deadline "
+                    f"({max(0.0, remaining):.3f}s left)"
+                ) from exc
+        self.recovery_stats.scan_retries += 1
+        with span_or_null(
+            task_ctx,
+            f"scan-retry-{attempt}",
+            "recovery.retry",
+            file=data_file.path,
+            attempt=attempt,
+            error=type(exc).__name__,
+            backoff_seconds=delay,
+        ):
+            self._catalog.clock.sleep(delay)
+
+    def _await_task(
+        self,
+        pool: ThreadPoolExecutor,
+        future: "Future[list[ColumnBatch]]",
+        run_task: Callable[..., list[ColumnBatch]],
+        task_index: int,
+        task_files: list[DataFile],
+        qctx: QueryContext | None,
+    ) -> list[ColumnBatch]:
+        """Wait for one task, hedging stragglers when the knob is set.
+
+        After ``hedge_after_seconds`` of wall-clock waiting, a duplicate of
+        the task is submitted to the same pool and whichever attempt
+        finishes first (successfully) wins; reads are idempotent, so the
+        loser's work is simply discarded.
+        """
+        if self._hedge_after is None:
+            return future.result()
+        try:
+            return future.result(timeout=self._hedge_after)
+        except FuturesTimeout:
+            pass
+        self.recovery_stats.hedges_launched += 1
+        if qctx is not None:
+            qctx.event("scan-hedge-launched", task=task_index)
+            qctx.telemetry.counter("recovery.scan_hedges").inc()
+        hedge: "Future[list[ColumnBatch]]" = pool.submit(
+            run_task,
+            task_index,
+            task_files,
+            qctx.child() if qctx is not None else None,
+        )
+        pending = {future, hedge}
+        failure: Exception | None = None
+        while pending:
+            done, pending = futures_wait(pending, return_when=FIRST_COMPLETED)
+            for finished in done:
+                try:
+                    result = finished.result()
+                except Exception as exc:  # noqa: BLE001 - keep last failure
+                    failure = exc
+                    continue
+                if finished is hedge:
+                    self.recovery_stats.hedge_wins += 1
+                    self._catalog.faults.record_recovery("scan.hedge_win")
+                return result
+        assert failure is not None
+        raise failure

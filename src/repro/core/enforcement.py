@@ -93,6 +93,9 @@ class GovernedResolver:
     #: Live admission-queue depths, wait times, shed counts and circuit-
     #: breaker states (admins only).
     WORKLOAD_STATS_TABLE = "system.access.workload_stats"
+    #: Injected-fault trigger counts and recovery counters from the chaos
+    #: engine and every cluster's recovery layer (admins only).
+    FAULT_STATS_TABLE = "system.access.fault_stats"
     #: Every registered ``system.access.*`` table, the single source of
     #: truth for introspection surfaces (README's listing is diffed against
     #: this in tests/test_documentation.py).
@@ -101,6 +104,7 @@ class GovernedResolver:
         QUERY_PROFILE_TABLE,
         CACHE_STATS_TABLE,
         WORKLOAD_STATS_TABLE,
+        FAULT_STATS_TABLE,
     )
 
     def resolve_relation(
@@ -115,6 +119,8 @@ class GovernedResolver:
             return self._resolve_cache_stats_table()
         if name == self.WORKLOAD_STATS_TABLE:
             return self._resolve_workload_stats_table()
+        if name == self.FAULT_STATS_TABLE:
+            return self._resolve_fault_stats_table()
         metadata = self._catalog.relation_metadata(
             name, self.acting_ctx, self._caps
         )
@@ -402,6 +408,49 @@ class GovernedResolver:
             raise PermissionDenied(ctx.user, MANAGE, self.WORKLOAD_STATS_TABLE)
         rows: list[tuple[str, str, float]] = []
         for scope, stats in self._catalog.workload_stats().items():
+            for metric, value in sorted(stats.items()):
+                try:
+                    rows.append((scope, metric, float(value)))
+                except (TypeError, ValueError):
+                    continue  # non-numeric provider fields are not metrics
+        schema = Schema(
+            (
+                Field("scope", STRING),
+                Field("metric", STRING),
+                Field("value", FLOAT),
+            )
+        )
+        columns: list[list] = [
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
+        ]
+        return LocalRelation(schema, columns)
+
+    def _resolve_fault_stats_table(self) -> LogicalPlan:
+        """``system.access.fault_stats``: chaos + recovery counters.
+
+        Admin-only. One ``(scope, metric, value)`` row per counter from the
+        catalog's fault-stats providers: the chaos engine itself (per-point
+        call/trigger totals, named recoveries) and every cluster's recovery
+        layer (scan retries, credential re-vends, hedges, sandbox
+        evictions/replays) — so an operator can watch an injection drill
+        *and* the system riding it out, through plain governed SQL.
+        """
+        from repro.catalog.privileges import MANAGE
+        from repro.engine.logical import LocalRelation
+        from repro.engine.types import FLOAT, STRING, Field
+        from repro.errors import PermissionDenied
+
+        ctx = self.session_ctx
+        is_admin = (
+            not ctx.is_down_scoped
+            and self._catalog.principals.is_admin(ctx.user)
+        )
+        if not is_admin:
+            raise PermissionDenied(ctx.user, MANAGE, self.FAULT_STATS_TABLE)
+        rows: list[tuple[str, str, float]] = []
+        for scope, stats in self._catalog.fault_stats().items():
             for metric, value in sorted(stats.items()):
                 try:
                     rows.append((scope, metric, float(value)))

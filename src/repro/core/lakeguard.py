@@ -98,6 +98,10 @@ class LakeguardCluster:
         workload_max_total_queue: int = 256,
         workload_admission_timeout: float = 30.0,
         workload_default_policy: TenantPolicy | None = None,
+        scan_retries: int = 2,
+        scan_retry_base_delay: float = 0.02,
+        scan_hedge_after_seconds: float | None = None,
+        udf_invoke_retry: bool = True,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -110,12 +114,17 @@ class LakeguardCluster:
         self.batch_size = batch_size
         self._context_transform = context_transform
 
+        #: One safe replay of a UDF invoke whose sandbox died before the
+        #: request was delivered (at-most-once is preserved either way).
+        self.udf_invoke_retry = udf_invoke_retry
+
         self.cluster_manager = ClusterManager(
             backend=sandbox_backend,
             clock=self.clock,
             default_policy=sandbox_policy or SandboxPolicy(),
             provision_seconds=provision_seconds,
             interpreter_start_seconds=interpreter_start_seconds,
+            faults=catalog.faults,
         )
 
         #: Admission control: every Connect query passes through this before
@@ -179,6 +188,12 @@ class LakeguardCluster:
             num_executors,
             enable_credential_cache=enable_credential_cache,
             credential_refresh_ahead=credential_refresh_ahead,
+            scan_retries=scan_retries,
+            scan_retry_base_delay=scan_retry_base_delay,
+            hedge_after_seconds=scan_hedge_after_seconds,
+        )
+        catalog.register_fault_stats_provider(
+            f"recovery[{self.cluster_id}]", self._recovery_stats_snapshot
         )
         self._remote_analyze = remote_analyze
         self.remote_executor: RemoteQueryExecutor | None = None
@@ -193,6 +208,19 @@ class LakeguardCluster:
 
         #: Most recent QueryResult (plans + metrics), for tests/benchmarks.
         self.last_result: QueryResult | None = None
+
+    def _recovery_stats_snapshot(self) -> dict[str, float]:
+        """Scan + sandbox recovery counters for ``system.access.fault_stats``."""
+        out = self.data_source.recovery_stats_snapshot()
+        out["udf_retries"] = float(self.dispatcher.stats.udf_retries)
+        out["sandbox_dead_evicted"] = float(self.dispatcher.stats.dead_evicted)
+        out["sandbox_spares_evicted"] = float(
+            self.dispatcher.stats.spares_evicted
+        )
+        out["sandbox_liveness_probes"] = float(
+            self.dispatcher.stats.liveness_probes
+        )
+        return out
 
     # ------------------------------------------------------------------
     # ExecutionBackend interface
@@ -257,6 +285,7 @@ class LakeguardCluster:
                 self.dispatcher,
                 session.session_id,
                 environment=session.config.get("workload_env"),
+                retry_dead_sandbox=self.udf_invoke_retry,
             )
         # Privileged compute: legacy inline execution inside the engine.
         return UDFRuntime()

@@ -127,6 +127,36 @@ class CircuitOpenError(RetryableError):
 
 
 # ---------------------------------------------------------------------------
+# Fault injection (chaos engine) + transient variants of layer errors
+# ---------------------------------------------------------------------------
+
+
+class FaultInjectedError(RetryableError):
+    """Default error raised by a triggered fault point with no custom error.
+
+    Retryable by design: an injected fault models a transient condition,
+    and recovery layers are exactly what chaos schedules exercise.
+    """
+
+
+class TransientStorageError(StorageError, RetryableError):
+    """A storage operation failed transiently (flaky GET, injected fault).
+
+    Both a :class:`StorageError` (callers catching storage failures still
+    see it) and a :class:`RetryableError` (recovery layers know a bounded
+    retry is worthwhile).
+    """
+
+
+class CorruptObjectError(TransientStorageError):
+    """An object's bytes failed to decode; a re-read may return good bytes."""
+
+
+class TransientCredentialError(CredentialError, RetryableError):
+    """A credential vend failed transiently; re-vending is worthwhile."""
+
+
+# ---------------------------------------------------------------------------
 # Spark Connect
 # ---------------------------------------------------------------------------
 
@@ -158,6 +188,21 @@ class TransportError(LakeguardError):
 
 class SandboxError(LakeguardError):
     """Failure creating or communicating with a user-code sandbox."""
+
+
+class SandboxDied(SandboxError):
+    """The sandbox worker died under a request.
+
+    ``delivered`` records whether the request had already reached the
+    worker when it died. ``False`` means the UDF cannot have started, so a
+    single re-invoke on a fresh sandbox preserves at-most-once semantics;
+    ``True`` means the worker may have executed side effects mid-request,
+    and a retry would risk running user code twice — callers must not.
+    """
+
+    def __init__(self, message: str, delivered: bool = True):
+        self.delivered = delivered
+        super().__init__(message)
 
 
 class SandboxPolicyViolation(SandboxError):

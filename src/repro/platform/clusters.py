@@ -17,7 +17,7 @@ from repro.catalog.metastore import UnityCatalog
 from repro.catalog.privileges import UserContext
 from repro.catalog.scopes import COMPUTE_DEDICATED, COMPUTE_STANDARD
 from repro.common.clock import Clock, SystemClock
-from repro.connect.channel import FaultInjector, InProcessChannel, LatencyModel
+from repro.connect.channel import InProcessChannel, LatencyModel
 from repro.connect.client import SparkConnectClient
 from repro.connect.proto import PROTOCOL_VERSION
 from repro.connect.service import SparkConnectService
@@ -60,6 +60,10 @@ class ComputeCluster:
         workload_fair_share: bool = True,
         workload_admission_timeout: float = 30.0,
         workload_default_policy: TenantPolicy | None = None,
+        scan_retries: int = 2,
+        scan_retry_base_delay: float = 0.02,
+        scan_hedge_after_seconds: float | None = None,
+        udf_invoke_retry: bool = True,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -90,6 +94,10 @@ class ComputeCluster:
             workload_fair_share=workload_fair_share,
             workload_admission_timeout=workload_admission_timeout,
             workload_default_policy=workload_default_policy,
+            scan_retries=scan_retries,
+            scan_retry_base_delay=scan_retry_base_delay,
+            scan_hedge_after_seconds=scan_hedge_after_seconds,
+            udf_invoke_retry=udf_invoke_retry,
         )
         self.service = SparkConnectService(self.backend, clock=self.clock)
         #: The backend's admission controller (None when disabled).
@@ -114,9 +122,14 @@ class ComputeCluster:
     def channel(
         self,
         latency: LatencyModel | None = None,
-        faults: FaultInjector | None = None,
+        faults: Any = None,
     ) -> InProcessChannel:
-        """A wire-level channel to this cluster's Connect service."""
+        """A wire-level channel to this cluster's Connect service.
+
+        ``faults`` accepts either the legacy stream-cutting
+        :class:`~repro.connect.channel.FaultInjector` or the systemwide
+        chaos engine (:class:`repro.common.faults.FaultInjector`).
+        """
         return InProcessChannel(
             self.service, clock=self.clock, latency=latency, faults=faults
         )
@@ -126,7 +139,7 @@ class ComputeCluster:
         user: str,
         client_version: int = PROTOCOL_VERSION,
         latency: LatencyModel | None = None,
-        faults: FaultInjector | None = None,
+        faults: Any = None,
         config: dict[str, str] | None = None,
     ) -> SparkConnectClient:
         """Attach a user: authentication happens inside create_session."""

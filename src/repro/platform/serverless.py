@@ -22,6 +22,7 @@ from repro.catalog.metastore import UnityCatalog
 from repro.catalog.scopes import COMPUTE_SERVERLESS
 from repro.common.clock import Clock, SystemClock
 from repro.common.context import current_context
+from repro.common.faults import FaultSpec
 from repro.connect.channel import InProcessChannel
 from repro.connect.service import SparkConnectService
 from repro.core.lakeguard import LakeguardCluster
@@ -114,8 +115,6 @@ class ServerlessGateway:
         )
         self._efgac_retries = efgac_retries
         self._efgac_retry_base = efgac_retry_base
-        #: Fault-injection flag: when set, eFGAC calls fail at the gateway.
-        self._outage = False
         catalog.register_workload_stats_provider(
             "efgac_breaker[serverless]", self.breaker.stats_snapshot
         )
@@ -291,14 +290,28 @@ class ServerlessGateway:
     def set_outage(self, outage: bool) -> None:
         """Fault injection: make every eFGAC call fail at the gateway.
 
-        Used by tests and ops drills to verify the breaker trips and
-        dedicated-cluster callers fail fast while serverless is down.
+        A convenience wrapper over the catalog's chaos engine: arms (or
+        disarms) the ``serverless.gateway`` fault point with an always-raise
+        schedule, so outage drills show up in ``system.access.fault_stats``
+        alongside every other injected fault. Tests and ops drills use it to
+        verify the breaker trips and dedicated-cluster callers fail fast
+        while serverless is down.
         """
-        self._outage = outage
+        if outage:
+            self._catalog.faults.arm(
+                "serverless.gateway",
+                FaultSpec(
+                    kind="raise",
+                    error=lambda: ClusterError(
+                        "serverless gateway is unreachable (outage)"
+                    ),
+                ),
+            )
+        else:
+            self._catalog.faults.disarm("serverless.gateway")
 
     def _check_outage(self) -> None:
-        if self._outage:
-            raise ClusterError("serverless gateway is unreachable (outage)")
+        self._catalog.faults.fire("serverless.gateway")
 
     def _protected(self, fn):
         """Run an eFGAC call through retries + the circuit breaker.

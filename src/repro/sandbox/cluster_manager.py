@@ -10,13 +10,16 @@ latency, and keeps fleet statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from repro.common.clock import Clock, SystemClock
 from repro.errors import SandboxError
 from repro.sandbox.policy import SandboxPolicy
 from repro.sandbox.sandbox import InProcessSandbox, Sandbox
 from repro.sandbox.subprocess_sandbox import SubprocessSandbox
+
+if TYPE_CHECKING:
+    from repro.common.faults import FaultInjector
 
 Backend = Literal["inprocess", "subprocess"]
 
@@ -48,12 +51,16 @@ class ClusterManager:
         default_policy: SandboxPolicy | None = None,
         provision_seconds: float = 0.0,
         interpreter_start_seconds: float = 0.0,
+        faults: "FaultInjector | None" = None,
     ):
         if backend not in ("inprocess", "subprocess"):
             raise SandboxError(f"unknown sandbox backend '{backend}'")
         self.backend: Backend = backend
         self.clock = clock or SystemClock()
         self.default_policy = default_policy or SandboxPolicy()
+        #: Chaos engine shared with every sandbox this manager provisions;
+        #: ``sandbox.spawn`` fires on creation, ``sandbox.invoke`` inside.
+        self.faults = faults
         #: Specialized execution environments outside the cluster (§3.3):
         #: resource name ("gpu", "high_memory") -> the manager serving it.
         self.specialized_pools: dict[str, "ClusterManager"] = {}
@@ -79,6 +86,8 @@ class ClusterManager:
         the sandbox (dependency set + interpreter version, §6.3).
         """
         effective = policy or self.default_policy
+        if self.faults is not None:
+            self.faults.fire("sandbox.spawn")
         startup = self.provision_seconds + self.interpreter_start_seconds
         if startup > 0:
             self.clock.sleep(startup)
@@ -87,6 +96,7 @@ class ClusterManager:
             sandbox: Sandbox = SubprocessSandbox(trust_domain, effective)
         else:
             sandbox = InProcessSandbox(trust_domain, effective)
+        sandbox.faults = self.faults  # type: ignore[attr-defined]
         sandbox.environment = environment  # type: ignore[attr-defined]
         self._active[sandbox.sandbox_id] = sandbox
         self.stats.created += 1

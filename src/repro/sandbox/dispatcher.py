@@ -34,6 +34,7 @@ from repro.common.clock import Clock
 from repro.common.context import current_context, span_or_null
 from repro.engine.expressions import UDFRuntime
 from repro.engine.udf import PythonUDF
+from repro.errors import SandboxDied
 from repro.sandbox.cluster_manager import ClusterManager
 from repro.sandbox.policy import SandboxPolicy
 from repro.sandbox.sandbox import Sandbox
@@ -54,6 +55,14 @@ class DispatcherStats:
     prewarmed: int = 0
     #: Acquisitions satisfied by a prewarmed or spare sandbox.
     prewarm_hits: int = 0
+    #: Liveness sweeps run (housekeeping + explicit probes).
+    liveness_probes: int = 0
+    #: Dead *pooled* sandboxes evicted (probe sweeps or on acquire).
+    dead_evicted: int = 0
+    #: Dead *spare* sandboxes discarded before they were handed out.
+    spares_evicted: int = 0
+    #: UDF invokes replayed after a sandbox died pre-delivery (at-most-once).
+    udf_retries: int = 0
 
 
 #: Trust domain spare sandboxes carry until they are claimed. No UDF ever
@@ -209,71 +218,172 @@ class Dispatcher:
         """
         key = (session_id, trust_domain, environment, requirements)
         qctx = current_context()
-        with self._locked():
-            entry = self._pool.get(key)
-            if entry is not None and not entry[1].closed:
-                self.stats.warm_acquisitions += 1
-                if key in self._prewarmed_keys:
-                    self.stats.prewarm_hits += 1
-                    self._prewarmed_keys.discard(key)
-                if qctx is not None:
-                    qctx.event(
-                        "sandbox-reused",
-                        trust_domain=trust_domain,
-                        session_id=session_id,
+        refunds: dict[str, int] = {}
+        spares_died = False
+        try:
+            with self._locked():
+                entry = self._pool.get(key)
+                if entry is not None and entry[1].closed:
+                    # Self-healing: a pooled sandbox that died between
+                    # queries is evicted here rather than handed out; the
+                    # caller then proceeds exactly as on a cache miss.
+                    self._evict_locked(key, refunds)
+                    entry = None
+                if entry is not None:
+                    self.stats.warm_acquisitions += 1
+                    if key in self._prewarmed_keys:
+                        self.stats.prewarm_hits += 1
+                        self._prewarmed_keys.discard(key)
+                    if qctx is not None:
+                        qctx.event(
+                            "sandbox-reused",
+                            trust_domain=trust_domain,
+                            session_id=session_id,
+                        )
+                    return entry[1]
+                # A spare can stand in only for a default-shaped request: no
+                # pinned environment, no special resources, no custom policy.
+                # Dead spares (worker crashed while parked) are discarded —
+                # handing one out would fail the first invoke.
+                if policy is None and environment is None and not requirements:
+                    while self._spares:
+                        manager, sandbox = self._spares.pop()
+                        if sandbox.closed:
+                            self.stats.spares_evicted += 1
+                            spares_died = True
+                            manager.destroy_sandbox(sandbox)
+                            continue
+                        # Binding before first use: the spare has executed
+                        # nothing, so re-labeling its trust domain leaks no
+                        # state across domains — this is exactly what makes
+                        # prewarming sound.
+                        sandbox.trust_domain = trust_domain
+                        self._pool[key] = (manager, sandbox)
+                        self._charge_locked(key, trust_domain)
+                        self.stats.warm_acquisitions += 1
+                        self.stats.prewarm_hits += 1
+                        if qctx is not None:
+                            qctx.event(
+                                "sandbox-spare-claimed",
+                                trust_domain=trust_domain,
+                                session_id=session_id,
+                            )
+                        return sandbox
+                manager = self._manager.manager_for(requirements)
+                with span_or_null(
+                    qctx,
+                    "sandbox-cold-start",
+                    "sandbox.acquire",
+                    mode="cold",
+                    trust_domain=trust_domain,
+                    session_id=session_id,
+                    environment=environment,
+                ) as span:
+                    started = self._clock.now()
+                    sandbox = manager.create_sandbox(
+                        trust_domain, policy, environment=environment
                     )
-                return entry[1]
-            # A spare can stand in only for a default-shaped request: no
-            # pinned environment, no special resources, no custom policy.
-            if (
-                self._spares
-                and policy is None
-                and environment is None
-                and not requirements
-            ):
-                manager, sandbox = self._spares.pop()
-                # Binding before first use: the spare has executed nothing,
-                # so re-labeling its trust domain leaks no state across
-                # domains — this is exactly what makes prewarming sound.
-                sandbox.trust_domain = trust_domain
+                    elapsed = self._clock.now() - started
+                    if span is not None:
+                        span.set_attribute("cold_start_seconds", elapsed)
+                self.stats.cold_starts += 1
+                self.stats.cold_start_seconds_total += elapsed
+                self.stats.cold_start_seconds_max = max(
+                    self.stats.cold_start_seconds_max, elapsed
+                )
+                if qctx is not None:
+                    qctx.telemetry.counter("sandbox.cold_starts").inc()
                 self._pool[key] = (manager, sandbox)
                 self._charge_locked(key, trust_domain)
-                self.stats.warm_acquisitions += 1
-                self.stats.prewarm_hits += 1
-                if qctx is not None:
-                    qctx.event(
-                        "sandbox-spare-claimed",
-                        trust_domain=trust_domain,
-                        session_id=session_id,
-                    )
                 return sandbox
-            manager = self._manager.manager_for(requirements)
-            with span_or_null(
-                qctx,
-                "sandbox-cold-start",
-                "sandbox.acquire",
-                mode="cold",
-                trust_domain=trust_domain,
-                session_id=session_id,
-                environment=environment,
-            ) as span:
-                started = self._clock.now()
-                sandbox = manager.create_sandbox(
-                    trust_domain, policy, environment=environment
-                )
-                elapsed = self._clock.now() - started
-                if span is not None:
-                    span.set_attribute("cold_start_seconds", elapsed)
-            self.stats.cold_starts += 1
-            self.stats.cold_start_seconds_total += elapsed
-            self.stats.cold_start_seconds_max = max(
-                self.stats.cold_start_seconds_max, elapsed
-            )
-            if qctx is not None:
-                qctx.telemetry.counter("sandbox.cold_starts").inc()
-            self._pool[key] = (manager, sandbox)
-            self._charge_locked(key, trust_domain)
-            return sandbox
+        finally:
+            self._refund(refunds)
+            if spares_died:
+                # Respawn outside the claim path's lock hold so the refill
+                # cold starts don't serialize concurrent acquires.
+                self.ensure_min_pool()
+
+    def _evict_locked(self, key: _PoolKey, refunds: dict[str, int]) -> None:
+        """Drop one pooled sandbox, destroying it and noting the refund."""
+        entry = self._pool.pop(key, None)
+        if entry is None:
+            return
+        manager, sandbox = entry
+        self._prewarmed_keys.discard(key)
+        tenant = self._claim_tenants.pop(key, None)
+        if tenant is not None:
+            refunds[tenant] = refunds.get(tenant, 0) + 1
+        self.stats.dead_evicted += 1
+        manager.destroy_sandbox(sandbox)
+
+    def _refund(self, refunds: dict[str, int]) -> None:
+        """Return evicted sandbox charges to their tenants (outside lock)."""
+        if self._workload is None:
+            return
+        for tenant, count in refunds.items():
+            self._workload.release_sandbox(tenant, count)
+
+    @staticmethod
+    def _is_live(sandbox: Sandbox) -> bool:
+        """Closed check plus a protocol ping where the backend has one."""
+        if sandbox.closed:
+            return False
+        ping = getattr(sandbox, "ping", None)
+        if ping is None:
+            return True
+        try:
+            return bool(ping())
+        except Exception:  # noqa: BLE001 - any probe failure means dead
+            return False
+
+    def evict(
+        self,
+        session_id: str,
+        trust_domain: str,
+        environment: str | None = None,
+        requirements: frozenset[str] = frozenset(),
+    ) -> bool:
+        """Drop one pooled sandbox (dead or suspect); True if one existed."""
+        key = (session_id, trust_domain, environment, requirements)
+        refunds: dict[str, int] = {}
+        with self._locked():
+            existed = key in self._pool
+            self._evict_locked(key, refunds)
+        self._refund(refunds)
+        return existed
+
+    def probe_liveness(self) -> dict[str, int]:
+        """Sweep pool + spares, evicting dead sandboxes and respawning spares.
+
+        Run from connection housekeeping so a worker that crashed while idle
+        is replaced *between* queries rather than discovered by the next
+        invoke. Returns counts of evicted pooled/spare sandboxes.
+        """
+        refunds: dict[str, int] = {}
+        dead_pooled = 0
+        dead_spares = 0
+        with self._locked():
+            self.stats.liveness_probes += 1
+            for key, (_, sandbox) in list(self._pool.items()):
+                if not self._is_live(sandbox):
+                    self._evict_locked(key, refunds)
+                    dead_pooled += 1
+            kept: list[tuple[ClusterManager, Sandbox]] = []
+            for manager, sandbox in self._spares:
+                if self._is_live(sandbox):
+                    kept.append((manager, sandbox))
+                else:
+                    self.stats.spares_evicted += 1
+                    dead_spares += 1
+                    manager.destroy_sandbox(sandbox)
+            self._spares = kept
+        self._refund(refunds)
+        respawned = self.ensure_min_pool()
+        return {
+            "dead_pooled_evicted": dead_pooled,
+            "dead_spares_evicted": dead_spares,
+            "spares_respawned": respawned,
+        }
 
     def release_session(self, session_id: str) -> int:
         """Destroy all of one session's sandboxes; returns how many."""
@@ -321,6 +431,10 @@ class Dispatcher:
                 "prewarm_hits": self.stats.prewarm_hits,
                 "lock_contentions": self.stats.lock_contentions,
                 "charged_claims": len(self._claim_tenants),
+                "liveness_probes": self.stats.liveness_probes,
+                "dead_evicted": self.stats.dead_evicted,
+                "spares_evicted": self.stats.spares_evicted,
+                "udf_retries": self.stats.udf_retries,
             }
 
 
@@ -338,32 +452,82 @@ class SandboxedUDFRuntime(UDFRuntime):
         session_id: str,
         policy: SandboxPolicy | None = None,
         environment: str | None = None,
+        retry_dead_sandbox: bool = True,
     ):
         self._dispatcher = dispatcher
         self._session_id = session_id
         self._policy = policy
         self._environment = environment
+        #: Replay an invoke once on a fresh sandbox when the old one died
+        #: *before the request was delivered*. Deaths after delivery are
+        #: never replayed: the UDF may already have run its side effects,
+        #: and Lakeguard promises at-most-once user-code execution.
+        self.retry_dead_sandbox = retry_dead_sandbox
         self.round_trips = 0
         self.rows_processed = 0
 
+    def _invoke_healing(
+        self,
+        trust_domain: str,
+        requirements: frozenset[str],
+        invoke: Any,
+        span_name: str,
+        **span_attrs: Any,
+    ) -> Any:
+        """Acquire + invoke with one safe retry on pre-delivery death.
+
+        ``invoke`` is called with the acquired sandbox. On
+        :class:`SandboxDied` the dead sandbox is evicted from the pool
+        either way; only ``delivered=False`` (the request never reached the
+        worker) is retried, on a freshly acquired replacement.
+        """
+        qctx = current_context()
+        attempts = 2 if self.retry_dead_sandbox else 1
+        for attempt in range(attempts):
+            sandbox = self._dispatcher.acquire(
+                self._session_id, trust_domain, self._policy, self._environment,
+                requirements=requirements,
+            )
+            try:
+                with span_or_null(
+                    qctx,
+                    span_name,
+                    "sandbox.exec",
+                    trust_domain=trust_domain,
+                    sandbox=sandbox.sandbox_id,
+                    attempt=attempt,
+                    **span_attrs,
+                ):
+                    return invoke(sandbox)
+            except SandboxDied as exc:
+                self._dispatcher.evict(
+                    self._session_id, trust_domain, self._environment,
+                    requirements,
+                )
+                if not exc.delivered and attempt + 1 < attempts:
+                    self._dispatcher.stats.udf_retries += 1
+                    if qctx is not None:
+                        qctx.event(
+                            "sandbox-died-retrying",
+                            sandbox=sandbox.sandbox_id,
+                            trust_domain=trust_domain,
+                        )
+                        qctx.telemetry.counter("recovery.udf_retries").inc()
+                    continue
+                raise
+
     def run_udf(self, udf: PythonUDF, arg_columns: list[list[Any]]) -> list[Any]:
-        sandbox = self._dispatcher.acquire(
-            self._session_id, udf.trust_domain, self._policy, self._environment,
-            requirements=udf.resource_requirements,
-        )
         self.round_trips += 1
         rows = len(arg_columns[0]) if arg_columns else 0
         self.rows_processed += rows
-        with span_or_null(
-            current_context(),
+        return self._invoke_healing(
+            udf.trust_domain,
+            udf.resource_requirements,
+            lambda sandbox: sandbox.invoke(udf, arg_columns),
             f"udf:{udf.name}",
-            "sandbox.exec",
             udf=udf.name,
-            trust_domain=udf.trust_domain,
-            sandbox=sandbox.sandbox_id,
             rows=rows,
-        ):
-            return sandbox.invoke(udf, arg_columns)
+        )
 
     def run_fused(
         self, calls: list[tuple[int, PythonUDF, list[list[Any]]]]
@@ -378,20 +542,16 @@ class SandboxedUDFRuntime(UDFRuntime):
             grouped.setdefault(key, []).append(call)
         results: dict[int, list[Any]] = {}
         for (domain, requirements), domain_calls in grouped.items():
-            sandbox = self._dispatcher.acquire(
-                self._session_id, domain, self._policy, self._environment,
-                requirements=requirements,
-            )
             self.round_trips += 1
             if domain_calls and domain_calls[0][2]:
                 self.rows_processed += len(domain_calls[0][2][0])
-            with span_or_null(
-                current_context(),
-                f"udf-fused:{'+'.join(c[1].name for c in domain_calls)}",
-                "sandbox.exec",
-                trust_domain=domain,
-                sandbox=sandbox.sandbox_id,
-                fused_calls=len(domain_calls),
-            ):
-                results.update(sandbox.invoke_many(domain_calls))
+            results.update(
+                self._invoke_healing(
+                    domain,
+                    requirements,
+                    lambda sandbox, dc=domain_calls: sandbox.invoke_many(dc),
+                    f"udf-fused:{'+'.join(c[1].name for c in domain_calls)}",
+                    fused_calls=len(domain_calls),
+                )
+            )
         return results

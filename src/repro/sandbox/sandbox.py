@@ -13,13 +13,16 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import Any, Protocol
+from typing import TYPE_CHECKING, Any, Protocol
 
 from repro.common.ids import new_id
 from repro.engine.udf import PythonUDF
-from repro.errors import SandboxError, TrustDomainViolation
+from repro.errors import SandboxDied, SandboxError, TrustDomainViolation
 from repro.sandbox import net
 from repro.sandbox.policy import SandboxPolicy
+
+if TYPE_CHECKING:
+    from repro.common.faults import FaultInjector
 
 
 @dataclass
@@ -67,6 +70,11 @@ class InProcessSandbox:
         self.trust_domain = trust_domain
         self.policy = policy or SandboxPolicy()
         self.stats = SandboxStats()
+        #: Chaos hook (set by the cluster manager): a triggered
+        #: ``sandbox.invoke`` fault marks the sandbox dead *before* any
+        #: stats are bumped or user code runs, modelling a container that
+        #: crashed before the request reached it (``delivered=False``).
+        self.faults: "FaultInjector | None" = None
         self._closed = False
 
     # -- helpers ----------------------------------------------------------------
@@ -74,6 +82,18 @@ class InProcessSandbox:
     def _check_open(self) -> None:
         if self._closed:
             raise SandboxError(f"sandbox {self.sandbox_id} is closed")
+
+    def _maybe_inject_death(self) -> None:
+        if self.faults is None:
+            return
+        decision = self.faults.check("sandbox.invoke")
+        if decision.triggered:
+            self._closed = True
+            raise SandboxDied(
+                f"sandbox {self.sandbox_id} worker died before the request "
+                f"was delivered (injected)",
+                delivered=False,
+            )
 
     def _check_domain(self, udf: PythonUDF) -> None:
         if udf.trust_domain != self.trust_domain:
@@ -97,6 +117,7 @@ class InProcessSandbox:
     def invoke(self, udf: PythonUDF, arg_columns: list[list[Any]]) -> list[Any]:
         self._check_open()
         self._check_domain(udf)
+        self._maybe_inject_death()
         self.stats.invocations += 1
         if arg_columns:
             self.stats.rows_in += len(arg_columns[0])
@@ -112,6 +133,7 @@ class InProcessSandbox:
         self._check_open()
         for _, udf, _ in calls:
             self._check_domain(udf)
+        self._maybe_inject_death()
         self.stats.invocations += 1
         self.stats.fused_invocations += 1
         if calls and calls[0][2]:
@@ -124,6 +146,11 @@ class InProcessSandbox:
                 results[cid] = udfs[cid].invoke_rows(args)
         out = self._roundtrip_out(results)
         return out
+
+    def ping(self) -> bool:
+        """Liveness probe mirroring the subprocess backend's protocol ping."""
+        self._check_open()
+        return True
 
     def close(self) -> None:
         self._closed = True

@@ -9,16 +9,19 @@ from __future__ import annotations
 
 import subprocess
 import sys
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import cloudpickle
 
 from repro.common.ids import new_id
 from repro.engine.udf import PythonUDF
-from repro.errors import SandboxError, TrustDomainViolation, UserCodeError
+from repro.errors import SandboxDied, TrustDomainViolation, UserCodeError
 from repro.sandbox.policy import SandboxPolicy
 from repro.sandbox.sandbox import SandboxStats
 from repro.sandbox.worker import read_frame, write_frame
+
+if TYPE_CHECKING:
+    from repro.common.faults import FaultInjector
 
 
 class SubprocessSandbox:
@@ -29,6 +32,11 @@ class SubprocessSandbox:
         self.trust_domain = trust_domain
         self.policy = policy or SandboxPolicy()
         self.stats = SandboxStats()
+        #: Chaos hook (set by the cluster manager): a triggered
+        #: ``sandbox.invoke`` fault kills the worker *before* the request is
+        #: written, so the resulting :class:`SandboxDied` carries
+        #: ``delivered=False`` — the real crashed-before-work case.
+        self.faults: "FaultInjector | None" = None
         self._installed: dict[int, str] = {}
         self._process = subprocess.Popen(
             [sys.executable, "-m", "repro.sandbox.worker"],
@@ -41,18 +49,45 @@ class SubprocessSandbox:
     # -- protocol ---------------------------------------------------------------
 
     def _request(self, message: Any) -> Any:
+        """One request/response round-trip with the worker.
+
+        Distinguishes *where* the pipe broke: a failed **write** means the
+        request never reached the worker (``delivered=False`` — a retry
+        cannot double-execute anything), while a failed **read** means the
+        worker died holding the request (``delivered=True`` — it may have
+        run side effects; retrying would break at-most-once).
+        """
         if self.closed:
-            raise SandboxError(f"sandbox {self.sandbox_id} is closed")
+            raise SandboxDied(
+                f"sandbox {self.sandbox_id} is closed", delivered=False
+            )
         try:
             write_frame(self._process.stdin, message)
+        except (BrokenPipeError, OSError) as exc:
+            raise SandboxDied(
+                f"sandbox {self.sandbox_id} worker died before the request "
+                f"was delivered: {exc}",
+                delivered=False,
+            ) from exc
+        try:
             status, payload = read_frame(self._process.stdout)
-        except (EOFError, BrokenPipeError, OSError) as exc:
-            raise SandboxError(
-                f"sandbox {self.sandbox_id} worker died: {exc}"
+        except (EOFError, OSError) as exc:
+            raise SandboxDied(
+                f"sandbox {self.sandbox_id} worker died mid-request: {exc}",
+                delivered=True,
             ) from exc
         if status == "err":
             raise UserCodeError(str(payload))
         return payload
+
+    def _maybe_inject_death(self) -> None:
+        """Kill the worker if an armed ``sandbox.invoke`` fault triggers."""
+        if self.faults is None:
+            return
+        decision = self.faults.check("sandbox.invoke")
+        if decision.triggered:
+            self._process.kill()
+            self._process.wait(timeout=5)
 
     def _check_domain(self, udf: PythonUDF) -> None:
         if udf.trust_domain != self.trust_domain:
@@ -76,6 +111,7 @@ class SubprocessSandbox:
     def invoke(self, udf: PythonUDF, arg_columns: list[list[Any]]) -> list[Any]:
         self._check_domain(udf)
         udf_id = self._ensure_installed(udf)
+        self._maybe_inject_death()
         self.stats.invocations += 1
         if arg_columns:
             self.stats.rows_in += len(arg_columns[0])
@@ -90,6 +126,7 @@ class SubprocessSandbox:
             (call_id, self._ensure_installed(udf), args)
             for call_id, udf, args in calls
         ]
+        self._maybe_inject_death()
         self.stats.invocations += 1
         self.stats.fused_invocations += 1
         if calls and calls[0][2]:

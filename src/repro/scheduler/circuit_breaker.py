@@ -22,6 +22,7 @@ import threading
 from typing import Any, Callable, TypeVar
 
 from repro.common.clock import Clock, SystemClock
+from repro.common.context import QueryDeadlineExceeded, current_context
 from repro.common.telemetry import Telemetry
 from repro.errors import CircuitOpenError, RetryableError
 
@@ -227,6 +228,13 @@ def retry_with_backoff(
     :class:`CircuitOpenError` whose ``retry_after`` exceeds the next delay
     is re-raised immediately — waiting out an open breaker inline would
     just hold the caller's deadline hostage.
+
+    Retries are **deadline-aware**: when an ambient
+    :class:`~repro.common.context.QueryContext` carries a deadline, a sleep
+    that would cross it raises
+    :class:`~repro.common.context.QueryDeadlineExceeded` (chained to the
+    transient failure) instead of holding the caller's admission slot past
+    the point where the result could still be delivered.
     """
     clock = clock or SystemClock()
     rng = random.Random(seed)
@@ -242,5 +250,15 @@ def retry_with_backoff(
             retry_after = getattr(exc, "retry_after", 0.0)
             if isinstance(exc, CircuitOpenError) and retry_after > delay:
                 raise
-            clock.sleep(max(delay, retry_after))
+            wait = max(delay, retry_after)
+            qctx = current_context()
+            if qctx is not None:
+                remaining = qctx.remaining()
+                if remaining is not None and wait >= remaining:
+                    raise QueryDeadlineExceeded(
+                        f"query {qctx.trace_id}: backing off {wait:.3f}s for a "
+                        f"retry would cross the deadline "
+                        f"({max(0.0, remaining):.3f}s left)"
+                    ) from exc
+            clock.sleep(wait)
             attempt += 1

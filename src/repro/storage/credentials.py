@@ -15,13 +15,16 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.context import current_context, span_or_null
 from repro.common.ids import new_id
 from repro.common.telemetry import Telemetry
 from repro.errors import CredentialError
+
+if TYPE_CHECKING:
+    from repro.common.faults import FaultInjector
 
 #: Storage operations a credential may authorize.
 READ = "READ"
@@ -109,6 +112,9 @@ class CredentialVendor:
         self._clock = clock or SystemClock()
         self._ttl = ttl_seconds or self.DEFAULT_TTL_SECONDS
         self._telemetry = telemetry
+        #: Chaos engine hook (set by the owning catalog): the
+        #: ``credential.vend`` fault point fires at the top of :meth:`issue`.
+        self.faults: "FaultInjector | None" = None
         self._live: dict[str, TemporaryCredential] = {}
         self._issued_count = 0
 
@@ -132,6 +138,8 @@ class CredentialVendor:
         identity, so data-access capability grants are attributable per
         query, not just per audit-log line.
         """
+        if self.faults is not None:
+            self.faults.fire("credential.vend")
         if not prefixes:
             raise CredentialError("cannot issue a credential with no prefixes")
         ops = _validate_ops(frozenset(operations))
@@ -231,6 +239,7 @@ class CredentialCache:
         clock: Clock | None = None,
         refresh_ahead_fraction: float = 0.2,
         telemetry: Telemetry | None = None,
+        faults: "FaultInjector | None" = None,
     ):
         if not 0.0 <= refresh_ahead_fraction < 1.0:
             raise CredentialError(
@@ -240,6 +249,8 @@ class CredentialCache:
         self._clock = clock or SystemClock()
         self.refresh_ahead_fraction = refresh_ahead_fraction
         self._telemetry = telemetry
+        #: Chaos hook: ``credential.refresh`` fires on refresh-ahead vends.
+        self.faults = faults
         self._lock = threading.Lock()
         #: key -> (credential, policy epoch at vend time)
         self._entries: dict[tuple, tuple[TemporaryCredential, int]] = {}
@@ -311,6 +322,8 @@ class CredentialCache:
                     del self._entries[key]
                     self.stats.expired_misses += 1
                     self._count("credential_cache.expired_misses")
+        if refreshing and self.faults is not None:
+            self.faults.fire("credential.refresh")
         credential = vend()
         with self._lock:
             self._entries[key] = (credential, policy_epoch)

@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.common.audit import AuditLog
 from repro.common.clock import Clock, SystemClock
 from repro.errors import StorageAccessDenied, StorageError
 from repro.storage.credentials import DELETE, LIST, READ, WRITE
+
+if TYPE_CHECKING:
+    from repro.common.faults import FaultInjector
 
 
 class StorageCredential(Protocol):
@@ -80,7 +83,18 @@ class ObjectStore:
         #: GIL, so concurrent scan tasks genuinely overlap their reads, the
         #: way threads overlap network I/O against S3/ADLS/GCS.
         self.read_latency_seconds = read_latency_seconds
+        #: Chaos engine hook (set by the owning catalog): ``storage.get`` /
+        #: ``storage.put`` / ``storage.list`` fault points fire here. The
+        #: ``raise`` faults fire *before* the object is touched — a network
+        #: flake happens on the wire — so byte/object counters only move on
+        #: attempts that actually reach the data.
+        self.faults: "FaultInjector | None" = None
         self.stats = StorageStats()
+
+    @property
+    def clock(self) -> Clock:
+        """The clock storage latency and credential checks run on."""
+        return self._clock
 
     # -- internal -----------------------------------------------------------
 
@@ -107,6 +121,8 @@ class ObjectStore:
         """Write a whole object (cloud stores have no partial writes)."""
         if not isinstance(data, bytes):
             raise StorageError(f"object data must be bytes, got {type(data).__name__}")
+        if self.faults is not None:
+            self.faults.fire("storage.put")
         self._check(credential, path, StorageOp.WRITE)
         self._objects[path] = data
         self.stats.bytes_written += len(data)
@@ -114,6 +130,9 @@ class ObjectStore:
 
     def get(self, path: str, credential: StorageCredential) -> bytes:
         """Read a whole object. Object-level granularity: all bytes or none."""
+        decision = None
+        if self.faults is not None:
+            decision = self.faults.fire("storage.get")
         self._check(credential, path, StorageOp.READ)
         try:
             data = self._objects[path]
@@ -123,6 +142,8 @@ class ObjectStore:
             time.sleep(self.read_latency_seconds)
         self.stats.bytes_read += len(data)
         self.stats.objects_read += 1
+        if decision is not None:
+            data = decision.apply(data)
         return data
 
     def exists(self, path: str, credential: StorageCredential) -> bool:
@@ -131,6 +152,8 @@ class ObjectStore:
 
     def list(self, prefix: str, credential: StorageCredential) -> list[str]:
         """All object paths under ``prefix``, sorted."""
+        if self.faults is not None:
+            self.faults.fire("storage.list")
         self._check(credential, prefix, StorageOp.LIST)
         return sorted(p for p in self._objects if p.startswith(prefix))
 

@@ -22,8 +22,15 @@ import pickle
 from dataclasses import dataclass
 
 from repro.common.ids import sequential_id
-from repro.errors import StorageError
+from repro.errors import CorruptObjectError, RetryableError, StorageError
 from repro.storage.object_store import ObjectStore, StorageCredential
+
+#: Bounded retries for transaction-log reads. The log is tiny JSON read on
+#: every snapshot resolution — a transient GET flake here would fail whole
+#: queries before any per-task recovery could engage, so the table format
+#: absorbs it locally (deadline-aware via the ambient query context).
+LOG_READ_RETRIES = 4
+LOG_READ_RETRY_BASE = 0.01
 
 
 def _log_path(root: str, version: int) -> str:
@@ -66,17 +73,39 @@ class LakeTableStorage:
 
     # -- commit log ----------------------------------------------------------
 
+    def _with_log_retry(self, fn):
+        """Run one log read, absorbing transient storage faults."""
+        from repro.scheduler.circuit_breaker import retry_with_backoff
+
+        return retry_with_backoff(
+            fn,
+            clock=self._store.clock,
+            retries=LOG_READ_RETRIES,
+            base_delay=LOG_READ_RETRY_BASE,
+            retry_on=(RetryableError,),
+        )
+
     def latest_version(self, credential: StorageCredential) -> int:
         """Highest committed version, or -1 if the table was never created."""
-        entries = self._store.list(f"{self.root}/_txn_log/", credential)
+        entries = self._with_log_retry(
+            lambda: self._store.list(f"{self.root}/_txn_log/", credential)
+        )
         if not entries:
             return -1
         last = entries[-1].rsplit("/", 1)[-1]
         return int(last.split(".", 1)[0])
 
     def _read_commit(self, version: int, credential: StorageCredential) -> dict:
-        raw = self._store.get(_log_path(self.root, version), credential)
-        return json.loads(raw.decode("utf-8"))
+        raw = self._with_log_retry(
+            lambda: self._store.get(_log_path(self.root, version), credential)
+        )
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CorruptObjectError(
+                f"commit {version} of '{self.root}' is corrupt: "
+                f"{type(exc).__name__}"
+            ) from exc
 
     def _commit(
         self,
@@ -198,9 +227,21 @@ class LakeTableStorage:
     def read_file(
         self, data_file: DataFile, credential: StorageCredential
     ) -> dict[str, list]:
-        """Read one data file fully (object-level access: all bytes or none)."""
+        """Read one data file fully (object-level access: all bytes or none).
+
+        A blob that fails to unpickle raises
+        :class:`~repro.errors.CorruptObjectError` — retryable, because a
+        corrupt read models a mangled response, not mangled storage; the
+        scan-task recovery path re-reads it.
+        """
         blob = self._store.get(data_file.path, credential)
-        return pickle.loads(blob)
+        try:
+            return pickle.loads(blob)
+        except Exception as exc:  # noqa: BLE001 - any unpickle failure
+            raise CorruptObjectError(
+                f"data file '{data_file.path}' is corrupt: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
 
     def read_all(
         self, credential: StorageCredential, version: int | None = None

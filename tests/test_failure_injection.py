@@ -4,22 +4,32 @@ Resilience behaviours the architecture promises:
 - a sandbox crash is contained — the engine survives, the user gets a
   typed error, the next query gets a fresh sandbox (client/server
   decoupling, §3.2);
+- transient storage faults and credential expiry mid-query are absorbed by
+  the scan-task recovery layer (bounded retries + re-vend);
 - transport faults during command execution recover via reattach;
 - malformed or hostile wire input yields protocol errors, never crashes.
+
+Sandbox deaths are manufactured through the chaos engine
+(:class:`repro.common.faults.FaultInjector`): a triggered ``sandbox.invoke``
+fault kills the worker process (or marks the in-process sandbox dead)
+*before* the request is delivered — the same observable as a SIGKILL from
+the outside, but seeded and replayable.
 """
 
 import os
-import signal
 
 import pytest
 
+from repro.common.faults import FaultInjector, FaultSpec
 from repro.connect import proto
 from repro.connect.client import col, udf
 from repro.engine.udf import udf as engine_udf
 from repro.errors import (
     LakeguardError,
     ProtocolError,
+    SandboxDied,
     SandboxError,
+    TransientCredentialError,
     UserCodeError,
 )
 from repro.sandbox import ClusterManager, Dispatcher, SandboxedUDFRuntime
@@ -34,22 +44,41 @@ def plus(a, b):
 ALICE_PLUS = plus.with_owner("alice")
 
 
+def one_shot_death() -> FaultInjector:
+    """An injector whose next ``sandbox.invoke`` kills the worker."""
+    faults = FaultInjector()
+    faults.arm("sandbox.invoke", FaultSpec(one_shot=True))
+    return faults
+
+
 class TestSandboxCrash:
     def test_killed_worker_raises_sandbox_error(self):
         sandbox = SubprocessSandbox("alice")
         sandbox.invoke(ALICE_PLUS, [[1], [2]])
-        os.kill(sandbox._process.pid, signal.SIGKILL)
-        sandbox._process.wait(timeout=5)
+        sandbox.faults = one_shot_death()
         with pytest.raises(SandboxError, match="died|closed"):
             sandbox.invoke(ALICE_PLUS, [[1], [2]])
+        # The injected death is physical: the worker process is gone.
+        assert sandbox.closed
+
+    def test_injected_death_is_pre_delivery(self):
+        """An invoke-point death never delivered the request (safe retry)."""
+        sandbox = SubprocessSandbox("alice")
+        sandbox.invoke(ALICE_PLUS, [[1], [2]])
+        sandbox.faults = one_shot_death()
+        with pytest.raises(SandboxDied) as excinfo:
+            sandbox.invoke(ALICE_PLUS, [[1], [2]])
+        assert excinfo.value.delivered is False
 
     def test_dispatcher_replaces_crashed_sandbox(self):
-        manager = ClusterManager(backend="subprocess")
+        faults = FaultInjector()
+        manager = ClusterManager(backend="subprocess", faults=faults)
         dispatcher = Dispatcher(manager)
         first = dispatcher.acquire("s", "alice")
         first.invoke(ALICE_PLUS, [[1], [2]])
-        os.kill(first._process.pid, signal.SIGKILL)
-        first._process.wait(timeout=5)
+        faults.arm("sandbox.invoke", FaultSpec(one_shot=True))
+        with pytest.raises(SandboxError):
+            first.invoke(ALICE_PLUS, [[1], [2]])
         second = dispatcher.acquire("s", "alice")
         assert second is not first
         assert second.invoke(ALICE_PLUS, [[2], [3]]) == [5]
@@ -167,3 +196,129 @@ class TestTransportFaultsDuringCommands:
         )
         result = faulty.sql("GRANT SELECT ON main.sales.orders TO bob")
         assert result["status"] == "ok"
+
+    def test_chaos_engine_stream_drop_reattaches(
+        self, workspace, standard_cluster, admin_client
+    ):
+        """The channel also accepts the systemwide chaos engine."""
+        chaos = FaultInjector()
+        chaos.arm("channel.stream", FaultSpec(one_shot=True))
+        client = standard_cluster.connect("alice", faults=chaos)
+        rows = client.table("main.sales.orders").collect()
+        assert len(rows) == 4
+        assert chaos.trigger_count("channel.stream") == 1
+        assert client._channel.stats.connections_dropped == 1
+
+
+class TestCredentialExpiryMidQuery:
+    def test_revend_recovers_query(self, workspace, admin_client, standard_cluster):
+        """A credential rejected mid-scan is re-vended once and the scan
+        completes; the recovery shows up in the fault-stats counters."""
+        faults = workspace.catalog.faults
+        alice = standard_cluster.connect("alice")
+        # Counting pass: a probability-0 schedule never triggers but counts
+        # every storage.get, telling us how many GETs one run of the query
+        # makes. The *last* GET of a scan is always a data-file read (the
+        # txn log resolves first), so targeting it lands the fault inside
+        # the per-task recovery path rather than the log-read retry.
+        faults.arm("storage.get", FaultSpec(probability=0.0))
+        expected = alice.table("main.sales.orders").collect()
+        per_query = faults.call_count("storage.get")
+        assert per_query > 0
+        faults.disarm("storage.get")  # checkpoint the call counter
+        faults.arm(
+            "storage.get",
+            FaultSpec(
+                kind="raise",
+                error=lambda: TransientCredentialError(
+                    "storage credential expired mid-query"
+                ),
+                after_calls=2 * per_query - 1,
+                one_shot=True,
+            ),
+        )
+        try:
+            rows = alice.table("main.sales.orders").collect()
+        finally:
+            faults.disarm("storage.get")
+        assert rows == expected
+        assert faults.trigger_count("storage.get") == 1
+        recovery = standard_cluster.backend.data_source.recovery_stats
+        assert recovery.credential_revends == 1
+        stats = faults.stats_snapshot()
+        assert stats["recovered.credential.revend"] == 1.0
+
+    def test_expiry_without_retries_fails(self, workspace, admin_client):
+        """Ablation: with scan retries disabled the same fault is fatal."""
+        from repro.errors import CredentialError
+
+        cluster = workspace.create_standard_cluster(
+            name="no-retries", scan_retries=0
+        )
+        faults = workspace.catalog.faults
+        alice = cluster.connect("alice")
+        faults.arm("storage.get", FaultSpec(probability=0.0))
+        alice.table("main.sales.orders").collect()
+        per_query = faults.call_count("storage.get")
+        faults.disarm("storage.get")  # checkpoint the call counter
+        faults.arm(
+            "storage.get",
+            FaultSpec(
+                kind="raise",
+                error=lambda: TransientCredentialError("expired"),
+                after_calls=2 * per_query - 1,
+                one_shot=True,
+            ),
+        )
+        try:
+            with pytest.raises(CredentialError):
+                alice.table("main.sales.orders").collect()
+        finally:
+            faults.disarm("storage.get")
+
+
+class TestStorageFlakeDuringParallelScan:
+    def test_parallel_scan_absorbs_seeded_flakes(self, workspace, admin_client):
+        """A multi-file scan on 4 executors under a periodic storage fault
+        returns exactly the fault-free result, with retries recorded."""
+        cluster = workspace.create_standard_cluster(
+            name="flaky-scan", num_executors=4, scan_retries=5
+        )
+        admin = cluster.connect("admin")
+        admin.sql("CREATE TABLE main.sales.flaky (id int, v float)")
+        for i in range(8):  # eight commits -> eight data files
+            admin.sql(f"INSERT INTO main.sales.flaky VALUES ({i}, {float(i)})")
+        admin.sql("GRANT SELECT ON main.sales.flaky TO analysts")
+        alice = cluster.connect("alice")
+        faults = workspace.catalog.faults
+        # Counting pass (see TestCredentialExpiryMidQuery): learn how many
+        # GETs one run makes. The last 8 of them are the data-file reads.
+        faults.arm("storage.get", FaultSpec(probability=0.0))
+        expected = sorted(alice.sql("SELECT id, v FROM main.sales.flaky").collect())
+        per_query = faults.call_count("storage.get")
+        faults.disarm("storage.get")  # checkpoint the call counter
+        assert len(expected) == 8
+
+        # Fault every 3rd GET once the second run reaches its data-file
+        # region; three triggers max, so even if every one hits the same
+        # file the five per-file retries cannot be exhausted — the scan
+        # must recover, and every trigger exercises scan-task recovery
+        # (log reads stay clean by construction).
+        faults.arm(
+            "storage.get",
+            FaultSpec(
+                kind="raise",
+                after_calls=2 * per_query - 8,
+                every_nth=3,
+                max_triggers=3,
+            ),
+        )
+        try:
+            rows = sorted(alice.sql("SELECT id, v FROM main.sales.flaky").collect())
+        finally:
+            faults.disarm("storage.get")
+        assert rows == expected
+        assert faults.trigger_count("storage.get") > 0
+        recovery = cluster.backend.data_source.recovery_stats
+        assert recovery.scan_retries > 0
+        assert cluster.backend.data_source.stats.parallel_scans >= 1

@@ -81,8 +81,12 @@ class TestInterleavedWorkload:
                 rows = client.table("m.s.events").select(tag(col("region"))).collect()
                 values = {r[0] for r in rows}
                 assert values == {f"seen:{expected_region(i)}"}
-        # One sandbox per session, reused across rounds.
-        assert cluster.backend.cluster_manager.stats.created == 3
+        # One sandbox per session, reused across rounds. Under a global
+        # chaos schedule each injected invoke death destroys exactly one
+        # sandbox and self-healing respawns it, so the invariant holds with
+        # the trigger count added (zero in a fault-free run).
+        injected_deaths = ws.catalog.faults.trigger_count("sandbox.invoke")
+        assert cluster.backend.cluster_manager.stats.created == 3 + injected_deaths
         assert cluster.backend.dispatcher.stats.warm_acquisitions > 0
 
     def test_mixed_ddl_and_queries(self, busy_workspace):

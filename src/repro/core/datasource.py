@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 import threading
+import weakref
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures import wait as futures_wait
@@ -107,6 +108,14 @@ class _SharedCredential:
             return self._credential
 
 
+def _drain_pool_cell(cell: list) -> None:
+    """Shut down the lazily-created scan thread pool (finalizer-safe)."""
+    pool = cell[0]
+    cell[0] = None
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 class GovernedDataSource:
     """DataSource implementation backed by Unity Catalog storage."""
 
@@ -146,8 +155,15 @@ class GovernedDataSource:
                 f"credential_cache[{caps.compute_id}]",
                 self.credential_cache.stats_snapshot,
             )
-        self._pool: ThreadPoolExecutor | None = None
+        # The scan thread pool is created lazily and torn down by close()
+        # (cluster shutdown) or, failing that, by the finalizer — worker
+        # threads must not outlive the data source that spawned them. The
+        # cell indirection keeps the finalizer from holding ``self`` alive.
+        self._pool_cell: list[ThreadPoolExecutor | None] = [None]
         self._pool_lock = threading.Lock()
+        self._pool_finalizer = weakref.finalize(
+            self, _drain_pool_cell, self._pool_cell
+        )
 
     def recovery_stats_snapshot(self) -> dict[str, float]:
         """Flat recovery counters for ``system.access.fault_stats``."""
@@ -160,12 +176,21 @@ class GovernedDataSource:
 
     def _task_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
+            if self._pool_cell[0] is None:
+                self._pool_cell[0] = ThreadPoolExecutor(
                     max_workers=self._num_executors,
                     thread_name_prefix="scan-exec",
                 )
-            return self._pool
+            return self._pool_cell[0]
+
+    def close(self) -> None:
+        """Release the scan thread pool (idempotent; wired to cluster shutdown).
+
+        Drains the cell rather than invoking the (one-shot) finalizer, so a
+        pool re-created by a later scan keeps its garbage-collection guard.
+        """
+        with self._pool_lock:
+            _drain_pool_cell(self._pool_cell)
 
     def _delegate_context(self, delegate: str) -> UserContext:
         if self._catalog.principals.is_user(delegate):
@@ -207,7 +232,19 @@ class GovernedDataSource:
             self.stats.credentials_vended += 1
         return credential
 
-    def scan(self, table: TableRef, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+    def _scan_setup(
+        self, table: TableRef, eval_ctx: EvalContext
+    ) -> tuple[
+        TemporaryCredential,
+        _SharedCredential,
+        LakeTableStorage,
+        list[tuple[int, list[DataFile]]],
+    ]:
+        """Shared scan prologue: authenticate, vend, snapshot, assign tasks.
+
+        Both execution backends start here; they differ only in *where* the
+        bytes are deserialized and filtered afterwards.
+        """
         ctx = eval_ctx.auth
         if not isinstance(ctx, UserContext):
             raise ExecutionError(
@@ -238,7 +275,6 @@ class GovernedDataSource:
         holder = _SharedCredential(credential, revend)
         storage = LakeTableStorage(self._catalog.store, table.storage_root)
         snapshot = storage.snapshot(credential, version=table.snapshot_version)
-        batch_size = getattr(eval_ctx, "batch_size", 0)
 
         # Distribute files over simulated executor tasks round-robin; each
         # task reads with the same user-bound credential.
@@ -246,7 +282,11 @@ class GovernedDataSource:
         for i, data_file in enumerate(snapshot.files):
             assignments[i % self._num_executors].append(data_file)
         tasks = [(i, files) for i, files in enumerate(assignments) if files]
+        return credential, holder, storage, tasks
 
+    def scan(self, table: TableRef, eval_ctx: EvalContext) -> Iterator[ColumnBatch]:
+        credential, holder, storage, tasks = self._scan_setup(table, eval_ctx)
+        batch_size = getattr(eval_ctx, "batch_size", 0)
         qctx: QueryContext | None = getattr(eval_ctx, "query_ctx", None)
 
         def read_with_recovery(
@@ -346,6 +386,168 @@ class GovernedDataSource:
                         yield chunk
         if not produced:
             yield ColumnBatch.empty(table.schema)
+
+    def scan_pipeline(
+        self,
+        table: TableRef,
+        eval_ctx: EvalContext,
+        spec: dict,
+        pool,
+        on_rows: Callable[[int], None],
+    ) -> Iterator[ColumnBatch]:
+        """Process-backend scan: per-file blobs travel raw into worker
+        processes over shared memory; deserialization, pushed filters,
+        column pruning and an optional fused filter→project kernel run
+        in-worker (``spec`` carries them, see ``PhysScan.pooled_scan``).
+
+        The driver keeps everything governance- and recovery-critical from
+        :meth:`scan`: credential vending (including mid-query revends through
+        the shared holder), the actual storage reads (so the ``storage.get``
+        chaos point, latency simulation and byte accounting are unchanged),
+        bounded deadline-aware retries, straggler hedging, and the
+        ``scan-task-*`` executor spans. A *retryable* failure reported by a
+        worker — corrupt blob, injected ``worker.task`` fault — is recovered
+        here by re-reading the object and resubmitting, matching the thread
+        path's re-read contract; ``on_rows`` receives each file's pre-filter
+        row count so driver metrics agree across backends.
+        """
+        credential, holder, storage, tasks = self._scan_setup(table, eval_ctx)
+        batch_size = getattr(eval_ctx, "batch_size", 0)
+        qctx: QueryContext | None = getattr(eval_ctx, "query_ctx", None)
+        out_schema = spec["out_schema"]
+
+        filters_blob = None
+        if spec["pushed_filters"]:
+            import cloudpickle
+
+            filters_blob = cloudpickle.dumps(tuple(spec["pushed_filters"]))
+        kspec = None
+        if spec["kernel"] is not None:
+            kspec = pool.kernel_spec(
+                spec["kernel"], spec["exprs"], "filter-project"
+            )
+
+        def run_file(
+            data_file: DataFile,
+            task_ctx: QueryContext | None,
+            rng: random.Random,
+        ) -> tuple[ColumnBatch, int]:
+            """Read one blob and run it through a worker, with recovery.
+
+            One retry loop covers both failure domains — a storage/credential
+            fault during the read and a retryable worker error afterwards —
+            because the remedy is the same: (maybe re-vend,) re-read,
+            resubmit.
+            """
+            attempt = 0
+            while True:
+                cred = holder.current()
+                try:
+                    blob = storage.read_raw(data_file, cred)
+                    task = {
+                        "op": "scan",
+                        "table": table.full_name,
+                        "schema": table.schema,
+                        "blob_len": len(blob),
+                        "filters_blob": filters_blob,
+                        "required_indices": spec["required_columns"],
+                        "kernel": kspec,
+                        "user": eval_ctx.user,
+                        "groups": tuple(eval_ctx.groups),
+                        "trace_id": (
+                            task_ctx.trace_id if task_ctx is not None else ""
+                        ),
+                        "session_id": (
+                            task_ctx.session_id if task_ctx is not None else ""
+                        ),
+                        "cluster_id": (
+                            task_ctx.cluster_id if task_ctx is not None else ""
+                        ),
+                    }
+                    # retries=0 (the default): recovery decisions — re-vend?
+                    # re-read? deadline? — belong to this layer, not the pool.
+                    columns, num_rows, info = pool.submit(
+                        task, blob, len(blob)
+                    ).result()
+                except (StorageAccessDenied, CredentialError) as exc:
+                    if attempt >= self._scan_retries:
+                        raise
+                    holder.replace(cred)
+                    self._retry_backoff(attempt, task_ctx, rng, exc, data_file)
+                    attempt += 1
+                except RetryableError as exc:
+                    if attempt >= self._scan_retries:
+                        raise
+                    self._retry_backoff(attempt, task_ctx, rng, exc, data_file)
+                    attempt += 1
+                else:
+                    if attempt:
+                        self._catalog.faults.record_recovery("scan.task_retry")
+                    return (
+                        ColumnBatch(out_schema, columns),
+                        info.get("rows_in", 0),
+                    )
+
+        def run_task(
+            task_index: int,
+            task_files: list[DataFile],
+            task_ctx: QueryContext | None,
+        ) -> list[tuple[ColumnBatch, int]]:
+            rng = random.Random(f"scan-retry:{task_index}")
+            with span_or_null(
+                task_ctx,
+                f"scan-task-{task_index}",
+                "executor.task",
+                table=table.full_name,
+                task=task_index,
+                files=len(task_files),
+                credential_identity=credential.identity,
+                backend="process",
+            ):
+                return [run_file(f, task_ctx, rng) for f in task_files]
+
+        produced = False
+        if self._num_executors > 1 and len(tasks) > 1:
+            self.stats.parallel_scans += 1
+            tpool = self._task_pool()
+            futures = [
+                (
+                    task_index,
+                    task_files,
+                    tpool.submit(
+                        run_task,
+                        task_index,
+                        task_files,
+                        qctx.child() if qctx is not None else None,
+                    ),
+                )
+                for task_index, task_files in tasks
+            ]
+            for task_index, task_files, future in futures:
+                results = self._await_task(
+                    tpool, future, run_task, task_index, task_files, qctx
+                )
+                self.stats.executor_tasks += 1
+                self.stats.files_read += len(task_files)
+                for batch, rows_in in results:
+                    # Driver-side callback (not from pool threads): metric
+                    # increments stay single-threaded, as on the thread path.
+                    on_rows(rows_in)
+                    for chunk in chunk_batch(batch, batch_size):
+                        produced = True
+                        yield chunk
+        else:
+            for task_index, task_files in tasks:
+                results = run_task(task_index, task_files, qctx)
+                self.stats.executor_tasks += 1
+                self.stats.files_read += len(task_files)
+                for batch, rows_in in results:
+                    on_rows(rows_in)
+                    for chunk in chunk_batch(batch, batch_size):
+                        produced = True
+                        yield chunk
+        if not produced:
+            yield ColumnBatch.empty(out_schema)
 
     # -- recovery helpers ------------------------------------------------------
 

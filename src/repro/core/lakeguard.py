@@ -32,7 +32,13 @@ from repro.core.pipeline import PipelineState, build_enforcement_pipeline
 from repro.core.plan_cache import SecurePlanCache
 from repro.core.plan_codec import PlanDecoder
 from repro.engine.compile import KernelCache, KernelCompiler
-from repro.engine.executor import ExecutionConfig, QueryEngine, QueryResult
+from repro.engine.executor import (
+    ExecutionConfig,
+    QueryEngine,
+    QueryResult,
+    default_worker_backend,
+)
+from repro.engine.workers import WorkerPool
 from repro.engine.expressions import UDFRuntime
 from repro.engine.logical import LogicalPlan
 from repro.engine.optimizer import OptimizerConfig
@@ -102,6 +108,8 @@ class LakeguardCluster:
         scan_retry_base_delay: float = 0.02,
         scan_hedge_after_seconds: float | None = None,
         udf_invoke_retry: bool = True,
+        worker_backend: str | None = None,
+        worker_pool_size: int | None = None,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -195,6 +203,28 @@ class LakeguardCluster:
         catalog.register_fault_stats_provider(
             f"recovery[{self.cluster_id}]", self._recovery_stats_snapshot
         )
+
+        #: Execution backend: one cluster-wide process pool shared by every
+        #: session engine (``None`` on the thread backend). Prewarmed here,
+        #: while the driver is still single-threaded — forking later, mid
+        #: multi-user execution, risks inheriting another thread's held
+        #: locks. The pool ships the catalog's armed fault schedules into
+        #: each worker, so chaos runs behave identically on both backends.
+        self.worker_backend = worker_backend or default_worker_backend()
+        self.worker_pool_size = worker_pool_size
+        self.worker_pool: WorkerPool | None = None
+        if self.worker_backend == "process":
+            self.worker_pool = WorkerPool(
+                worker_pool_size or num_executors,
+                faults=catalog.faults,
+                cluster_id=self.cluster_id,
+                telemetry=self.telemetry,
+            )
+            self.worker_pool.prewarm()
+            catalog.register_cache_stats_provider(
+                f"worker_pool[{self.cluster_id}]",
+                self.worker_pool.stats_snapshot,
+            )
         self._remote_analyze = remote_analyze
         self.remote_executor: RemoteQueryExecutor | None = None
         if remote_submit is not None:
@@ -306,13 +336,29 @@ class LakeguardCluster:
                 batch_size=self.batch_size,
                 num_executors=self.num_executors,
                 compile_enabled=self.engine_compile,
+                worker_backend=self.worker_backend,
+                worker_pool_size=self.worker_pool_size,
             ),
             optimizer_config=self.optimizer_config,
             extra_rules=extra_rules,
             udf_runtime=self._udf_runtime(session),
             remote_executor=self.remote_executor,
             kernel_compiler=self._kernel_compiler,
+            worker_pool=self.worker_pool,
         )
+
+    def shutdown(self) -> None:
+        """Release cluster-owned executor resources (idempotent).
+
+        Tears down the scan thread pool, the process worker pool (and its
+        shared-memory segments), and the cluster manager's autoscaler. Safe
+        to call more than once; sessions created afterwards fall back to
+        serial in-process execution.
+        """
+        self.data_source.close()
+        if self.worker_pool is not None:
+            self.worker_pool.close()
+        self.cluster_manager.shutdown()
 
     # -- relations --------------------------------------------------------------
 

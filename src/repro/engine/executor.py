@@ -8,7 +8,8 @@ UDF runtime, and (on dedicated compute) an eFGAC remote executor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.common.context import QueryContext, current_context, span_or_null
@@ -28,6 +29,19 @@ from repro.engine.physical import (
 from repro.errors import ExecutionError
 
 
+#: Environment override for the execution backend (the CI matrix leg sets
+#: ``LAKEGUARD_WORKER_BACKEND=process`` to force every engine through the
+#: process pool).
+ENV_WORKER_BACKEND = "LAKEGUARD_WORKER_BACKEND"
+
+WORKER_BACKENDS = ("thread", "process")
+
+
+def default_worker_backend() -> str:
+    value = os.environ.get(ENV_WORKER_BACKEND, "").strip().lower()
+    return value if value in WORKER_BACKENDS else "thread"
+
+
 @dataclass
 class ExecutionConfig:
     """Engine-level knobs."""
@@ -39,6 +53,14 @@ class ExecutionConfig:
     #: evaluation remains the automatic fallback for anything the compiler
     #: refuses or fails on).
     compile_enabled: bool = True
+    #: Execution backend: ``"thread"`` runs scan tasks and kernels on driver
+    #: threads (the default and the universal fallback); ``"process"``
+    #: routes them through a warm pool of worker processes exchanging
+    #: shared-memory columnar batches (see :mod:`repro.engine.workers`).
+    #: Defaults from ``LAKEGUARD_WORKER_BACKEND`` when set.
+    worker_backend: str = field(default_factory=default_worker_backend)
+    #: Process-pool size; ``None`` follows ``num_executors``.
+    worker_pool_size: int | None = None
 
 
 class LocalDataSource:
@@ -91,6 +113,7 @@ class QueryEngine:
         udf_runtime: UDFRuntime | None = None,
         remote_executor: RemoteExecutor | None = None,
         kernel_compiler: KernelCompiler | None = None,
+        worker_pool: Any = None,
     ):
         self.config = config or ExecutionConfig()
         self._analyzer = Analyzer(resolver)
@@ -106,6 +129,31 @@ class QueryEngine:
         self._data_source = data_source
         self._udf_runtime = udf_runtime
         self._remote_executor = remote_executor
+        # A cluster-owned WorkerPool wins (shared across sessions, faults
+        # wired); a standalone engine on the process backend lazily owns one.
+        self._worker_pool = worker_pool
+        self._owns_pool = False
+
+    def worker_pool(self):
+        """The process pool query tasks route through (None = thread backend)."""
+        if self.config.worker_backend != "process":
+            return None
+        pool = self._worker_pool
+        if pool is not None:
+            return None if pool.closed else pool
+        from repro.engine.workers import WorkerPool
+
+        pool = WorkerPool(
+            self.config.worker_pool_size or self.config.num_executors
+        )
+        self._worker_pool = pool
+        self._owns_pool = True
+        return pool
+
+    def close(self) -> None:
+        """Release the engine's own worker pool, if it created one."""
+        if self._owns_pool and self._worker_pool is not None:
+            self._worker_pool.close()
 
     # -- phases -------------------------------------------------------------------
 
@@ -153,6 +201,7 @@ class QueryEngine:
             remote_executor=self._remote_executor,
             batch_size=self.config.batch_size,
             parallel_children=self.config.num_executors > 1,
+            worker_pool=self.worker_pool(),
         )
 
     def explain(self, plan: LogicalPlan, user: str = "anonymous") -> str:

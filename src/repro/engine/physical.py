@@ -97,6 +97,10 @@ class ExecContext:
     metrics: QueryMetrics = field(default_factory=QueryMetrics)
     #: Materialize independent child subtrees (join/union inputs) on threads.
     parallel_children: bool = False
+    #: Process-backend :class:`~repro.engine.workers.WorkerPool`; when set,
+    #: compiled-kernel operators and governed scans route their per-batch
+    #: work through worker processes (None = thread backend).
+    worker_pool: Any = None
 
     def fork(self) -> "ExecContext":
         """An isolated context for running one subtree on its own thread.
@@ -123,6 +127,7 @@ class ExecContext:
             remote_executor=self.remote_executor,
             batch_size=self.batch_size,
             parallel_children=self.parallel_children,
+            worker_pool=self.worker_pool,
         )
 
 
@@ -244,6 +249,10 @@ class PhysScan(PhysicalOperator):
             raise ExecutionError(
                 f"no data source configured; cannot scan {self._node.table.full_name}"
             )
+        pooled = self.pooled_scan(ctx)
+        if pooled is not None:
+            yield from pooled
+            return
         for batch in ctx.data_source.scan(self._node.table, ctx.eval_ctx):
             ctx.metrics.rows_scanned += batch.num_rows
             for predicate in self._node.pushed_filters:
@@ -253,6 +262,46 @@ class PhysScan(PhysicalOperator):
             if self._node.required_columns is not None:
                 batch = batch.select_indices(list(self._node.required_columns))
             yield batch
+
+    def pooled_scan(
+        self,
+        ctx: ExecContext,
+        fused_kernel: CompiledKernels | None = None,
+        fused_exprs: tuple[Expression, ...] | None = None,
+        out_schema: Schema | None = None,
+    ) -> Iterator[ColumnBatch] | None:
+        """Process-backend scan: pushed filters (and an optional fused
+        filter→project kernel) run inside worker processes.
+
+        Returns ``None`` — falling back to the thread path — when no pool is
+        active, the data source has no pipeline support, or a pushed filter
+        contains user code (user code only runs inside the UDF sandbox,
+        never in engine workers).
+        """
+        pool = ctx.worker_pool
+        source = ctx.data_source
+        if pool is None or not hasattr(source, "scan_pipeline"):
+            return None
+        node = self._node
+        for predicate in node.pushed_filters:
+            if any(n.is_user_code for n in predicate.walk()):
+                return None
+        spec = {
+            "pushed_filters": tuple(node.pushed_filters),
+            "required_columns": (
+                list(node.required_columns)
+                if node.required_columns is not None
+                else None
+            ),
+            "kernel": fused_kernel,
+            "exprs": fused_exprs,
+            "out_schema": out_schema if out_schema is not None else self.schema,
+        }
+
+        def on_rows(rows_in: int) -> None:
+            ctx.metrics.rows_scanned += rows_in
+
+        return source.scan_pipeline(node.table, ctx.eval_ctx, spec, pool, on_rows)
 
 
 class PhysRemoteScan(PhysicalOperator):
@@ -299,6 +348,17 @@ class PhysFilter(PhysicalOperator):
 
     def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
         with _kernel_span(ctx, self._kernel, "filter"):
+            if _pool_kernel_eligible(ctx, self._kernel):
+                yield from _pooled_kernel_stream(
+                    ctx,
+                    self.children[0].execute(ctx),
+                    kmode="filter",
+                    kernel=self._kernel,
+                    exprs=(self._condition,),
+                    mode="project",
+                    out_schema=self.schema,
+                )
+                return
             for batch in self.children[0].execute(ctx):
                 if batch.num_rows == 0:
                     yield batch
@@ -344,6 +404,17 @@ class PhysProject(PhysicalOperator):
     def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
         eval_ctx = ctx.eval_ctx
         with _kernel_span(ctx, self._kernel, "project"):
+            if not self._fusion_groups and _pool_kernel_eligible(ctx, self._kernel):
+                yield from _pooled_kernel_stream(
+                    ctx,
+                    self.children[0].execute(ctx),
+                    kmode="project",
+                    kernel=self._kernel,
+                    exprs=self._exprs,
+                    mode="project",
+                    out_schema=self.schema,
+                )
+                return
             for batch in self.children[0].execute(ctx):
                 eval_ctx.udf_results.clear()
                 if batch.num_rows and self._fusion_groups and eval_ctx.udf_runtime:
@@ -401,10 +472,106 @@ class PhysFilterProject(PhysicalOperator):
 
     def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
         with _kernel_span(ctx, self._kernel, "filter-project"):
+            if _pool_kernel_eligible(ctx, self._kernel):
+                child = self.children[0]
+                if isinstance(child, PhysScan):
+                    # Fuse all the way down: the scan workers run the pushed
+                    # filters AND this kernel on the same shared-memory batch.
+                    pooled = child.pooled_scan(
+                        ctx,
+                        fused_kernel=self._kernel,
+                        fused_exprs=(self._condition, *self._exprs),
+                        out_schema=self.schema,
+                    )
+                    if pooled is not None:
+                        yield from pooled
+                        return
+                yield from _pooled_kernel_stream(
+                    ctx,
+                    child.execute(ctx),
+                    kmode="filter_project",
+                    kernel=self._kernel,
+                    exprs=(self._condition, *self._exprs),
+                    mode="filter-project",
+                    out_schema=self.schema,
+                )
+                return
             for batch in self.children[0].execute(ctx):
                 yield ColumnBatch(
                     self.schema, self._kernel.eval_all(batch, ctx.eval_ctx)
                 )
+
+
+def _pool_kernel_eligible(ctx: ExecContext, kernel: CompiledKernels | None) -> bool:
+    """A kernel can run in a worker process only when it embeds no opaque
+    slots (UDFs and unknown nodes stay driver-side, next to the sandbox)."""
+    return (
+        ctx.worker_pool is not None
+        and kernel is not None
+        and not kernel.artifact.opaque_spec
+    )
+
+
+def _pooled_kernel_stream(
+    ctx: ExecContext,
+    batches: Iterator[ColumnBatch],
+    kmode: str,
+    kernel: CompiledKernels,
+    exprs: tuple[Expression, ...],
+    mode: str,
+    out_schema: Schema,
+) -> Iterator[ColumnBatch]:
+    """Route one operator's batch stream through the worker pool.
+
+    Keeps up to ``pool.size`` batches in flight and yields results in input
+    order, so operator semantics (and downstream LIMIT early-exit) match
+    the thread backend exactly. The kernel travels once per (worker,
+    fingerprint) as a cloudpickled expression list; batch data travels as
+    shared-memory buffers.
+    """
+    from collections import deque
+
+    pool = ctx.worker_pool
+    eval_ctx = ctx.eval_ctx
+    qctx = eval_ctx.query_ctx
+    spec = pool.kernel_spec(kernel, exprs, mode)
+
+    def submit(batch: ColumnBatch):
+        meta, payload = batch.to_buffers()
+        task = {
+            "op": "eval",
+            "kmode": kmode,
+            "schema": batch.schema,
+            "meta": meta,
+            "kernel": spec,
+            "user": eval_ctx.user,
+            "groups": tuple(eval_ctx.groups),
+            "trace_id": qctx.trace_id if qctx is not None else "",
+            "session_id": qctx.session_id if qctx is not None else "",
+            "cluster_id": qctx.cluster_id if qctx is not None else "",
+        }
+        return pool.submit(task, payload, meta["pickled_bytes"], retries=2)
+
+    def resolve(entry) -> ColumnBatch:
+        kind, value = entry
+        if kind == "local":
+            return value
+        columns, _num_rows, _info = value.result()
+        return ColumnBatch(out_schema, columns)
+
+    pending: Any = deque()
+    for batch in batches:
+        if batch.num_rows == 0 or batch.num_columns == 0:
+            # Degenerate batches are cheaper to answer in place (and the
+            # zero-column OneRowBatch shape does not survive re-encoding).
+            local = batch if kmode == "filter" else ColumnBatch.empty(out_schema)
+            pending.append(("local", local))
+        else:
+            pending.append(("future", submit(batch)))
+        while len(pending) > pool.size:
+            yield resolve(pending.popleft())
+    while pending:
+        yield resolve(pending.popleft())
 
 
 def _kernel_span(ctx: ExecContext, kernel: CompiledKernels | None, operator: str):

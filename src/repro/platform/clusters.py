@@ -64,6 +64,8 @@ class ComputeCluster:
         scan_retry_base_delay: float = 0.02,
         scan_hedge_after_seconds: float | None = None,
         udf_invoke_retry: bool = True,
+        worker_backend: str | None = None,
+        worker_pool_size: int | None = None,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -98,12 +100,18 @@ class ComputeCluster:
             scan_retry_base_delay=scan_retry_base_delay,
             scan_hedge_after_seconds=scan_hedge_after_seconds,
             udf_invoke_retry=udf_invoke_retry,
+            worker_backend=worker_backend,
+            worker_pool_size=worker_pool_size,
         )
         self.service = SparkConnectService(self.backend, clock=self.clock)
         #: The backend's admission controller (None when disabled).
         self.workload_manager = self.backend.workload_manager
         self._context_transform = context_transform
         self.attached_users: set[str] = set()
+
+    def shutdown(self) -> None:
+        """Release the backend's pools (scan threads, worker processes)."""
+        self.backend.shutdown()
 
     # -- attachment policy (subclasses refine) -------------------------------------
 

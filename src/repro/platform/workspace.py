@@ -91,6 +91,11 @@ class Workspace:
         self.clusters[name] = cluster
         return cluster
 
+    def shutdown(self) -> None:
+        """Tear down every cluster's pools (idempotent)."""
+        for cluster in self.clusters.values():
+            cluster.shutdown()
+
     def connect_serverless(
         self, user: str, client_version: int = PROTOCOL_VERSION,
         config: dict[str, str] | None = None,

@@ -34,6 +34,15 @@ class SandboxStats:
     rows_in: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
+    #: Pickle bytes on the *data* path (batch arguments/results). With the
+    #: shared-memory transport this stays ~0 — only ``obj``-fallback columns
+    #: contribute — which is the Table-2 property benchmarks assert.
+    data_pickle_bytes: int = 0
+    #: Pickle bytes on the control path (install/policy frames, shm layout
+    #: metadata). Always non-zero and intentionally exempt.
+    control_pickle_bytes: int = 0
+    #: Raw batch bytes handed off through shared-memory segments.
+    shm_bytes: int = 0
 
 
 class Sandbox(Protocol):
@@ -105,11 +114,13 @@ class InProcessSandbox:
     def _roundtrip_in(self, value: Any) -> Any:
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         self.stats.bytes_in += len(blob)
+        self.stats.data_pickle_bytes += len(blob)
         return pickle.loads(blob)
 
     def _roundtrip_out(self, value: Any) -> Any:
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         self.stats.bytes_out += len(blob)
+        self.stats.data_pickle_bytes += len(blob)
         return pickle.loads(blob)
 
     # -- invocation --------------------------------------------------------------

@@ -6,14 +6,24 @@ Speaks a length-prefixed pickle frame protocol on stdin/stdout:
              | ("policy", allow_network)
              | ("invoke", udf_id, arg_columns)
              | ("invoke_many", [(call_id, udf_id, arg_columns), ...])
+             | ("invoke_shm", udf_id, shm_name, meta)
+             | ("invoke_many_shm",
+                [(call_id, udf_id, meta, offset, length), ...], shm_name)
              | ("ping",)
              | ("shutdown",)
     response = ("ok", payload) | ("err", message)
 
+The ``*_shm`` kinds are the zero-pickle data path: batch columns live in a
+named shared-memory segment encoded by :mod:`repro.common.shmbuf`, and only
+the (small) layout metadata rides the pipe. Results come back the same way —
+the worker creates the result segment, disclaims ownership, and the driver
+adopts and unlinks it.
+
 Run with ``python -m repro.sandbox.worker``. The worker deliberately imports
-nothing from the engine: it holds only the shipped user functions, mirroring
-the paper's property that the sandbox "runs fully isolated from the runtime
-environment and is not connected to it directly".
+nothing from the engine — only the shipped user functions and the pure-stdlib
+``shmbuf`` codec — mirroring the paper's property that the sandbox "runs
+fully isolated from the runtime environment and is not connected to it
+directly".
 """
 
 from __future__ import annotations
@@ -26,8 +36,12 @@ from typing import Any, BinaryIO
 _HEADER = struct.Struct(">I")
 
 
-def read_frame(stream: BinaryIO) -> Any:
-    """Read one length-prefixed pickle frame (raises EOFError on close)."""
+def read_frame(stream: BinaryIO) -> tuple[Any, int]:
+    """Read one length-prefixed pickle frame (raises EOFError on close).
+
+    Returns ``(message, total_bytes)`` so callers can account for pipe
+    traffic — the Table 2 benchmarks split it into data vs. control bytes.
+    """
     header = stream.read(_HEADER.size)
     if len(header) < _HEADER.size:
         raise EOFError("peer closed the pipe")
@@ -35,14 +49,16 @@ def read_frame(stream: BinaryIO) -> Any:
     payload = stream.read(length)
     if len(payload) < length:
         raise EOFError("truncated frame")
-    return pickle.loads(payload)
+    return pickle.loads(payload), _HEADER.size + length
 
 
-def write_frame(stream: BinaryIO, message: Any) -> None:
+def write_frame(stream: BinaryIO, message: Any) -> int:
+    """Write one frame; returns the total bytes put on the pipe."""
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     stream.write(_HEADER.pack(len(payload)))
     stream.write(payload)
     stream.flush()
+    return _HEADER.size + len(payload)
 
 
 def _disable_network() -> None:
@@ -60,6 +76,49 @@ def _invoke(func, arg_columns: list[list[Any]]) -> list[Any]:
     return [func(*row) for row in zip(*arg_columns)]
 
 
+_SHMBUF = None
+
+
+def _shm_codec():
+    """Load the shared-memory codec on first use (legacy mode never pays).
+
+    The worker owns no segment lifetimes — it attaches to driver-created
+    segments and transfers ownership of every segment it creates — so its
+    resource tracker would only spawn a useless helper process inside the
+    sandbox; disable it outright.
+    """
+    global _SHMBUF
+    if _SHMBUF is None:
+        from repro.common import shmbuf
+
+        shmbuf.disable_resource_tracking()
+        _SHMBUF = shmbuf
+    return _SHMBUF
+
+
+def _pack_results(
+    shmbuf, results: list[tuple[Any, list[Any]]]
+) -> tuple[str, list[tuple[Any, dict[str, Any], int, int]]]:
+    """Encode per-call result columns into one transferred segment."""
+    entries: list[tuple[Any, dict[str, Any], int, int]] = []
+    chunks: list[bytes] = []
+    offset = 0
+    for call_id, result in results:
+        meta, payload = shmbuf.encode_columns([result], len(result))
+        pad = (-offset) % shmbuf.ALIGNMENT
+        if pad:
+            chunks.append(b"\x00" * pad)
+            offset += pad
+        entries.append((call_id, meta, offset, len(payload)))
+        chunks.append(payload)
+        offset += len(payload)
+    segment = shmbuf.create_segment(b"".join(chunks))
+    shmbuf.transfer_segment(segment)
+    name = segment.name
+    segment.close()
+    return name, entries
+
+
 def main() -> int:
     """Worker loop: serve install/policy/invoke requests until shutdown."""
     stdin = sys.stdin.buffer
@@ -74,7 +133,7 @@ def main() -> int:
 
     while True:
         try:
-            message = read_frame(stdin)
+            message, _ = read_frame(stdin)
         except EOFError:
             return 0
         kind = message[0]
@@ -104,6 +163,40 @@ def main() -> int:
                     for call_id, udf_id, arg_columns in calls
                 }
                 write_frame(stdout, ("ok", results))
+            elif kind == "invoke_shm":
+                _, udf_id, shm_name, meta = message
+                shmbuf = _shm_codec()
+                segment = shmbuf.attach_segment(shm_name)
+                try:
+                    arg_columns = shmbuf.decode_columns(meta, segment.buf)
+                finally:
+                    segment.close()
+                result = _invoke(functions[udf_id], arg_columns)
+                out_name, entries = _pack_results(shmbuf, [(None, result)])
+                write_frame(stdout, ("ok", (out_name, entries[0][1])))
+            elif kind == "invoke_many_shm":
+                _, wire_calls, shm_name = message
+                shmbuf = _shm_codec()
+                segment = shmbuf.attach_segment(shm_name)
+                try:
+                    calls = [
+                        (
+                            call_id,
+                            udf_id,
+                            shmbuf.decode_columns(
+                                meta, segment.buf[offset : offset + length]
+                            ),
+                        )
+                        for call_id, udf_id, meta, offset, length in wire_calls
+                    ]
+                finally:
+                    segment.close()
+                results = [
+                    (call_id, _invoke(functions[udf_id], arg_columns))
+                    for call_id, udf_id, arg_columns in calls
+                ]
+                out_name, entries = _pack_results(shmbuf, results)
+                write_frame(stdout, ("ok", (out_name, entries)))
             else:
                 write_frame(stdout, ("err", f"unknown message kind {kind!r}"))
         except Exception as exc:  # noqa: BLE001 - report, don't die

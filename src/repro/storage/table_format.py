@@ -243,6 +243,18 @@ class LakeTableStorage:
                 f"{type(exc).__name__}: {exc}"
             ) from exc
 
+    def read_raw(
+        self, data_file: DataFile, credential: StorageCredential
+    ) -> bytes:
+        """Read one data file's raw bytes without deserializing.
+
+        The process execution backend ships the blob into a worker through
+        shared memory and unpickles it *there*; credential checks, injected
+        storage faults and byte accounting still happen in this (driver)
+        process, exactly as with :meth:`read_file`.
+        """
+        return self._store.get(data_file.path, credential)
+
     def read_all(
         self, credential: StorageCredential, version: int | None = None
     ) -> dict[str, list]:

@@ -424,7 +424,9 @@ class GovernedDataSource:
         kspec = None
         if spec["kernel"] is not None:
             kspec = pool.kernel_spec(
-                spec["kernel"], spec["exprs"], "filter-project"
+                spec["kernel"],
+                spec["exprs"],
+                spec.get("kernel_mode", "filter-project"),
             )
 
         def run_file(

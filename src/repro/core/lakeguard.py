@@ -36,6 +36,7 @@ from repro.engine.executor import (
     ExecutionConfig,
     QueryEngine,
     QueryResult,
+    default_fuse_operators,
     default_worker_backend,
 )
 from repro.engine.workers import WorkerPool
@@ -110,6 +111,7 @@ class LakeguardCluster:
         udf_invoke_retry: bool = True,
         worker_backend: str | None = None,
         worker_pool_size: int | None = None,
+        engine_fuse_operators: bool | None = None,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -167,6 +169,12 @@ class LakeguardCluster:
         #: session (and every plan-cache entry) reuses generated kernels for
         #: structurally congruent expressions (None when disabled).
         self.engine_compile = engine_compile
+        #: Whole-operator fusion (None defers to LAKEGUARD_FUSE_OPERATORS).
+        self.engine_fuse_operators = (
+            engine_fuse_operators
+            if engine_fuse_operators is not None
+            else default_fuse_operators()
+        )
         self.kernel_cache: KernelCache | None = None
         self._kernel_compiler: KernelCompiler | None = None
         if engine_compile:
@@ -338,6 +346,7 @@ class LakeguardCluster:
                 compile_enabled=self.engine_compile,
                 worker_backend=self.worker_backend,
                 worker_pool_size=self.worker_pool_size,
+                fuse_operators=self.engine_fuse_operators,
             ),
             optimizer_config=self.optimizer_config,
             extra_rules=extra_rules,

@@ -37,13 +37,17 @@ so compilation is strictly an optimization, never a correctness risk.
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.common.context import current_context, span_or_null
 from repro.common.telemetry import Telemetry
+from repro.engine.aggregates import AGGREGATE_FUNCTIONS
 from repro.engine.batch import ONE_ROW, ColumnBatch
 from repro.engine.expressions import (
     BUILTIN_FUNCTIONS,
@@ -67,6 +71,25 @@ from repro.engine.expressions import (
 )
 
 DEFAULT_KERNEL_CACHE_CAPACITY = 256
+
+#: Debug knob: when set to a directory path, every generated kernel and
+#: pipeline source is written there as ``kernel_<fingerprint>.py`` so the
+#: exact code a query ran can be inspected offline.
+ENV_DUMP_KERNELS = "LAKEGUARD_DUMP_KERNELS"
+
+
+def _maybe_dump_source(fingerprint: str, source: str) -> None:
+    """Write one generated source to ``$LAKEGUARD_DUMP_KERNELS`` (best
+    effort: dump failures must never fail a compilation)."""
+    directory = os.environ.get(ENV_DUMP_KERNELS, "").strip()
+    if not directory:
+        return
+    try:
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        (target / f"kernel_{fingerprint[:16]}.py").write_text(source + "\n")
+    except OSError:
+        pass
 
 #: Node types the code generator knows how to inline. Matched by exact type,
 #: not ``isinstance``: a subclass may override ``eval`` with semantics the
@@ -114,6 +137,12 @@ def _is_opaque(node: Expression) -> bool:
     """True when the generator must not inline this node (user code or an
     unknown node type); the wrapper pre-evaluates it via the interpreter."""
     return node.is_user_code or type(node) not in _COMPILABLE_SET
+
+
+def has_opaque_nodes(exprs: Sequence[Expression]) -> bool:
+    """True when any expression contains a node the generator cannot
+    inline; the planner uses this to break fusion chains at UDF stages."""
+    return any(_is_opaque(node) for node in _canonical_walk(exprs))
 
 
 def _canonical_walk(exprs: Sequence[Expression]) -> list[Expression]:
@@ -505,15 +534,19 @@ def _assemble(
     loop_setup: list[str],
     loop_body: list[str],
     returns: list[str],
+    params: str = "_cols, _n, _ctx, _env, _opq",
+    epilogue: Sequence[str] = (),
 ) -> tuple[str, Callable]:
     """Render, ``compile()`` and ``exec`` the kernel source."""
-    lines = ["def _kernel(_cols, _n, _ctx, _env, _opq):"]
+    lines = [f"def _kernel({params}):"]
     lines += [f"    {line}" for line in prelude]
     lines += [f"    {line}" for line in loop_setup]
     lines.append("    for _i in range(_n):")
     lines += [f"        {line}" for line in loop_body]
+    lines += [f"    {line}" for line in epilogue]
     lines.append(f"    return [{', '.join(returns)}]")
     source = "\n".join(lines)
+    _maybe_dump_source(fingerprint, source)
     namespace: dict[str, Any] = {}
     code = compile(source, f"<kernel:{fingerprint[:12]}>", "exec")
     exec(code, namespace)  # noqa: S102 - source is generated above, not user input
@@ -613,6 +646,229 @@ def _generate_filter_projection(
 
 
 # ---------------------------------------------------------------------------
+# Whole-pipeline codegen (scan/local → filter → project → partial aggregate)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Structural description of one fusable operator chain.
+
+    The planner composes a chain's filter conditions and projection lists
+    down to the chain's *input* schema (see the physical planner's chain
+    detection), so every expression here is bound against the batches the
+    source operator produces. ``agg_specs`` carries ``(func_name,
+    has_child)`` per distinct aggregate call; ``agg_inputs`` the composed
+    input expression per call (``Literal(True)`` for ``COUNT(*)``).
+    """
+
+    condition: Expression | None
+    groupings: tuple[Expression, ...]
+    agg_specs: tuple[tuple[str, bool], ...]
+    agg_inputs: tuple[Expression, ...]
+
+    def all_exprs(self) -> tuple[Expression, ...]:
+        """Every expression the generated loop inlines, in canonical order."""
+        head = (self.condition,) if self.condition is not None else ()
+        return head + self.groupings + self.agg_inputs
+
+    def mode_string(self) -> str:
+        """The fingerprint mode: pins aggregate structure alongside shapes."""
+        aggs = ",".join(
+            f"{name}{'' if has_child else '*'}"
+            for name, has_child in self.agg_specs
+        )
+        cond = "c" if self.condition is not None else "-"
+        return f"pipeline|{cond}|{len(self.groupings)}|{aggs}"
+
+    def fold(self) -> "PipelineSpec":
+        """Constant-fold every inlined expression (see :func:`_fold`)."""
+        return replace(
+            self,
+            condition=_fold(self.condition) if self.condition is not None else None,
+            groupings=tuple(_fold(g) for g in self.groupings),
+            agg_inputs=tuple(_fold(e) for e in self.agg_inputs),
+        )
+
+
+def _guarded(value_tok: str, guarded: bool, body: list[str]) -> list[str]:
+    """Wrap an aggregate update in the NULL-skip guard when needed."""
+    if not guarded:
+        return body
+    return [f"if {value_tok} is not None:"] + [f"    {line}" for line in body]
+
+
+def _upd_count(j: int, v: str, guarded: bool) -> list[str]:
+    return _guarded(v, guarded, [f"_st[{j}] = _st[{j}] + 1"])
+
+
+def _upd_sum(j: int, v: str, guarded: bool) -> list[str]:
+    return _guarded(v, guarded, [
+        f"_s{j} = _st[{j}]",
+        f"_st[{j}] = {v} if _s{j} is None else _s{j} + {v}",
+    ])
+
+
+def _upd_min(j: int, v: str, guarded: bool) -> list[str]:
+    # min(s, v) keeps s on ties; mirror that exactly.
+    return _guarded(v, guarded, [
+        f"_s{j} = _st[{j}]",
+        f"_st[{j}] = {v} if _s{j} is None else ({v} if {v} < _s{j} else _s{j})",
+    ])
+
+
+def _upd_max(j: int, v: str, guarded: bool) -> list[str]:
+    return _guarded(v, guarded, [
+        f"_s{j} = _st[{j}]",
+        f"_st[{j}] = {v} if _s{j} is None else ({v} if {v} > _s{j} else _s{j})",
+    ])
+
+
+def _upd_avg(j: int, v: str, guarded: bool) -> list[str]:
+    return _guarded(v, guarded, [
+        f"_s{j} = _st[{j}]",
+        f"_st[{j}] = (_s{j}[0] + {v}, _s{j}[1] + 1)",
+    ])
+
+
+def _upd_count_distinct(j: int, v: str, guarded: bool) -> list[str]:
+    # Mutable set instead of the algebra's frozenset-per-row: ``merge`` and
+    # ``final`` (union / len) accept either, and states only leave through
+    # pickle or finalization, so results are identical.
+    return _guarded(v, guarded, [f"_st[{j}].add({v})"])
+
+
+#: Aggregates the pipeline generator can inline: ``(state init source,
+#: update-code emitter)``. Init/update mirror ``AGGREGATE_FUNCTIONS``
+#: exactly; an aggregate outside this table refuses the whole pipeline.
+_AGG_INLINE: dict[str, tuple[str, Callable[[int, str, bool], list[str]]]] = {
+    "count": ("0", _upd_count),
+    "sum": ("None", _upd_sum),
+    "min": ("None", _upd_min),
+    "max": ("None", _upd_max),
+    "avg": ("(0.0, 0)", _upd_avg),
+    "count_distinct": ("set()", _upd_count_distinct),
+}
+
+
+def _generate_aggregation_pipeline(
+    spec: PipelineSpec, fingerprint: str
+) -> CompiledArtifact:
+    """Lower a filter→project→aggregate chain into one generated loop.
+
+    The loop filters, computes grouping keys and aggregate inputs, and folds
+    each row into per-group accumulator slots *in place* — no intermediate
+    batch, no per-call closure dispatch. A last-key memo (``_lk``/``_ls``,
+    persisted across batches through ``_cell``) turns runs of identical keys
+    into local-variable updates without a dict probe.
+    """
+    all_exprs = spec.all_exprs()
+    walk = _canonical_walk(all_exprs)
+    shared = _SharedState({id(node): i for i, node in enumerate(walk)})
+    inits = ", ".join(_AGG_INLINE[name][0] for name, _ in spec.agg_specs)
+
+    def make_body(gen: _CodeGen) -> list[str]:
+        if spec.condition is not None:
+            cond_tok = gen.emit(spec.condition)[0]
+            gen.body.append(f"if not {cond_tok}:")
+            gen.body.append("    continue")
+        key_toks = [gen.emit(g)[0] for g in spec.groupings]
+        values = [gen.emit(e) for e in spec.agg_inputs]
+        tail = [
+            "_key = (" + ", ".join(key_toks)
+            + ("," if len(key_toks) == 1 else "") + ")",
+            "if _ls is not None and _key == _lk:",
+            "    _st = _ls",
+            "else:",
+            "    _st = _get(_key)",
+            "    if _st is None:",
+            f"        _st = [{inits}]",
+            "        _groups[_key] = _st",
+            "    _lk = _key",
+            "    _ls = _st",
+        ]
+        for j, ((name, has_child), (v_tok, maybe)) in enumerate(
+            zip(spec.agg_specs, values)
+        ):
+            # All inlined aggregates ignore NULL inputs; COUNT(*)-style calls
+            # feed a constant and never skip, matching the interpreter.
+            tail += _AGG_INLINE[name][1](j, v_tok, maybe and has_child)
+        return gen.body + tail
+
+    body = _dual_body(shared, make_body)
+    setup = ["_get = _groups.get", "_lk = _cell[0]", "_ls = _cell[1]"]
+    epilogue = ["_cell[0] = _lk", "_cell[1] = _ls"]
+    source, fn = _assemble(
+        fingerprint, shared.prelude, setup, body, [],
+        params="_cols, _n, _ctx, _env, _opq, _groups, _cell",
+        epilogue=epilogue,
+    )
+    return CompiledArtifact(
+        fingerprint=fingerprint,
+        source=source,
+        fn=fn,
+        env_spec=tuple(shared.env_spec),
+        opaque_spec=tuple(shared.opaque_spec),
+        num_outputs=0,
+    )
+
+
+def interpret_pipeline(
+    spec: PipelineSpec,
+    batch: ColumnBatch,
+    ctx: EvalContext,
+    groups: dict[tuple, list[Any]],
+) -> None:
+    """Interpreter twin of a fused pipeline's accumulate step.
+
+    Byte-identical semantics to both the generated loop and the unfused
+    operator chain; used as the in-worker fallback when a shipped pipeline
+    fails to recompile.
+    """
+    if batch.num_rows == 0:
+        return
+    if spec.condition is not None:
+        batch = batch.filter(spec.condition.eval(batch, ctx))
+        if batch.num_rows == 0:
+            return
+    key_cols = [g.eval(batch, ctx) for g in spec.groupings]
+    value_cols = [e.eval(batch, ctx) for e in spec.agg_inputs]
+    funcs = [AGGREGATE_FUNCTIONS[name] for name, _ in spec.agg_specs]
+    for i in range(batch.num_rows):
+        key = tuple(col[i] for col in key_cols)
+        states = groups.get(key)
+        if states is None:
+            states = [func.create() for func in funcs]
+            groups[key] = states
+        for j, (func, (_, has_child)) in enumerate(zip(funcs, spec.agg_specs)):
+            value = value_cols[j][i]
+            if value is None and func.ignores_nulls and has_child:
+                continue
+            states[j] = func.update(states[j], value)
+
+
+def pipeline_partial_columns(
+    spec: PipelineSpec, groups: dict[tuple, list[Any]]
+) -> list[list[Any]]:
+    """Render accumulated groups as partial-aggregate exchange columns.
+
+    Layout matches ``partial_agg_schema``: grouping keys first, then one
+    pickled state blob per aggregate call — the format workers return and
+    the driver's final-merge already understands.
+    """
+    keys = list(groups)
+    columns: list[list[Any]] = [
+        [key[i] for key in keys] for i in range(len(spec.groupings))
+    ]
+    for j in range(len(spec.agg_specs)):
+        columns.append([
+            pickle.dumps(groups[key][j], protocol=pickle.HIGHEST_PROTOCOL)
+            for key in keys
+        ])
+    return columns
+
+
+# ---------------------------------------------------------------------------
 # Bound kernels
 # ---------------------------------------------------------------------------
 
@@ -653,6 +909,48 @@ class CompiledKernels:
         )
 
 
+class CompiledPipeline:
+    """A cached pipeline artifact bound to one concrete chain.
+
+    Like :class:`CompiledKernels`, binding rebuilds env constants against
+    this chain's trees so congruent chains share one artifact. Pipelines
+    refuse opaque nodes at compile time (UDFs break chains instead), so no
+    opaque pre-evaluation happens here.
+    """
+
+    __slots__ = ("artifact", "spec", "_env")
+
+    def __init__(self, artifact: CompiledArtifact, spec: PipelineSpec):
+        walk = _canonical_walk(spec.all_exprs())
+        self.artifact = artifact
+        self.spec = spec
+        self._env = {
+            name: _ENV_BUILDERS[kind](walk[index])
+            for name, index, kind in artifact.env_spec
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        return self.artifact.fingerprint
+
+    def accumulate(
+        self,
+        batch: ColumnBatch,
+        ctx: EvalContext,
+        groups: dict[tuple, list[Any]],
+        cell: list[Any],
+    ) -> None:
+        """Fold one batch into ``groups`` (state layout matches the
+        aggregate algebra, so partial emit / merge machinery applies).
+
+        ``cell`` is the two-slot last-key memo carried across batches;
+        start each accumulation scope with ``[None, None]``.
+        """
+        self.artifact.fn(
+            batch.columns, batch.num_rows, ctx, self._env, (), groups, cell
+        )
+
+
 # ---------------------------------------------------------------------------
 # Cache
 # ---------------------------------------------------------------------------
@@ -667,6 +965,11 @@ class KernelCacheStats:
     insertions: int = 0
     evictions: int = 0
     compile_errors: int = 0
+    #: Total generated-source lines across every inserted artifact.
+    source_lines: int = 0
+    #: Planner fusion attempts that produced a fused pipeline / fell back.
+    fusion_hits: int = 0
+    fusion_misses: int = 0
 
 
 class KernelCache:
@@ -715,6 +1018,7 @@ class KernelCache:
             self._entries[fingerprint] = artifact
             self._entries.move_to_end(fingerprint)
             self.stats.insertions += 1
+            self.stats.source_lines += artifact.source.count("\n") + 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
@@ -725,6 +1029,15 @@ class KernelCache:
         with self._lock:
             self.stats.compile_errors += 1
         self._count("kernel_cache.compile_errors")
+
+    def note_fusion(self, hit: bool) -> None:
+        """Record one planner fusion attempt: fused (hit) or fell back."""
+        with self._lock:
+            if hit:
+                self.stats.fusion_hits += 1
+            else:
+                self.stats.fusion_misses += 1
+        self._count("kernel_cache.fusion_hits" if hit else "kernel_cache.fusion_misses")
 
     def clear(self) -> None:
         with self._lock:
@@ -739,6 +1052,9 @@ class KernelCache:
                 "insertions": self.stats.insertions,
                 "evictions": self.stats.evictions,
                 "compile_errors": self.stats.compile_errors,
+                "source_lines": self.stats.source_lines,
+                "fusion_hits": self.stats.fusion_hits,
+                "fusion_misses": self.stats.fusion_misses,
                 "size": len(self._entries),
                 "capacity": self.capacity,
             }
@@ -814,6 +1130,65 @@ class KernelCompiler:
         except Exception:  # noqa: BLE001 - fall back to the interpreter
             self.cache.note_error()
             return None
+
+    def compile_pipeline(
+        self,
+        condition: Expression | None,
+        groupings: Sequence[Expression],
+        agg_calls: Sequence[Any],
+        agg_inputs: Sequence[Expression],
+    ) -> CompiledPipeline | None:
+        """Compile a filter→project→aggregate chain into one loop.
+
+        ``agg_calls`` are :class:`~repro.engine.aggregates.AggregateCall`
+        nodes (for function names and COUNT(*) detection); ``agg_inputs``
+        the per-call input expressions composed down to the chain's input
+        schema. Refuses unknown aggregates and any opaque node — user code
+        must break the chain, never ride inside it.
+        """
+        spec = PipelineSpec(
+            condition=condition,
+            groupings=tuple(groupings),
+            agg_specs=tuple(
+                (call.func_name, call.child is not None) for call in agg_calls
+            ),
+            agg_inputs=tuple(agg_inputs),
+        )
+        return self.compile_pipeline_spec(spec)
+
+    def compile_pipeline_spec(
+        self, spec: PipelineSpec
+    ) -> CompiledPipeline | None:
+        """Compile (or rebind from cache) one :class:`PipelineSpec`.
+
+        This is the entry worker processes use to rehydrate a shipped
+        pipeline from its cloudpickled spec.
+        """
+        try:
+            if any(name not in _AGG_INLINE for name, _ in spec.agg_specs):
+                return None
+            if len(spec.agg_specs) != len(spec.agg_inputs):
+                return None
+            folded = spec.fold()
+            for node in _canonical_walk(folded.all_exprs()):
+                if _is_opaque(node):
+                    return None
+            fingerprint = expression_fingerprint(
+                folded.all_exprs(), mode=folded.mode_string()
+            )
+            artifact = self._lookup_or_generate(
+                fingerprint,
+                lambda: _generate_aggregation_pipeline(folded, fingerprint),
+                outputs=len(folded.agg_specs),
+            )
+            return CompiledPipeline(artifact, folded)
+        except Exception:  # noqa: BLE001 - fall back to the interpreter
+            self.cache.note_error()
+            return None
+
+    def note_fusion(self, hit: bool) -> None:
+        """Planner hook: count one fusion attempt on the shared cache."""
+        self.cache.note_fusion(hit)
 
     # -- internals ----------------------------------------------------------
 

@@ -36,10 +36,20 @@ ENV_WORKER_BACKEND = "LAKEGUARD_WORKER_BACKEND"
 
 WORKER_BACKENDS = ("thread", "process")
 
+#: Environment override for whole-operator fusion (``0``/``false``/``off``
+#: disables it; anything else, or unset, keeps the default of on). The
+#: fusion ablation benchmark and the CI fused legs flip this.
+ENV_FUSE_OPERATORS = "LAKEGUARD_FUSE_OPERATORS"
+
 
 def default_worker_backend() -> str:
     value = os.environ.get(ENV_WORKER_BACKEND, "").strip().lower()
     return value if value in WORKER_BACKENDS else "thread"
+
+
+def default_fuse_operators() -> bool:
+    value = os.environ.get(ENV_FUSE_OPERATORS, "").strip().lower()
+    return value not in ("0", "false", "off", "no")
 
 
 @dataclass
@@ -61,6 +71,11 @@ class ExecutionConfig:
     worker_backend: str = field(default_factory=default_worker_backend)
     #: Process-pool size; ``None`` follows ``num_executors``.
     worker_pool_size: int | None = None
+    #: Whole-operator codegen: the planner fuses scan→filter→project→
+    #: aggregate chains (plus sort/join key extraction) into single
+    #: generated loops. Requires ``compile_enabled``; interpreted fallback
+    #: applies per chain. Defaults from ``LAKEGUARD_FUSE_OPERATORS``.
+    fuse_operators: bool = field(default_factory=default_fuse_operators)
 
 
 class LocalDataSource:
@@ -125,7 +140,9 @@ class QueryEngine:
         if self.config.compile_enabled:
             compiler = kernel_compiler or KernelCompiler()
         self.kernel_compiler = compiler
-        self._planner = PhysicalPlanner(compiler)
+        self._planner = PhysicalPlanner(
+            compiler, fuse_operators=self.config.fuse_operators
+        )
         self._data_source = data_source
         self._udf_runtime = udf_runtime
         self._remote_executor = remote_executor

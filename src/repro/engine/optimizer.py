@@ -89,6 +89,28 @@ def is_safe_to_push(expr: Expression) -> bool:
     return expr.deterministic and not contains_user_code(expr)
 
 
+def inline_through_projection(
+    expr: Expression, out_exprs: Sequence[Expression] | None
+) -> Expression:
+    """Rewrite ``expr`` from a projection's *output* schema to its *input*.
+
+    Each ``BoundRef(i)`` is replaced by the projection's i-th expression
+    (aliases unwrapped), so a consumer above the projection can be composed
+    directly over the projection's child — the substitution step behind the
+    physical planner's pipeline fusion. ``None`` means identity (no
+    projection between consumer and producer). Safe only for deterministic,
+    engine-only expressions; the planner refuses opaque nodes before
+    composing.
+    """
+    if out_exprs is None:
+        return expr
+    mapping = {
+        i: (e.child if isinstance(e, Alias) else e)
+        for i, e in enumerate(out_exprs)
+    }
+    return substitute_refs(expr, mapping)
+
+
 def _simple_projection_mapping(project: Project) -> dict[int, Expression] | None:
     """If every projection is a plain column ref (or aliased ref / literal),
     return output-position → input-expression; else None."""

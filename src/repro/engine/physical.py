@@ -26,8 +26,15 @@ from typing import Any, Callable, Iterator, Protocol, Sequence
 from repro.common.context import span_or_null
 from repro.engine.aggregates import AggregateCall
 from repro.engine.batch import ColumnBatch, chunk_batch
-from repro.engine.compile import CompiledKernels, KernelCompiler
+from repro.engine.compile import (
+    CompiledKernels,
+    CompiledPipeline,
+    KernelCompiler,
+    PipelineSpec,
+    has_opaque_nodes,
+)
 from repro.engine.expressions import (
+    BooleanOp,
     BoundRef,
     EvalContext,
     Expression,
@@ -35,6 +42,7 @@ from repro.engine.expressions import (
     PythonUDFCall,
     SortOrder,
 )
+from repro.engine.optimizer import inline_through_projection
 from repro.engine.logical import (
     Aggregate,
     Distinct,
@@ -266,12 +274,14 @@ class PhysScan(PhysicalOperator):
     def pooled_scan(
         self,
         ctx: ExecContext,
-        fused_kernel: CompiledKernels | None = None,
-        fused_exprs: tuple[Expression, ...] | None = None,
+        fused_kernel: CompiledKernels | CompiledPipeline | None = None,
+        fused_exprs: tuple[Expression, ...] | PipelineSpec | None = None,
         out_schema: Schema | None = None,
+        kernel_mode: str = "filter-project",
     ) -> Iterator[ColumnBatch] | None:
         """Process-backend scan: pushed filters (and an optional fused
-        filter→project kernel) run inside worker processes.
+        filter→project kernel or whole aggregation pipeline, selected by
+        ``kernel_mode``) run inside worker processes.
 
         Returns ``None`` — falling back to the thread path — when no pool is
         active, the data source has no pipeline support, or a pushed filter
@@ -295,6 +305,7 @@ class PhysScan(PhysicalOperator):
             ),
             "kernel": fused_kernel,
             "exprs": fused_exprs,
+            "kernel_mode": kernel_mode,
             "out_schema": out_schema if out_schema is not None else self.schema,
         }
 
@@ -633,27 +644,47 @@ class PhysDistinct(PhysicalOperator):
 
 
 class PhysSort(PhysicalOperator):
-    """Full materializing sort with per-key direction and NULL placement."""
+    """Full materializing sort with per-key direction and NULL placement.
+
+    With ``appended_keys`` > 0 the child is a fused pipeline whose output
+    carries the pre-computed sort-key columns appended after the data
+    columns; the sort strips them off and orders by them directly, so key
+    expressions never re-evaluate over the materialized input.
+    """
 
     def __init__(
         self,
         child: PhysicalOperator,
         orders: tuple[SortOrder, ...],
         key_kernel: CompiledKernels | None = None,
+        appended_keys: int = 0,
     ):
-        super().__init__(child.schema, (child,))
+        schema = child.schema
+        if appended_keys:
+            schema = Schema(schema.fields[:-appended_keys])
+        super().__init__(schema, (child,))
         self._orders = orders
         self._key_kernel = key_kernel
+        self._appended_keys = appended_keys
 
     def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
-        full = ColumnBatch.concat(self.schema, list(self.children[0].execute(ctx)))
+        full = ColumnBatch.concat(
+            self.children[0].schema, list(self.children[0].execute(ctx))
+        )
+        key_columns: list[list[Any]] | None = None
+        if self._appended_keys:
+            key_columns = full.columns[-self._appended_keys:]
+            full = ColumnBatch(self.schema, full.columns[: -self._appended_keys])
         if full.num_rows == 0:
             yield full
             return
-        if self._key_kernel is not None:
-            key_columns = self._key_kernel.eval_all(full, ctx.eval_ctx)
-        else:
-            key_columns = [o.expr.eval(full, ctx.eval_ctx) for o in self._orders]
+        if key_columns is None:
+            if self._key_kernel is not None:
+                key_columns = self._key_kernel.eval_all(full, ctx.eval_ctx)
+            else:
+                key_columns = [
+                    o.expr.eval(full, ctx.eval_ctx) for o in self._orders
+                ]
         indices = list(range(full.num_rows))
         # Stable sort from the least-significant key to the most significant.
         for order, keys in reversed(list(zip(self._orders, key_columns))):
@@ -697,6 +728,23 @@ AGG_MODE_PARTIAL = "partial"
 AGG_MODE_FINAL = "final"
 
 
+def distinct_agg_calls(outputs: tuple[Expression, ...]) -> list[AggregateCall]:
+    """Distinct aggregate calls across output expressions, in walk order.
+
+    Shared by :class:`PhysHashAggregate` and the planner's pipeline fusion
+    so both derive the identical call list (and therefore identical state
+    layouts) from the same logical node.
+    """
+    calls: list[AggregateCall] = []
+    seen: set[int] = set()
+    for expr in outputs:
+        for node in expr.walk():
+            if isinstance(node, AggregateCall) and node.expr_id not in seen:
+                seen.add(node.expr_id)
+                calls.append(node)
+    return calls
+
+
 class PhysHashAggregate(PhysicalOperator):
     """Hash aggregation with complete / partial / final modes.
 
@@ -719,13 +767,7 @@ class PhysHashAggregate(PhysicalOperator):
         self._outputs = outputs
         self._mode = mode
         # Distinct aggregate calls across all output expressions, in order.
-        self._agg_calls: list[AggregateCall] = []
-        seen: set[int] = set()
-        for expr in outputs:
-            for node in expr.walk():
-                if isinstance(node, AggregateCall) and node.expr_id not in seen:
-                    seen.add(node.expr_id)
-                    self._agg_calls.append(node)
+        self._agg_calls: list[AggregateCall] = distinct_agg_calls(outputs)
         # One kernel computes grouping keys + aggregate inputs per batch
         # (COUNT(*) contributes a constant-True column, matching the
         # interpreted path). None when everything is a bare ref/constant.
@@ -821,10 +863,18 @@ class PhysHashAggregate(PhysicalOperator):
     def execute(self, ctx: ExecContext) -> Iterator[ColumnBatch]:
         groups = self._accumulate(ctx)
         keys = list(groups.keys())
-        if self._mode == AGG_MODE_PARTIAL:
-            yield self._emit_partial(keys, groups)
-            return
-        yield self._emit_final(keys, groups, ctx)
+        # Emit in batch_size chunks: one monolithic result batch would defeat
+        # downstream chunking and bloat shm segments on the process backend.
+        step = max(1, ctx.batch_size)
+        if not keys:
+            chunks: list[list[tuple]] = [[]]
+        else:
+            chunks = [keys[i : i + step] for i in range(0, len(keys), step)]
+        for chunk in chunks:
+            if self._mode == AGG_MODE_PARTIAL:
+                yield self._emit_partial(chunk, groups)
+            else:
+                yield self._emit_final(chunk, groups, ctx)
 
     def _emit_partial(self, keys: list[tuple], groups: dict[tuple, list[Any]]) -> ColumnBatch:
         # States are opaque to everything between partial and final — they
@@ -923,13 +973,192 @@ def partial_agg_schema(
     return Schema(tuple(fields))
 
 
+class PhysFusedPipeline(PhysHashAggregate):
+    """A whole scan→filter→project→aggregate chain as one generated loop.
+
+    The planner composes every filter condition and projection in the chain
+    down to the source operator's schema and compiles the result into a
+    single :class:`~repro.engine.compile.CompiledPipeline`: per source batch,
+    one function call filters, computes grouping keys and aggregate inputs,
+    and folds rows into accumulator slots in place — no intermediate
+    ``ColumnBatch`` between the fused operators, no per-group closure
+    dispatch. Emission (partial blobs or finalized outputs) reuses the
+    parent's machinery unchanged, so eFGAC exchange formats and output
+    rewriting are byte-identical to the unfused plan.
+
+    On the process backend the pipeline ships to workers by structural
+    fingerprint (mode ``"pipeline"``); each worker accumulates its batches
+    into local groups and returns a partial-aggregate batch, which the
+    driver merges with the existing partial-merge path.
+    """
+
+    def __init__(
+        self,
+        source: PhysicalOperator,
+        groupings: tuple[Expression, ...],
+        outputs: tuple[Expression, ...],
+        schema: Schema,
+        mode: str,
+        pipeline: CompiledPipeline,
+    ):
+        # The parent sees the *original* groupings/outputs (emission rebases
+        # output expressions by name/expr_id against them); the composed
+        # chain expressions live only inside the pipeline's spec.
+        super().__init__(source, groupings, outputs, schema, mode=mode, compiler=None)
+        self._pipeline = pipeline
+
+    @property
+    def pipeline(self) -> CompiledPipeline:
+        """The compiled pipeline (tests inspect fingerprint/source)."""
+        return self._pipeline
+
+    def _accumulate(self, ctx: ExecContext) -> dict[tuple, list[Any]]:
+        groups: dict[tuple, list[Any]] = {}
+        pipeline = self._pipeline
+        with _kernel_span(ctx, pipeline, "pipeline"):
+            pooled = self._pooled_partials(ctx)
+            if pooled is not None:
+                key_count = len(self._groupings)
+                for pbatch in pooled:
+                    if pbatch.num_rows:
+                        self._merge_partial_batch(
+                            pbatch, pbatch.columns[:key_count], groups
+                        )
+            else:
+                cell: list[Any] = [None, None]
+                for batch in self.children[0].execute(ctx):
+                    if batch.num_rows:
+                        pipeline.accumulate(batch, ctx.eval_ctx, groups, cell)
+        if not groups and not self._groupings:
+            # Global aggregate over empty input still yields one row.
+            groups[()] = [call.func.create() for call in self._agg_calls]
+        return groups
+
+    def _pooled_partials(self, ctx: ExecContext) -> Iterator[ColumnBatch] | None:
+        """Process-backend accumulation: workers return partial batches.
+
+        Workers each fold their batches into local groups and emit
+        ``keys + pickled states``; the driver merges those partials in
+        submission order, so group insertion order (and therefore output
+        order) matches the thread backend.
+        """
+        if not _pool_kernel_eligible(ctx, self._pipeline):
+            return None
+        pschema = partial_agg_schema(self._groupings, self._agg_calls)
+        source = self.children[0]
+        if isinstance(source, PhysScan):
+            # Fuse all the way down: scan workers run pushed filters AND the
+            # whole pipeline on the same shared-memory batch.
+            pooled = source.pooled_scan(
+                ctx,
+                fused_kernel=self._pipeline,
+                fused_exprs=self._pipeline.spec,
+                out_schema=pschema,
+                kernel_mode="pipeline",
+            )
+            if pooled is not None:
+                return pooled
+        return _pooled_kernel_stream(
+            ctx,
+            source.execute(ctx),
+            kmode="pipeline",
+            kernel=self._pipeline,
+            exprs=self._pipeline.spec,
+            mode="pipeline",
+            out_schema=pschema,
+        )
+
+
 # ---------------------------------------------------------------------------
 # Joins
 # ---------------------------------------------------------------------------
 
 
+def split_equi_condition(
+    condition: Expression | None, left_width: int
+) -> tuple[list[Expression], list[Expression], Expression | None] | None:
+    """Split a conjunctive join condition into left-key = right-key pairs.
+
+    Returns ``(left_keys, right_keys, residual)`` — right keys still bound
+    against combined-schema positions — or ``None`` when no equi pair
+    exists. Module-level so the planner can classify a join at plan time
+    (``left_width`` is known from the logical left child's schema) for
+    fused key extraction.
+    """
+    from repro.engine.expressions import Comparison
+
+    if condition is None:
+        return None
+    conjuncts: list[Expression] = []
+
+    def flatten(e: Expression) -> None:
+        if isinstance(e, BooleanOp) and e.op == "AND":
+            flatten(e.children[0])
+            flatten(e.children[1])
+        else:
+            conjuncts.append(e)
+
+    flatten(condition)
+    left_keys: list[Expression] = []
+    right_keys: list[Expression] = []
+    residual: list[Expression] = []
+    for conj in conjuncts:
+        pair = None
+        if isinstance(conj, Comparison) and conj.op == "=":
+            a, b = conj.children
+            a_refs, b_refs = a.references(), b.references()
+            if a_refs and b_refs:
+                if max(a_refs) < left_width <= min(b_refs):
+                    pair = (a, b)
+                elif max(b_refs) < left_width <= min(a_refs):
+                    pair = (b, a)
+        if pair is None:
+            residual.append(conj)
+        else:
+            left_keys.append(pair[0])
+            right_keys.append(pair[1])
+    if not left_keys:
+        return None
+    residual_expr: Expression | None = None
+    for conj in residual:
+        residual_expr = (
+            conj if residual_expr is None else BooleanOp("AND", residual_expr, conj)
+        )
+    return left_keys, right_keys, residual_expr
+
+
+def _probe_key_columns(
+    left_key_cols: list[list[Any]],
+    right_key_cols: list[list[Any]],
+    n_left: int,
+    n_right: int,
+) -> list[tuple[int, int]]:
+    """Hash-match pre-computed key columns; NULL keys never match (SQL)."""
+    table: dict[tuple, list[int]] = {}
+    for j in range(n_right):
+        key = tuple(col[j] for col in right_key_cols)
+        if any(k is None for k in key):
+            continue
+        table.setdefault(key, []).append(j)
+    candidates: list[tuple[int, int]] = []
+    for i in range(n_left):
+        key = tuple(col[i] for col in left_key_cols)
+        if any(k is None for k in key):
+            continue
+        for j in table.get(key, ()):
+            candidates.append((i, j))
+    return candidates
+
+
 class PhysJoin(PhysicalOperator):
-    """Nested-loop join with a hash fast path for conjunctive equi-joins."""
+    """Nested-loop join with a hash fast path for conjunctive equi-joins.
+
+    With ``pre_keys`` > 0 both children are fused pipelines whose outputs
+    carry the equi-join key columns appended after the data columns (the
+    planner only builds this shape for fully-equi conditions); the join
+    strips the key columns off and hash-matches on them directly, so key
+    expressions never re-evaluate over the materialized inputs.
+    """
 
     def __init__(
         self,
@@ -939,11 +1168,13 @@ class PhysJoin(PhysicalOperator):
         condition: Expression | None,
         schema: Schema,
         compiler: KernelCompiler | None = None,
+        pre_keys: int = 0,
     ):
         super().__init__(schema, (left, right))
         self._how = how
         self._condition = condition
         self._compiler = compiler
+        self._pre_keys = pre_keys
         # Lazily compiled (left keys, right keys) kernels: key expressions
         # depend on the left input's width, known only once batches flow.
         self._key_kernels: tuple[
@@ -954,11 +1185,25 @@ class PhysJoin(PhysicalOperator):
         # Both inputs are materialized anyway, so they are safe to build
         # concurrently (forked contexts isolate metrics/UDF memo/trace).
         left, right = collect_children_parallel(ctx, self.children)
-        yield self._join(left, right, ctx)
+        pre_key_cols = None
+        if self._pre_keys:
+            k = self._pre_keys
+            pre_key_cols = (left.columns[-k:], right.columns[-k:])
+            left = ColumnBatch(Schema(left.schema.fields[:-k]), left.columns[:-k])
+            right = ColumnBatch(
+                Schema(right.schema.fields[:-k]), right.columns[:-k]
+            )
+        yield self._join(left, right, ctx, pre_key_cols)
 
     # -- core ---------------------------------------------------------------------
 
-    def _join(self, left: ColumnBatch, right: ColumnBatch, ctx: ExecContext) -> ColumnBatch:
+    def _join(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        ctx: ExecContext,
+        pre_key_cols: tuple[list, list] | None = None,
+    ) -> ColumnBatch:
         how = self._how
         n_left, n_right = left.num_rows, right.num_rows
         matches: list[tuple[int, int]] = []
@@ -968,7 +1213,9 @@ class PhysJoin(PhysicalOperator):
         if how == "cross":
             matches = [(i, j) for i in range(n_left) for j in range(n_right)]
         else:
-            matches = self._find_matches(left, right, ctx, left_matched, right_matched)
+            matches = self._find_matches(
+                left, right, ctx, left_matched, right_matched, pre_key_cols
+            )
 
         if how in ("inner", "cross"):
             return self._emit_pairs(left, right, matches)
@@ -997,7 +1244,16 @@ class PhysJoin(PhysicalOperator):
         ctx: ExecContext,
         left_matched: list[bool],
         right_matched: list[bool],
+        pre_key_cols: tuple[list, list] | None = None,
     ) -> list[tuple[int, int]]:
+        if pre_key_cols is not None:
+            candidates = _probe_key_columns(
+                pre_key_cols[0], pre_key_cols[1], left.num_rows, right.num_rows
+            )
+            for i, j in candidates:
+                left_matched[i] = True
+                right_matched[j] = True
+            return candidates
         equi = self._extract_equi_keys(left.num_columns)
         if equi is not None:
             left_keys, right_keys, residual = equi
@@ -1011,46 +1267,7 @@ class PhysJoin(PhysicalOperator):
         self, left_width: int
     ) -> tuple[list[Expression], list[Expression], Expression | None] | None:
         """Split a conjunctive condition into left-key = right-key pairs."""
-        from repro.engine.expressions import BooleanOp, Comparison
-
-        conjuncts: list[Expression] = []
-
-        def flatten(e: Expression) -> None:
-            if isinstance(e, BooleanOp) and e.op == "AND":
-                flatten(e.children[0])
-                flatten(e.children[1])
-            else:
-                conjuncts.append(e)
-
-        if self._condition is None:
-            return None
-        flatten(self._condition)
-        left_keys: list[Expression] = []
-        right_keys: list[Expression] = []
-        residual: list[Expression] = []
-        for conj in conjuncts:
-            pair = None
-            if isinstance(conj, Comparison) and conj.op == "=":
-                a, b = conj.children
-                a_refs, b_refs = a.references(), b.references()
-                if a_refs and b_refs:
-                    if max(a_refs) < left_width <= min(b_refs):
-                        pair = (a, b)
-                    elif max(b_refs) < left_width <= min(a_refs):
-                        pair = (b, a)
-            if pair is None:
-                residual.append(conj)
-            else:
-                left_keys.append(pair[0])
-                right_keys.append(pair[1])
-        if not left_keys:
-            return None
-        residual_expr: Expression | None = None
-        from repro.engine.expressions import BooleanOp as BO
-
-        for conj in residual:
-            residual_expr = conj if residual_expr is None else BO("AND", residual_expr, conj)
-        return left_keys, right_keys, residual_expr
+        return split_equi_condition(self._condition, left_width)
 
     def _hash_matches(
         self,
@@ -1075,27 +1292,17 @@ class PhysJoin(PhysicalOperator):
                 self._compiler.compile_projection(tuple(shifted)),
             )
         left_kernel, right_kernel = self._key_kernels or (None, None)
-        table: dict[tuple, list[int]] = {}
         if right_kernel is not None:
             right_key_cols = right_kernel.eval_all(right, ctx.eval_ctx)
         else:
             right_key_cols = [k.eval(right, ctx.eval_ctx) for k in shifted]
-        for j in range(right.num_rows):
-            key = tuple(col[j] for col in right_key_cols)
-            if any(k is None for k in key):
-                continue
-            table.setdefault(key, []).append(j)
         if left_kernel is not None:
             left_key_cols = left_kernel.eval_all(left, ctx.eval_ctx)
         else:
             left_key_cols = [k.eval(left, ctx.eval_ctx) for k in left_keys]
-        candidates: list[tuple[int, int]] = []
-        for i in range(left.num_rows):
-            key = tuple(col[i] for col in left_key_cols)
-            if any(k is None for k in key):
-                continue
-            for j in table.get(key, ()):
-                candidates.append((i, j))
+        candidates = _probe_key_columns(
+            left_key_cols, right_key_cols, left.num_rows, right.num_rows
+        )
         if residual is not None and candidates:
             combined = self._pairs_batch(left, right, candidates)
             mask = residual.eval(combined, ctx.eval_ctx)
@@ -1186,10 +1393,24 @@ class PhysicalPlanner:
     collapse into :class:`PhysFilterProject` when the compiler accepts the
     fusion. Every kernel is optional: a refused or failed compilation keeps
     the interpreted operator, so planning never fails due to compilation.
+
+    With ``fuse_operators`` (and a compiler), the planner additionally
+    detects maximal fusable chains — runs of Filter/Project stages feeding
+    an aggregate, a sort, or an equi-join — and lowers each into one
+    generated loop (:class:`PhysFusedPipeline`, or a key-appending fused
+    projection for sort/join sinks). Chains break at any stage containing
+    user code: the opaque stage plans normally (its UDFs run next to the
+    sandbox, exactly as often as unfused) and fusion restarts below it, so
+    a UDF splits a chain into two fused segments around the sandbox call.
     """
 
-    def __init__(self, compiler: KernelCompiler | None = None):
+    def __init__(
+        self,
+        compiler: KernelCompiler | None = None,
+        fuse_operators: bool = True,
+    ):
         self._compiler = compiler
+        self._fuse = fuse_operators
 
     def plan(self, logical: LogicalPlan) -> PhysicalOperator:
         """Recursively select a physical operator for each logical node."""
@@ -1220,6 +1441,9 @@ class PhysicalPlanner:
                 kernel=kernel,
             )
         if isinstance(logical, Aggregate):
+            fused_agg = self._plan_fused_pipeline(logical)
+            if fused_agg is not None:
+                return fused_agg
             return PhysHashAggregate(
                 self.plan(logical.child),
                 logical.groupings,
@@ -1229,6 +1453,9 @@ class PhysicalPlanner:
                 compiler=self._compiler,
             )
         if isinstance(logical, Join):
+            fused_join = self._plan_fused_join(logical)
+            if fused_join is not None:
+                return fused_join
             return PhysJoin(
                 self.plan(logical.left),
                 self.plan(logical.right),
@@ -1238,6 +1465,9 @@ class PhysicalPlanner:
                 compiler=self._compiler,
             )
         if isinstance(logical, Sort):
+            fused_sort = self._plan_fused_sort(logical)
+            if fused_sort is not None:
+                return fused_sort
             key_kernel = None
             if self._compiler is not None:
                 key_kernel = self._compiler.compile_projection(
@@ -1286,4 +1516,231 @@ class PhysicalPlanner:
             logical.exprs,
             logical.schema,
             kernel,
+        )
+
+    # -- whole-operator (pipeline) fusion ------------------------------------
+
+    def _fusion_chain(
+        self, node: LogicalPlan
+    ) -> tuple[list[LogicalPlan], LogicalPlan]:
+        """Maximal run of compilable Filter/Project stages below ``node``.
+
+        Walks down through metadata wrappers (SecureView/SubqueryAlias keep
+        column positions, so positional composition passes straight through
+        them — this is what lets fusion cross the policy filters enforcement
+        wraps around governed tables). Stops at the first stage containing
+        user code or an unknown node: that stage is the UDF chain-break.
+        Returns ``(stages top-down, boundary node)``; the boundary plans
+        normally and becomes the fused pipeline's source.
+        """
+        stages: list[LogicalPlan] = []
+        cur = node
+        while True:
+            if isinstance(cur, (SecureView, SubqueryAlias)):
+                cur = cur.children[0]
+                continue
+            if isinstance(cur, Filter) and not has_opaque_nodes((cur.condition,)):
+                stages.append(cur)
+                cur = cur.child
+                continue
+            if isinstance(cur, Project) and not has_opaque_nodes(cur.exprs):
+                stages.append(cur)
+                cur = cur.child
+                continue
+            return stages, cur
+
+    @staticmethod
+    def _compose_chain(
+        stages: list[LogicalPlan],
+    ) -> tuple[Expression | None, list[Expression] | None]:
+        """Compose a chain's stages down to the boundary's schema.
+
+        Bottom-up: projections substitute into everything above them
+        (``inline_through_projection``); filter conditions conjoin with AND,
+        which preserves semantics exactly because a row survives sequential
+        filters iff every condition is truthy, and all inlined expressions
+        are deterministic and side-effect-free (opaque nodes were refused).
+        ``out_exprs`` of ``None`` means identity (no projection in chain).
+        """
+        condition: Expression | None = None
+        out_exprs: list[Expression] | None = None
+        for stage in reversed(stages):
+            if isinstance(stage, Filter):
+                cond = inline_through_projection(stage.condition, out_exprs)
+                condition = (
+                    cond if condition is None else BooleanOp("AND", condition, cond)
+                )
+            else:
+                out_exprs = [
+                    inline_through_projection(e, out_exprs) for e in stage.exprs
+                ]
+        return condition, out_exprs
+
+    def _plan_fused_pipeline(self, logical: Aggregate) -> PhysFusedPipeline | None:
+        """Lower chain→aggregate into one :class:`PhysFusedPipeline`.
+
+        Applies in complete and partial modes (final mode merges opaque
+        state blobs — nothing to fuse). Even a chain-less aggregate fuses:
+        inlined accumulator updates alone beat per-call closure dispatch.
+        Any refusal (opaque nodes, unknown aggregate, compile failure)
+        counts a fusion miss and falls back to the unfused plan.
+        """
+        if self._compiler is None or not self._fuse:
+            return None
+        if logical.mode == AGG_MODE_FINAL:
+            return None
+        try:
+            agg_calls = distinct_agg_calls(logical.aggregates)
+            raw_inputs = tuple(
+                call.child if call.child is not None else Literal(True)
+                for call in agg_calls
+            )
+            if has_opaque_nodes(tuple(logical.groupings) + raw_inputs):
+                self._compiler.note_fusion(False)
+                return None
+            stages, boundary = self._fusion_chain(logical.child)
+            condition, out_exprs = self._compose_chain(stages)
+            groupings_c = tuple(
+                inline_through_projection(g, out_exprs) for g in logical.groupings
+            )
+            inputs_c = tuple(
+                inline_through_projection(e, out_exprs) for e in raw_inputs
+            )
+            pipeline = self._compiler.compile_pipeline(
+                condition, groupings_c, agg_calls, inputs_c
+            )
+        except Exception:  # noqa: BLE001 - fusion is an optional fast path
+            pipeline = None
+        if pipeline is None:
+            self._compiler.note_fusion(False)
+            return None
+        self._compiler.note_fusion(True)
+        return PhysFusedPipeline(
+            self.plan(boundary),
+            logical.groupings,
+            logical.aggregates,
+            logical.schema,
+            logical.mode,
+            pipeline,
+        )
+
+    def _fused_keyed_child(
+        self,
+        boundary: LogicalPlan,
+        data_schema: Schema,
+        condition: Expression | None,
+        out_exprs: list[Expression] | None,
+        keys: tuple[Expression, ...],
+    ) -> PhysicalOperator | None:
+        """One fused operator producing ``data columns + key columns``.
+
+        The sort/join sink shape: the chain's composed filter+projection and
+        the sink's key expressions run in a single generated loop; the sink
+        strips the appended key columns off the result. Returns ``None``
+        when the compiler refuses (caller falls back to unfused planning).
+        """
+        if out_exprs is None:
+            data_exprs: tuple[Expression, ...] = tuple(
+                BoundRef(i, f.name, f.dtype)
+                for i, f in enumerate(data_schema.fields)
+            )
+        else:
+            data_exprs = tuple(out_exprs)
+        all_exprs = data_exprs + tuple(keys)
+        ext_schema = Schema(
+            tuple(data_schema.fields)
+            + tuple(
+                Field(f"__key_{i}", k.dtype or STRING) for i, k in enumerate(keys)
+            )
+        )
+        if condition is not None:
+            kernel = self._compiler.compile_filter_projection(condition, all_exprs)
+            if kernel is None:
+                return None
+            return PhysFilterProject(
+                self.plan(boundary), condition, all_exprs, ext_schema, kernel
+            )
+        kernel = self._compiler.compile_projection(all_exprs)
+        if kernel is None:
+            return None
+        return PhysProject(self.plan(boundary), all_exprs, ext_schema, kernel=kernel)
+
+    def _plan_fused_sort(self, logical: Sort) -> PhysSort | None:
+        """Fuse chain→sort-key extraction: keys computed in the chain's loop.
+
+        Only when a non-empty fusable chain sits below the sort (otherwise
+        the existing key kernel already covers key evaluation).
+        """
+        if self._compiler is None or not self._fuse:
+            return None
+        key_exprs = tuple(o.expr for o in logical.orders)
+        if not key_exprs or has_opaque_nodes(key_exprs):
+            return None
+        stages, boundary = self._fusion_chain(logical.child)
+        if not stages:
+            return None
+        try:
+            condition, out_exprs = self._compose_chain(stages)
+            keys_c = tuple(
+                inline_through_projection(k, out_exprs) for k in key_exprs
+            )
+            fused = self._fused_keyed_child(
+                boundary, logical.schema, condition, out_exprs, keys_c
+            )
+        except Exception:  # noqa: BLE001 - fusion is an optional fast path
+            fused = None
+        if fused is None:
+            self._compiler.note_fusion(False)
+            return None
+        self._compiler.note_fusion(True)
+        return PhysSort(fused, logical.orders, appended_keys=len(keys_c))
+
+    def _plan_fused_join(self, logical: Join) -> PhysJoin | None:
+        """Fuse chain→equi-join key extraction on both inputs.
+
+        Requires a fully-equi condition (no residual — residual evaluation
+        needs the combined batch) and a non-empty fusable chain on *each*
+        side; both children then emit ``data + key`` columns and the join
+        hash-matches the pre-computed keys directly.
+        """
+        if self._compiler is None or not self._fuse or logical.how == "cross":
+            return None
+        left_width = len(logical.left.schema.fields)
+        equi = split_equi_condition(logical.condition, left_width)
+        if equi is None:
+            return None
+        left_keys, right_keys, residual = equi
+        if residual is not None:
+            return None
+        shifted = [PhysJoin._shift_refs(k, -left_width) for k in right_keys]
+        if has_opaque_nodes(tuple(left_keys) + tuple(shifted)):
+            return None
+        fused_sides: list[PhysicalOperator] = []
+        for side, keys in ((logical.left, left_keys), (logical.right, shifted)):
+            stages, boundary = self._fusion_chain(side)
+            if not stages:
+                return None
+            try:
+                condition, out_exprs = self._compose_chain(stages)
+                keys_c = tuple(
+                    inline_through_projection(k, out_exprs) for k in keys
+                )
+                fused = self._fused_keyed_child(
+                    boundary, side.schema, condition, out_exprs, keys_c
+                )
+            except Exception:  # noqa: BLE001 - fusion is an optional fast path
+                fused = None
+            if fused is None:
+                self._compiler.note_fusion(False)
+                return None
+            fused_sides.append(fused)
+        self._compiler.note_fusion(True)
+        return PhysJoin(
+            fused_sides[0],
+            fused_sides[1],
+            logical.how,
+            logical.condition,
+            logical.schema,
+            compiler=self._compiler,
+            pre_keys=len(left_keys),
         )

@@ -61,7 +61,13 @@ from repro.common.context import QueryContext, _CURRENT
 from repro.common.faults import FaultInjector
 from repro.common.telemetry import Telemetry
 from repro.engine.batch import ColumnBatch
-from repro.engine.compile import CompiledKernels, KernelCompiler
+from repro.engine.compile import (
+    CompiledKernels,
+    KernelCompiler,
+    PipelineSpec,
+    interpret_pipeline,
+    pipeline_partial_columns,
+)
 from repro.engine.expressions import EvalContext, Expression
 from repro.errors import CorruptObjectError, ExecutionError, RetryableError
 
@@ -108,8 +114,13 @@ def _install_kernel(
         raise ExecutionError(
             f"worker has no kernel {fingerprint[:12]} and no blob was shipped"
         )
-    exprs: tuple[Expression, ...] = cloudpickle.loads(blob)
-    if spec["mode"] == "filter-project":
+    exprs = cloudpickle.loads(blob)
+    if spec["mode"] == "pipeline":
+        # ``exprs`` is a whole PipelineSpec (fused chain→aggregate), not an
+        # expression tuple; the worker rebuilds the same generated loop from
+        # it through its own compiler/cache.
+        kernel: Any = compiler.compile_pipeline_spec(exprs)
+    elif spec["mode"] == "filter-project":
         kernel = compiler.compile_filter_projection(exprs[0], exprs[1:])
     else:
         kernel = compiler.compile_projection(exprs)
@@ -125,6 +136,18 @@ def _eval_kernel(
     entry: dict[str, Any], batch: ColumnBatch, ectx: EvalContext
 ) -> list[list[Any]]:
     """Run a rehydrated kernel (or its interpreter fallback) on one batch."""
+    if entry["mode"] == "pipeline":
+        # Fused chain→aggregate: fold the batch into fresh local groups and
+        # return a partial-aggregate batch (keys + pickled states) that the
+        # driver merges exactly like eFGAC partials.
+        spec: PipelineSpec = entry["exprs"]
+        groups: dict[tuple, list[Any]] = {}
+        pipeline = entry["kernel"]
+        if pipeline is not None:
+            pipeline.accumulate(batch, ectx, groups, [None, None])
+        else:
+            interpret_pipeline(spec, batch, ectx, groups)
+        return pipeline_partial_columns(spec, groups)
     kernel: CompiledKernels | None = entry["kernel"]
     if kernel is not None:
         return kernel.eval_all(batch, ectx)
@@ -153,7 +176,8 @@ def _run_eval_task(
         out = batch.filter(_eval_kernel(entry, batch, ectx)[0])
         return out.columns, out.num_rows
     outputs = _eval_kernel(entry, batch, ectx)
-    if kmode == "filter_project":
+    if kmode in ("filter_project", "pipeline"):
+        # Output cardinality is data-dependent (filtered rows / groups).
         num_rows = len(outputs[0]) if outputs else 0
     else:  # "project"
         num_rows = batch.num_rows
@@ -468,17 +492,23 @@ class WorkerPool:
     # -- kernel shipping -----------------------------------------------------
 
     def kernel_spec(
-        self, kernel: CompiledKernels, exprs: Sequence[Expression], mode: str
+        self,
+        kernel: Any,
+        exprs: Sequence[Expression] | PipelineSpec,
+        mode: str,
     ) -> dict[str, Any]:
         """Build the shippable descriptor for one compiled kernel.
 
-        The cloudpickled expression tuple is cached per fingerprint and
-        attached to the wire message only for workers that have not acked
-        this fingerprint yet — after that, the fingerprint alone travels.
+        The cloudpickled payload — an expression tuple, or the whole
+        :class:`PipelineSpec` for ``mode="pipeline"`` — is cached per
+        fingerprint and attached to the wire message only for workers that
+        have not acked this fingerprint yet; after that, the fingerprint
+        alone travels.
         """
         fingerprint = kernel.fingerprint
         if fingerprint not in self._blob_cache:
-            self._blob_cache[fingerprint] = cloudpickle.dumps(tuple(exprs))
+            payload = exprs if mode == "pipeline" else tuple(exprs)
+            self._blob_cache[fingerprint] = cloudpickle.dumps(payload)
         return {"fingerprint": fingerprint, "mode": mode}
 
     # -- submission ----------------------------------------------------------

@@ -66,6 +66,7 @@ class ComputeCluster:
         udf_invoke_retry: bool = True,
         worker_backend: str | None = None,
         worker_pool_size: int | None = None,
+        engine_fuse_operators: bool | None = None,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -102,6 +103,7 @@ class ComputeCluster:
             udf_invoke_retry=udf_invoke_retry,
             worker_backend=worker_backend,
             worker_pool_size=worker_pool_size,
+            engine_fuse_operators=engine_fuse_operators,
         )
         self.service = SparkConnectService(self.backend, clock=self.clock)
         #: The backend's admission controller (None when disabled).

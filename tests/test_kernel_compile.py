@@ -536,5 +536,6 @@ class TestGovernedEquivalence:
         assert kernel_spans, "kernel execution must be traced"
         assert all(s.name == "kernel-compile" for s in compile_spans)
         assert {s.name for s in kernel_spans} <= {
-            "kernel:filter", "kernel:project", "kernel:filter-project"
+            "kernel:filter", "kernel:project", "kernel:filter-project",
+            "kernel:pipeline",
         }

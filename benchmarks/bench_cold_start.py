@@ -5,15 +5,23 @@ this latency occurs only for the very first Python UDF across the whole
 user session. Subsequent query executions reuse the already existing
 sandbox."
 
-Three measurements:
+Four measurements:
 1. the modelled production cold start (provisioning + interpreter) ≈ 2 s;
 2. the *real* cold start of the subprocess sandbox backend on this machine;
-3. amortization: N queries in one session pay exactly one cold start.
+3. amortization: N queries in one session pay exactly one cold start;
+4. **fleet cold start**: a fresh cluster attached to a *warmed persistent
+   store* (disk tier + governed result cache) reaches the warmed p50 within
+   its first 5 queries, while an empty-store cluster pays the full
+   analyze/compile/execute cost on every first run. This is the store
+   subsystem's headline number; it lands in ``BENCH_cold_start.json``.
 """
+
+import statistics
+import time
 
 import pytest
 
-from harness import print_table
+from harness import build_sales_workspace, print_table, write_bench_json
 
 from repro.common.clock import VirtualClock
 from repro.engine.udf import udf
@@ -84,6 +92,128 @@ def test_new_session_pays_again_new_domain_pays_again():
     dispatcher.acquire("s1", "bob")    # new trust domain: cold
     dispatcher.acquire("s2", "alice")  # new session: cold
     assert dispatcher.stats.cold_starts == 3
+
+
+#: The fleet workload: distinct governed queries a dashboard/agent fleet
+#: re-runs on every fresh cluster. All deterministic and UDF-free, so every
+#: one is eligible for the governed result cache.
+FLEET_QUERIES = (
+    "SELECT region, sum(amount) AS total FROM main.s.sales GROUP BY region",
+    "SELECT count(*) AS n FROM main.s.sales WHERE amount > 250.0",
+    "SELECT id, amount FROM main.s.sales WHERE region = 'US' AND amount > 400.0",
+    "SELECT region, avg(amount) AS mean_amount FROM main.s.sales "
+    "WHERE a > 50 GROUP BY region",
+    "SELECT sum(a) AS sa, sum(b) AS sb FROM main.s.sales WHERE region = 'EU'",
+    "SELECT id, amount * 2.0 AS doubled FROM main.s.sales WHERE b = 7",
+)
+
+_FLEET_ROWS = 20_000
+
+
+def _fleet_workspace(store_dir: str):
+    """One cluster of the fleet: disk-backed store + governed result cache.
+
+    Every call replays the identical DDL/grant sequence, so policy and data
+    epochs — and therefore every store key — line up across 'restarts'.
+    """
+    return build_sales_workspace(
+        num_rows=_FLEET_ROWS,
+        store_backend="disk",
+        store_dir=store_dir,
+        result_cache_enabled=True,
+    )
+
+
+def _timed_queries(client) -> list[float]:
+    latencies = []
+    for sql in FLEET_QUERIES:
+        start = time.perf_counter()
+        client.sql(sql).collect()
+        latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def test_fleet_cold_start_warmed_store_vs_empty(tmp_path):
+    """The store subsystem's payoff: warm once, every later cluster is warm.
+
+    Cluster 1 warms the persistent store (kernels, plans, governed results).
+    Cluster 2 — a brand-new process-equivalent on the same spill directory —
+    must reach the warmed p50 within its first 5 queries. Cluster 3, on an
+    empty store, must not: it pays full analyze/compile/execute per query.
+    """
+    warmed_dir = str(tmp_path / "fleet-store")
+    # -- cluster 1: warm the store --------------------------------------------
+    ws, cluster, _ = _fleet_workspace(warmed_dir)
+    alice = cluster.connect("alice")
+    for _ in range(2):
+        _timed_queries(alice)  # populate kernel/plan/result tiers
+    warmed = _timed_queries(alice)  # steady state: all result-cache hits
+    warmed_p50 = statistics.median(warmed)
+    assert cluster.backend.result_cache.stats.hits >= 2 * len(FLEET_QUERIES)
+    ws.shutdown()
+
+    # A fresh cluster counts as "warm" once a query comes in at warmed-p50
+    # scale; 2x + 2ms absorbs disk-read + decode + timer noise while staying
+    # far below the tens-of-ms analyze+compile+execute cold path.
+    threshold = 2 * warmed_p50 + 0.002
+
+    # -- cluster 2: fresh cluster, warmed store -------------------------------
+    ws2, cluster2, _ = _fleet_workspace(warmed_dir)
+    warm_first5 = _timed_queries(ws2.clusters["standard"].connect("alice"))[:5]
+    warmed_store_hits = cluster2.backend.result_cache.stats.hits
+    ws2.shutdown()
+
+    # -- cluster 3: fresh cluster, empty store (baseline) ---------------------
+    ws3, _, _ = _fleet_workspace(str(tmp_path / "empty-store"))
+    cold_first5 = _timed_queries(ws3.clusters["standard"].connect("alice"))[:5]
+    ws3.shutdown()
+
+    warmed_reached = sum(1 for lat in warm_first5 if lat <= threshold)
+    baseline_reached = sum(1 for lat in cold_first5 if lat <= threshold)
+
+    def _ms(values):
+        return [f"{v * 1000:.2f}" for v in values]
+
+    print_table(
+        "Fleet cold start: first-5 query latency on a fresh cluster (ms)",
+        ["cluster", "q1", "q2", "q3", "q4", "q5", "<= warmed-p50 threshold"],
+        [
+            ["warmed store"] + _ms(warm_first5) + [f"{warmed_reached}/5"],
+            ["empty store"] + _ms(cold_first5) + [f"{baseline_reached}/5"],
+            ["warmed p50 (steady state)", f"{warmed_p50 * 1000:.2f}", "", "", "",
+             "", f"threshold {threshold * 1000:.2f}ms"],
+        ],
+    )
+
+    assert warmed_store_hits >= 1  # the fresh cluster really read the store
+    assert warmed_reached >= 1, "warmed store never reached warmed p50 in 5 queries"
+    assert baseline_reached == 0, "empty-store baseline was already at warmed p50"
+
+    write_bench_json(
+        "cold_start",
+        params={
+            "num_rows": _FLEET_ROWS,
+            "num_queries": len(FLEET_QUERIES),
+            "store_backend": "disk",
+            "store_tiers": ["memory", "disk"],
+            "result_cache_enabled": True,
+            "threshold_rule": "2 * warmed_p50 + 2ms",
+        },
+        phases=[
+            {"phase": "warmed p50 (steady state)", "ms": warmed_p50 * 1000},
+            {"phase": "fresh cluster + warmed store, first 5",
+             "ms": [v * 1000 for v in warm_first5],
+             "reached_warmed_p50": warmed_reached},
+            {"phase": "fresh cluster + empty store, first 5",
+             "ms": [v * 1000 for v in cold_first5],
+             "reached_warmed_p50": baseline_reached},
+        ],
+        extra={
+            "warmed_store_result_hits_first5": warmed_store_hits,
+            "warmed_reached_within_first_5": bool(warmed_reached),
+            "empty_store_reached_within_first_5": bool(baseline_reached),
+        },
+    )
 
 
 def test_benchmark_real_subprocess_cold_start(benchmark):

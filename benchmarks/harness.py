@@ -21,12 +21,15 @@ def build_sales_workspace(
     num_rows: int = 10_000,
     regions: tuple[str, ...] = ("US", "EU", "APAC"),
     sandbox_backend: str = "inprocess",
+    **workspace_kwargs,
 ) -> tuple[Workspace, object, object]:
     """A workspace with a populated, granted ``main.s.sales`` table.
 
+    Extra keyword arguments go to :class:`Workspace` (e.g. the persistence
+    knobs ``store_backend``/``store_dir``/``result_cache_enabled``).
     Returns (workspace, standard_cluster, admin_client).
     """
-    ws = Workspace(sandbox_backend=sandbox_backend)
+    ws = Workspace(sandbox_backend=sandbox_backend, **workspace_kwargs)
     ws.add_user("admin", admin=True)
     ws.add_user("alice")
     ws.add_group("analysts", ["alice"])
@@ -118,6 +121,64 @@ def write_bench_json(
     return path
 
 
+_RESULTS_HEADER = """\
+Machine-readable benchmark records, rendered from benchmarks/BENCH_*.json.
+This file is GENERATED — do not edit; regenerate after any benchmark run:
+
+    PYTHONPATH=src python benchmarks/harness.py
+
+(tests/test_documentation.py fails if it drifts from the JSON records.)
+The paper-style reproduction tables print live via `pytest benchmarks/ -s`;
+EXPERIMENTS.md discusses paper-vs-measured numbers.
+"""
+
+
+def _render_value(value, indent: int = 0) -> list[str]:
+    pad = "  " * indent
+    lines: list[str] = []
+    if isinstance(value, dict):
+        for key, val in value.items():
+            if isinstance(val, (dict, list)) and val:
+                lines.append(f"{pad}{key}:")
+                lines.extend(_render_value(val, indent + 1))
+            else:
+                lines.append(f"{pad}{key}: {val if val != [] and val != {} else '(none)'}")
+    elif isinstance(value, list):
+        for item in value:
+            if isinstance(item, (dict, list)):
+                lines.append(f"{pad}-")
+                lines.extend(_render_value(item, indent + 1))
+            else:
+                lines.append(f"{pad}- {item}")
+    else:
+        lines.append(f"{pad}{value}")
+    return lines
+
+
+def render_bench_records(directory: Path | None = None) -> str:
+    """Deterministic text rendering of every ``BENCH_*.json`` record.
+
+    The single source of truth for ``RESULTS.txt``: same JSON set in, same
+    text out, so the checked-in file provably matches the checked-in records.
+    """
+    directory = directory or Path(__file__).resolve().parent
+    lines = [_RESULTS_HEADER]
+    for path in sorted(directory.glob("BENCH_*.json")):
+        record = json.loads(path.read_text())
+        lines.append(f"=== {path.name} ===")
+        lines.extend(_render_value(record))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def regenerate_results(directory: Path | None = None) -> Path:
+    """Rewrite ``benchmarks/RESULTS.txt`` from the current JSON set."""
+    directory = directory or Path(__file__).resolve().parent
+    path = directory / "RESULTS.txt"
+    path.write_text(render_bench_records(directory))
+    return path
+
+
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     """ASCII table matching the style of the paper's tables."""
     str_rows = [[str(v) for v in row] for row in rows]
@@ -130,3 +191,7 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     print("-+-".join("-" * w for w in widths))
     for row in str_rows:
         print(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+
+
+if __name__ == "__main__":
+    print(regenerate_results())

@@ -132,6 +132,11 @@ class UnityCatalog:
         #: Enforcement caches key on this epoch, so a stale epoch is a hard
         #: miss — a policy change can never serve a stale cached artifact.
         self._policy_epoch = 0
+        #: Monotonic *data* version: every governed write (append/overwrite,
+        #: MV refresh, table create/drop) bumps it. The persistent result
+        #: cache keys on (policy epoch, data epoch) so cached result bytes
+        #: can survive neither a governance change nor a table mutation.
+        self._data_epoch = 0
         self._epoch_lock = threading.Lock()
         #: Named cache-statistics providers backing ``system.access.cache_stats``.
         self._cache_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
@@ -141,6 +146,9 @@ class UnityCatalog:
         #: Named fault/recovery-statistics providers (the chaos engine and
         #: each cluster's recovery layer) backing ``system.access.fault_stats``.
         self._fault_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
+        #: Named persistence-tier providers (artifact stores, result
+        #: caches) backing ``system.access.store_stats``.
+        self._store_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
         self.register_fault_stats_provider(
             "faults[catalog]", self.faults.stats_snapshot
         )
@@ -170,6 +178,19 @@ class UnityCatalog:
             self._policy_epoch += 1
             epoch = self._policy_epoch
         self.telemetry.counter("catalog.policy_epoch_bumps").inc()
+        return epoch
+
+    @property
+    def data_epoch(self) -> int:
+        """Current data version; the result cache keys on this value."""
+        return self._data_epoch
+
+    def bump_data_epoch(self, reason: str = "") -> int:
+        """Advance the data epoch (every governed write path calls this)."""
+        with self._epoch_lock:
+            self._data_epoch += 1
+            epoch = self._data_epoch
+        self.telemetry.counter("catalog.data_epoch_bumps").inc()
         return epoch
 
     # ------------------------------------------------------------------
@@ -222,6 +243,24 @@ class UnityCatalog:
         return {
             name: dict(provider())
             for name, provider in sorted(self._fault_stats_providers.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Store-statistics registry (``system.access.store_stats``)
+    # ------------------------------------------------------------------
+
+    def register_store_stats_provider(
+        self, name: str, provider: Callable[[], dict[str, Any]]
+    ) -> None:
+        """Expose one persistence-tier component (a cluster's artifact
+        store or result cache) through the introspection table."""
+        self._store_stats_providers[name] = provider
+
+    def store_stats(self) -> dict[str, dict[str, Any]]:
+        """Snapshot of every registered store's statistics, by scope."""
+        return {
+            name: dict(provider())
+            for name, provider in sorted(self._store_stats_providers.items())
         }
 
     # ------------------------------------------------------------------
@@ -306,6 +345,7 @@ class UnityCatalog:
         del self._schema(cat, sch).objects[name]
         self._row_filters.pop(full_name, None)
         self._column_masks.pop(full_name, None)
+        self.bump_data_epoch("drop-object")
         self.bump_policy_epoch("drop-object")
 
     def get_object(self, full_name: str) -> Securable:
@@ -351,6 +391,7 @@ class UnityCatalog:
         LakeTableStorage(self.store, root).create(
             schema.names, self._service_credential
         )
+        self.bump_data_epoch("create-table")
         return table
 
     def get_table(self, full_name: str) -> TableObject:
@@ -383,6 +424,7 @@ class UnityCatalog:
         else:
             storage.append(columns, credential)
         self.vendor.revoke(credential.token)
+        self.bump_data_epoch("write-table")
 
     # -- views / functions / volumes --------------------------------------------
 
@@ -429,6 +471,7 @@ class UnityCatalog:
             storage.overwrite(columns, self._service_credential)
         view.schema = schema
         view.stale = False
+        self.bump_data_epoch("mv-refresh")
         # Freshness flips resolution from live expansion to materialized
         # scan, so plans cached before the refresh must not survive it.
         self.bump_policy_epoch("mv-refresh")

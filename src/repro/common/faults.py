@@ -45,9 +45,18 @@ ENV_CHAOS_RATE = "LAKEGUARD_CHAOS_RATE"
 ENV_CHAOS_SEED = "LAKEGUARD_CHAOS_SEED"
 
 #: Fault points the environment schedule arms (storage reads, sandbox
-#: invokes, and pool-worker task execution — the paths the acceptance
-#: workload recovers on).
-ENV_CHAOS_POINTS = ("storage.get", "sandbox.invoke", "worker.task")
+#: invokes, pool-worker task execution, and persistence-tier reads and
+#: writes — the paths the acceptance workload recovers on). Store faults
+#: are absorbed by the tiered store itself (a failed get is a miss, a
+#: failed put is a skipped write), so arming them must never change
+#: query results.
+ENV_CHAOS_POINTS = (
+    "storage.get",
+    "sandbox.invoke",
+    "worker.task",
+    "store.get",
+    "store.put",
+)
 
 
 def _default_error(point: str) -> Exception:

@@ -28,7 +28,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.catalog.metastore import UnityCatalog
 from repro.common.context import QueryContext, QueryDeadlineExceeded, span_or_null
@@ -129,6 +129,7 @@ class GovernedDataSource:
         scan_retries: int = 2,
         scan_retry_base_delay: float = 0.02,
         hedge_after_seconds: float | None = None,
+        artifact_store: "Any | None" = None,
     ):
         self._catalog = catalog
         self._caps = caps
@@ -150,6 +151,9 @@ class GovernedDataSource:
                 refresh_ahead_fraction=credential_refresh_ahead,
                 telemetry=catalog.telemetry,
                 faults=catalog.faults,
+                # Credentials ride the artifact store's memory-pinned tier
+                # only — never the disk spill or shared KV.
+                persistent=artifact_store,
             )
             catalog.register_cache_stats_provider(
                 f"credential_cache[{caps.compute_id}]",

@@ -96,6 +96,9 @@ class GovernedResolver:
     #: Injected-fault trigger counts and recovery counters from the chaos
     #: engine and every cluster's recovery layer (admins only).
     FAULT_STATS_TABLE = "system.access.fault_stats"
+    #: Persistence-tier counters — per-tier hits/misses/bytes, result-cache
+    #: hit ratio, dist-KV rebalance moves (admins only).
+    STORE_STATS_TABLE = "system.access.store_stats"
     #: Every registered ``system.access.*`` table, the single source of
     #: truth for introspection surfaces (README's listing is diffed against
     #: this in tests/test_documentation.py).
@@ -105,6 +108,7 @@ class GovernedResolver:
         CACHE_STATS_TABLE,
         WORKLOAD_STATS_TABLE,
         FAULT_STATS_TABLE,
+        STORE_STATS_TABLE,
     )
 
     def resolve_relation(
@@ -121,6 +125,8 @@ class GovernedResolver:
             return self._resolve_workload_stats_table()
         if name == self.FAULT_STATS_TABLE:
             return self._resolve_fault_stats_table()
+        if name == self.STORE_STATS_TABLE:
+            return self._resolve_store_stats_table()
         metadata = self._catalog.relation_metadata(
             name, self.acting_ctx, self._caps
         )
@@ -451,6 +457,49 @@ class GovernedResolver:
             raise PermissionDenied(ctx.user, MANAGE, self.FAULT_STATS_TABLE)
         rows: list[tuple[str, str, float]] = []
         for scope, stats in self._catalog.fault_stats().items():
+            for metric, value in sorted(stats.items()):
+                try:
+                    rows.append((scope, metric, float(value)))
+                except (TypeError, ValueError):
+                    continue  # non-numeric provider fields are not metrics
+        schema = Schema(
+            (
+                Field("scope", STRING),
+                Field("metric", STRING),
+                Field("value", FLOAT),
+            )
+        )
+        columns: list[list] = [
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
+        ]
+        return LocalRelation(schema, columns)
+
+    def _resolve_store_stats_table(self) -> LogicalPlan:
+        """``system.access.store_stats``: persistence-tier counters (admins).
+
+        One ``(scope, metric, value)`` row per counter from the catalog's
+        store-stats providers: each cluster's artifact store (per-namespace
+        hits/puts, ladder hit/miss/corruption-rejected/fault-drop totals,
+        per-tier counters) and its governed result cache — so operators can
+        watch warm-start behaviour, tier promotion and checksum rejections
+        through plain governed SQL.
+        """
+        from repro.catalog.privileges import MANAGE
+        from repro.engine.logical import LocalRelation
+        from repro.engine.types import FLOAT, STRING, Field
+        from repro.errors import PermissionDenied
+
+        ctx = self.session_ctx
+        is_admin = (
+            not ctx.is_down_scoped
+            and self._catalog.principals.is_admin(ctx.user)
+        )
+        if not is_admin:
+            raise PermissionDenied(ctx.user, MANAGE, self.STORE_STATS_TABLE)
+        rows: list[tuple[str, str, float]] = []
+        for scope, stats in self._catalog.store_stats().items():
             for metric, value in sorted(stats.items()):
                 try:
                     rows.append((scope, metric, float(value)))

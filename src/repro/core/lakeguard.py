@@ -112,6 +112,10 @@ class LakeguardCluster:
         worker_backend: str | None = None,
         worker_pool_size: int | None = None,
         engine_fuse_operators: bool | None = None,
+        store_backend: str = "memory",
+        store_dir: str | None = None,
+        result_cache_enabled: bool = False,
+        dist_kv: Any = None,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -165,6 +169,24 @@ class LakeguardCluster:
             f"sandbox_pool[{self.cluster_id}]", self.dispatcher.stats_snapshot
         )
 
+        #: Governed persistence tier (PAPER §cache): a tiered KV ladder under
+        #: the kernel/plan/credential caches plus the governed result cache.
+        #: ``store_backend`` picks the ladder: ``memory`` (default — process
+        #: lifetime only), ``disk`` (memory → spill dir, survives restarts),
+        #: ``distkv`` (… → simulated distributed KV, shared across clusters),
+        #: or ``none`` (no store at all).
+        self.artifact_store: Any = None
+        self.result_cache: Any = None
+        self._build_store(store_backend, store_dir, result_cache_enabled, dist_kv)
+        #: Persistent read/write-through hook for kernel/plan caches. Only
+        #: wired when a tier actually outlives this process — duplicating
+        #: every entry into a same-lifetime memory ladder is pure overhead.
+        store_persistent = (
+            self.artifact_store
+            if self.artifact_store is not None and self.artifact_store.has_persistent
+            else None
+        )
+
         #: Expression compilation: one cluster-wide kernel cache so every
         #: session (and every plan-cache entry) reuses generated kernels for
         #: structurally congruent expressions (None when disabled).
@@ -179,7 +201,9 @@ class LakeguardCluster:
         self._kernel_compiler: KernelCompiler | None = None
         if engine_compile:
             self.kernel_cache = KernelCache(
-                capacity=kernel_cache_capacity, telemetry=self.telemetry
+                capacity=kernel_cache_capacity,
+                telemetry=self.telemetry,
+                persistent=store_persistent,
             )
             self._kernel_compiler = KernelCompiler(cache=self.kernel_cache)
             catalog.register_cache_stats_provider(
@@ -192,7 +216,9 @@ class LakeguardCluster:
         self.plan_cache: SecurePlanCache | None = None
         if enable_plan_cache:
             self.plan_cache = SecurePlanCache(
-                capacity=plan_cache_capacity, telemetry=self.telemetry
+                capacity=plan_cache_capacity,
+                telemetry=self.telemetry,
+                persistent=store_persistent,
             )
             catalog.register_cache_stats_provider(
                 f"plan_cache[{self.cluster_id}]", self.plan_cache.stats_snapshot
@@ -207,6 +233,10 @@ class LakeguardCluster:
             scan_retries=scan_retries,
             scan_retry_base_delay=scan_retry_base_delay,
             hedge_after_seconds=scan_hedge_after_seconds,
+            # Always wired (not just when persistent): the store pins
+            # credentials to its memory tier, proving secret material can
+            # ride the same ladder without ever reaching disk.
+            artifact_store=self.artifact_store,
         )
         catalog.register_fault_stats_provider(
             f"recovery[{self.cluster_id}]", self._recovery_stats_snapshot
@@ -246,6 +276,66 @@ class LakeguardCluster:
 
         #: Most recent QueryResult (plans + metrics), for tests/benchmarks.
         self.last_result: QueryResult | None = None
+
+    def _build_store(
+        self,
+        store_backend: str,
+        store_dir: str | None,
+        result_cache_enabled: bool,
+        dist_kv: Any,
+    ) -> None:
+        """Assemble the tiered store ladder + artifact/result facades."""
+        from repro.store import (
+            ArtifactStore,
+            DiskTier,
+            DistKVTier,
+            GovernedResultCache,
+            MemoryTier,
+            TieredStore,
+        )
+
+        backend = store_backend
+        if backend == "memory" and store_dir is not None:
+            # A spill dir only makes sense with a disk tier: treat the
+            # combination as asking for one.
+            backend = "disk"
+        if backend == "none":
+            if result_cache_enabled:
+                raise ValueError(
+                    "result_cache_enabled requires a store backend"
+                )
+            return
+        tiers: list[Any] = [MemoryTier()]
+        if backend == "disk":
+            if store_dir is None:
+                raise ValueError("store_backend='disk' requires store_dir")
+            tiers.append(DiskTier(store_dir))
+        elif backend == "distkv":
+            if store_dir is not None:
+                tiers.append(DiskTier(store_dir))
+            tiers.append(dist_kv if dist_kv is not None else DistKVTier())
+        elif backend != "memory":
+            raise ValueError(
+                f"unknown store_backend '{store_backend}' "
+                "(expected memory|disk|distkv|none)"
+            )
+        tiered = TieredStore(
+            tiers, faults=self.catalog.faults, telemetry=self.telemetry
+        )
+        self.artifact_store = ArtifactStore(
+            tiered, cluster_id=self.cluster_id, telemetry=self.telemetry
+        )
+        self.catalog.register_store_stats_provider(
+            f"store[{self.cluster_id}]", self.artifact_store.stats_snapshot
+        )
+        if result_cache_enabled:
+            self.result_cache = GovernedResultCache(
+                self.artifact_store, telemetry=self.telemetry
+            )
+            self.catalog.register_store_stats_provider(
+                f"result_cache[{self.cluster_id}]",
+                self.result_cache.stats_snapshot,
+            )
 
     def _recovery_stats_snapshot(self) -> dict[str, float]:
         """Scan + sandbox recovery counters for ``system.access.fault_stats``."""
@@ -397,6 +487,8 @@ class LakeguardCluster:
             policy_epoch=lambda: self.catalog.policy_epoch,
             compute_id=self.caps.compute_id,
             workload_manager=self.workload_manager,
+            result_cache=self.result_cache,
+            data_epoch=lambda: self.catalog.data_epoch,
         )
 
     def _run_pipeline(

@@ -93,18 +93,29 @@ class PlanCacheStats:
     stale_epoch_misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    #: Misses served by rehydrating a persisted plan from the artifact store.
+    persistent_hits: int = 0
 
 
 class SecurePlanCache:
-    """Thread-safe LRU cache of (analyzed, optimized) secure plans."""
+    """Thread-safe LRU cache of (analyzed, optimized) secure plans.
+
+    With a ``persistent`` :class:`repro.store.ArtifactStore` attached, the
+    cache reads and writes through it: a miss probes the store (key embeds
+    the policy epoch, so stale governance is a hard miss there too) and
+    verifies the rehydrated relation equals the live one before adopting —
+    the same hash-then-compare rule the in-memory path applies.
+    """
 
     def __init__(
         self,
         capacity: int = DEFAULT_CAPACITY,
         telemetry: Telemetry | None = None,
+        persistent: Any | None = None,
     ):
         self.capacity = max(1, capacity)
         self._telemetry = telemetry
+        self._persistent = persistent
         self._entries: OrderedDict[PlanCacheKey, CachedSecurePlan] = OrderedDict()
         #: identity() -> current key, to evict superseded-epoch entries.
         self._by_identity: dict[tuple, PlanCacheKey] = {}
@@ -140,7 +151,25 @@ class SecurePlanCache:
                 self._by_identity.pop(key.identity(), None)
                 self.stats.stale_epoch_misses += 1
                 self._count("plan_cache.stale_epoch_misses")
+        return self._lookup_persistent(key, relation)
+
+    def _lookup_persistent(
+        self, key: PlanCacheKey, relation: dict[str, Any]
+    ) -> CachedSecurePlan | None:
+        """Probe the artifact store after an in-memory miss (no lock held)."""
+        if self._persistent is None:
             return None
+        record = self._persistent.get_plan(key)
+        if record is None:
+            return None
+        stored_relation, analyzed, optimized = record
+        if stored_relation != relation:
+            return None  # fingerprint collision: never serve a wrong plan
+        entry = self.insert(key, relation, analyzed, optimized, persist=False)
+        with self._lock:
+            self.stats.persistent_hits += 1
+        self._count("plan_cache.persistent_hits")
+        return entry
 
     def insert(
         self,
@@ -148,12 +177,17 @@ class SecurePlanCache:
         relation: dict[str, Any],
         analyzed: LogicalPlan,
         optimized: LogicalPlan,
+        persist: bool = True,
     ) -> CachedSecurePlan:
         """Store a freshly resolved plan, evicting LRU past capacity.
 
         Returns the inserted entry so the caller can attach the physical
         operator tree (with its compiled kernels) once planning happens.
+        ``persist=False`` skips the store write-through (used when adopting
+        an entry that just came *from* the store).
         """
+        if persist and self._persistent is not None:
+            self._persistent.put_plan(key, relation, analyzed, optimized)
         with self._lock:
             previous = self._by_identity.get(key.identity())
             if previous is not None and previous != key:
@@ -190,6 +224,7 @@ class SecurePlanCache:
                 "stale_epoch_misses": self.stats.stale_epoch_misses,
                 "insertions": self.stats.insertions,
                 "evictions": self.stats.evictions,
+                "persistent_hits": self.stats.persistent_hits,
                 "size": len(self._entries),
                 "capacity": self.capacity,
             }

@@ -67,6 +67,10 @@ class ComputeCluster:
         worker_backend: str | None = None,
         worker_pool_size: int | None = None,
         engine_fuse_operators: bool | None = None,
+        store_backend: str = "memory",
+        store_dir: str | None = None,
+        result_cache_enabled: bool = False,
+        dist_kv: Any = None,
     ):
         self.catalog = catalog
         self.clock = clock or SystemClock()
@@ -104,6 +108,10 @@ class ComputeCluster:
             worker_backend=worker_backend,
             worker_pool_size=worker_pool_size,
             engine_fuse_operators=engine_fuse_operators,
+            store_backend=store_backend,
+            store_dir=store_dir,
+            result_cache_enabled=result_cache_enabled,
+            dist_kv=dist_kv,
         )
         self.service = SparkConnectService(self.backend, clock=self.clock)
         #: The backend's admission controller (None when disabled).

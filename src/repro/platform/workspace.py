@@ -27,6 +27,9 @@ class Workspace:
         clock: Clock | None = None,
         sandbox_backend: Backend = "inprocess",
         store: Any = None,
+        store_backend: str = "memory",
+        store_dir: str | None = None,
+        result_cache_enabled: bool = False,
     ):
         self.name = name
         self.clock = clock or SystemClock()
@@ -34,6 +37,12 @@ class Workspace:
         #: ``store`` lets benchmarks model storage latency (an ObjectStore
         #: with ``read_latency_seconds``) without re-wiring the catalog.
         self.catalog = UnityCatalog(clock=self.clock, store=store)
+        #: Workspace-level persistence-tier defaults, inherited by every
+        #: cluster created here (overridable per cluster).
+        self.store_backend = store_backend
+        self.store_dir = store_dir
+        self.result_cache_enabled = result_cache_enabled
+        self._dist_kv: Any = None
         self.clusters: dict[str, Any] = {}
         self._gateway: ServerlessGateway | None = None
 
@@ -57,6 +66,29 @@ class Workspace:
             )
         return self._gateway
 
+    @property
+    def dist_kv(self) -> Any:
+        """The workspace-shared simulated distributed KV (lazily created).
+
+        Every cluster created with ``store_backend='distkv'`` in this
+        workspace rides the *same* KV instance, so content-addressed
+        artifacts (compiled kernels) are shared across the fleet.
+        """
+        if self._dist_kv is None:
+            from repro.store import DistKVTier
+
+            self._dist_kv = DistKVTier()
+        return self._dist_kv
+
+    def _store_kwargs(self, kwargs: dict[str, Any]) -> dict[str, Any]:
+        """Apply workspace persistence-tier defaults to cluster kwargs."""
+        kwargs.setdefault("store_backend", self.store_backend)
+        kwargs.setdefault("store_dir", self.store_dir)
+        kwargs.setdefault("result_cache_enabled", self.result_cache_enabled)
+        if kwargs["store_backend"] == "distkv":
+            kwargs.setdefault("dist_kv", self.dist_kv)
+        return kwargs
+
     def create_standard_cluster(self, name: str = "standard", **kwargs: Any) -> StandardCluster:
         """Provision a multi-user Standard cluster in this workspace."""
         cluster = StandardCluster(
@@ -64,7 +96,7 @@ class Workspace:
             name=name,
             clock=self.clock,
             sandbox_backend=kwargs.pop("sandbox_backend", self._sandbox_backend),
-            **kwargs,
+            **self._store_kwargs(kwargs),
         )
         self.clusters[name] = cluster
         return cluster
@@ -86,7 +118,7 @@ class Workspace:
             clock=self.clock,
             remote_submit=gateway.submit,
             remote_analyze=gateway.analyze,
-            **kwargs,
+            **self._store_kwargs(kwargs),
         )
         self.clusters[name] = cluster
         return cluster

@@ -1,11 +1,14 @@
 """Documentation hygiene: every public module, class and function in the
 library carries a docstring (deliverable (e): doc comments on every public
-item), and the README's system-tables listing matches the live registry."""
+item), the README's system-tables listing matches the live registry, and
+``benchmarks/RESULTS.txt`` is exactly the rendering of the checked-in
+``BENCH_*.json`` records."""
 
 import importlib
 import inspect
 import pkgutil
 import re
+import sys
 from pathlib import Path
 
 import pytest
@@ -115,4 +118,23 @@ def test_readme_lists_every_system_table():
         f"README system-tables listing is out of sync: "
         f"missing {sorted(registered - documented)}, "
         f"extra {sorted(documented - registered)}"
+    )
+
+
+def test_results_txt_is_generated_from_bench_records():
+    """``benchmarks/RESULTS.txt`` must byte-match the deterministic rendering
+    of the checked-in ``BENCH_*.json`` set — a benchmark run that updates a
+    JSON record without regenerating the text file fails here, so the two
+    can never drift apart again."""
+    bench_dir = Path(__file__).parent.parent / "benchmarks"
+    sys.path.insert(0, str(bench_dir))
+    try:
+        from harness import render_bench_records
+    finally:
+        sys.path.remove(str(bench_dir))
+    expected = render_bench_records(bench_dir)
+    actual = (bench_dir / "RESULTS.txt").read_text()
+    assert actual == expected, (
+        "benchmarks/RESULTS.txt drifted from the BENCH_*.json records — "
+        "regenerate it with: PYTHONPATH=src python benchmarks/harness.py"
     )

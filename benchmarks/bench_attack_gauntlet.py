@@ -1,0 +1,127 @@
+"""Adversarial gauntlet acceptance run + defense-off ablation.
+
+Not a paper table — the acceptance experiment for the attack suite
+(DESIGN.md §12). Three legs:
+
+- **full gauntlet**: every registered scenario runs against a wired
+  multi-user cluster; the bar is zero leaked rows/bytes across all
+  technique families, and ``system.access.attack_stats`` must agree.
+- **defense-off ablation**: the same harness rebuilt with an egress
+  allowlist that includes the attacker's endpoint. The
+  ``udf-egress-exfiltration`` scenario must now *leak* — proving the
+  gauntlet's oracles detect a missing defense rather than vacuously
+  passing.
+- **fuzz throughput**: a bounded hypothesis run under the leak oracle,
+  timed, with zero counterexamples.
+
+Emits ``BENCH_attack_gauntlet.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from harness import print_table, write_bench_json
+
+from repro.attacks import registry
+from repro.attacks.fuzzer import run_fuzz
+from repro.attacks.harness import EVIL_HOST, GauntletHarness
+from repro.sandbox.policy import SandboxPolicy
+
+FUZZ_EXAMPLES = 40
+
+RESULTS: dict = {}
+
+
+def test_full_gauntlet_zero_leaks():
+    harness = GauntletHarness()
+    try:
+        started = time.perf_counter()
+        results = harness.run_all()
+        elapsed = time.perf_counter() - started
+        by_family: dict[str, list] = {}
+        for name, result in results.items():
+            technique = registry.get_scenario(name).technique
+            by_family.setdefault(technique, []).append(result)
+        assert all(r.contained for r in results.values()), results
+        assert harness.stats.total_leaks() == 0
+        table_rows = (
+            harness.client_for("admin")
+            .table("system.access.attack_stats")
+            .collect()
+        )
+        leak_cells = [v for s, m, v in table_rows if m == "leaks"]
+        assert leak_cells and all(v == 0.0 for v in leak_cells)
+        RESULTS["full"] = {
+            "scenarios": len(results),
+            "families": {
+                fam: len(outcomes) for fam, outcomes in sorted(by_family.items())
+            },
+            "contained": sum(r.contained for r in results.values()),
+            "leaks": harness.stats.total_leaks(),
+            "seconds_total": round(elapsed, 4),
+        }
+    finally:
+        harness.close()
+
+
+def test_defense_off_ablation_detects_the_leak():
+    # Widen the sandbox egress allowlist to the attacker's endpoint: the
+    # exfiltration scenario must now land, and the gauntlet must say so.
+    harness = GauntletHarness(
+        sandbox_policy=SandboxPolicy().with_egress(EVIL_HOST)
+    )
+    try:
+        scenario = registry.get_scenario("udf-egress-exfiltration")
+        result = registry.run_scenario(harness, scenario)
+        assert not result.contained, "oracle missed a disabled defense"
+        assert harness.evil_received, "leak verdict without delivered payloads"
+        assert harness.stats.total_leaks() >= 1
+        RESULTS["defense_off"] = {
+            "scenario": scenario.name,
+            "contained": result.contained,
+            "delivered_payloads": len(harness.evil_received),
+            "leaked_bytes": result.leaked_bytes,
+        }
+    finally:
+        harness.close()
+
+
+def test_fuzz_throughput_and_report():
+    harness = GauntletHarness()
+    try:
+        started = time.perf_counter()
+        failures = run_fuzz(harness, "alice", max_examples=FUZZ_EXAMPLES)
+        failures += run_fuzz(harness, "mallory", max_examples=FUZZ_EXAMPLES)
+        elapsed = time.perf_counter() - started
+        assert failures == []
+        RESULTS["fuzz"] = {
+            "examples": 2 * FUZZ_EXAMPLES,
+            "counterexamples": 0,
+            "examples_per_second": round(2 * FUZZ_EXAMPLES / elapsed, 1),
+        }
+    finally:
+        harness.close()
+
+    full = RESULTS["full"]
+    print_table(
+        "Adversarial gauntlet (DESIGN.md §12)",
+        ["leg", "scenarios/examples", "leaks", "note"],
+        [
+            ["full gauntlet", full["scenarios"], full["leaks"],
+             f"{len(full['families'])} families, "
+             f"{full['seconds_total']}s"],
+            ["defense off", 1,
+             int(not RESULTS["defense_off"]["contained"]),
+             f"{RESULTS['defense_off']['delivered_payloads']} payloads "
+             "reached the evil endpoint"],
+            ["fuzz", RESULTS["fuzz"]["examples"],
+             RESULTS["fuzz"]["counterexamples"],
+             f"{RESULTS['fuzz']['examples_per_second']} plans/s"],
+        ],
+    )
+    write_bench_json(
+        "attack_gauntlet",
+        params={"fuzz_examples": 2 * FUZZ_EXAMPLES},
+        extra={"results": RESULTS},
+    )

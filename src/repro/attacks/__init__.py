@@ -1,0 +1,51 @@
+"""Adversarial security gauntlet: executable attacks on the enforcement plane.
+
+PR 5 built chaos for *crashes*; this package is the attack twin for
+*enforcement*. Every documented attack on the Lakeguard stack — malicious
+UDFs probing the sandbox, hand-crafted Connect plans smuggling past
+filters/masks, credential replay, cache oracles, admission-lane spoofing —
+is a registered, executable :class:`~repro.attacks.scenario.AttackScenario`
+that runs against a fully wired cluster and must report **zero leaked
+rows/bytes**. The Queen's Guard paper (PAPERS.md) is the source of the
+attack classes; DESIGN.md §12 is the threat-model matrix this registry is
+diffed against in ``tests/test_documentation.py``.
+
+Entry points:
+
+- :func:`load_all_scenarios` — import every scenario module, return the
+  registry contents.
+- :class:`GauntletHarness` — the wired workspace (governed table, granted
+  analyst, ungranted attacker, evil egress endpoint) scenarios run against.
+- :func:`run_scenario` / :meth:`GauntletHarness.run_all` — execute and
+  record outcomes into ``system.access.attack_stats``.
+- :mod:`repro.attacks.fuzzer` — the hypothesis-based red-team fuzzer and
+  its committed counterexample corpus.
+"""
+
+from repro.attacks.harness import GauntletHarness
+from repro.attacks.registry import (
+    AttackStatsBook,
+    all_scenarios,
+    attack_scenario,
+    get_scenario,
+    load_all_scenarios,
+    run_scenario,
+    scenario_names,
+    technique_families,
+)
+from repro.attacks.scenario import AttackResult, AttackScenario, find_leaks
+
+__all__ = [
+    "AttackResult",
+    "AttackScenario",
+    "AttackStatsBook",
+    "GauntletHarness",
+    "all_scenarios",
+    "attack_scenario",
+    "find_leaks",
+    "get_scenario",
+    "load_all_scenarios",
+    "run_scenario",
+    "scenario_names",
+    "technique_families",
+]

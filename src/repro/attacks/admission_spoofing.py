@@ -1,0 +1,125 @@
+"""Admission-lane spoofing against the workload manager's system lane.
+
+``system.*`` introspection reads bypass admission throttling entirely, so
+the lane classifier is itself an attack surface: anything that tricks it
+into the system lane gets an unthrottled, unshed execution slot. These
+scenarios try every spoof the classifier is supposed to shrug off —
+``system.``-looking literals in relational and SQL plans, config-claimed
+lanes, and mixed joins — with the manager's ``system_bypass`` counter as
+the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.attacks import harness as h
+from repro.attacks.registry import attack_scenario
+from repro.attacks.scenario import AttackResult, contained, judge, leaked
+from repro.connect import proto
+from repro.errors import LakeguardError
+
+
+def _bypass_count(gauntlet: Any) -> int:
+    return int(gauntlet.cluster.workload_manager.stats_snapshot()["system_bypass"])
+
+
+@attack_scenario(
+    name="admission-literal-lane-spoof",
+    layer="scheduler",
+    technique="admission-spoofing",
+    expected_containment="lane classification resolves table references "
+    "structurally; a 'system.' string inside a literal never routes the "
+    "query onto the unthrottled system lane",
+)
+def admission_literal_lane_spoof(gauntlet: Any) -> AttackResult:
+    """A filter literal dresses an ordinary scan up as introspection."""
+    # Sanity: the bypass lane genuinely exists for real system reads.
+    gauntlet.collect("admin", proto.read_table("system.access.audit"))
+    if _bypass_count(gauntlet) == 0:
+        return leaked("system lane never engaged; the bypass oracle is dead")
+    before = _bypass_count(gauntlet)
+    relation = proto.filter_relation(
+        proto.read_table(h.ORDERS),
+        proto.binary(
+            "=", proto.column("region"), proto.literal("system.access.audit")
+        ),
+    )
+    rows = gauntlet.collect("alice", relation)
+    if _bypass_count(gauntlet) != before:
+        return leaked("literal 'system.' string bypassed admission")
+    return judge(rows, gauntlet.forbidden_tokens(), "literal spoof stayed throttled")
+
+
+@attack_scenario(
+    name="admission-sql-literal-lane-spoof",
+    layer="scheduler",
+    technique="admission-spoofing",
+    expected_containment="SQL plans classify by AST table nodes, not text: "
+    "quoted 'system.' fragments in predicates stay on admitted lanes",
+)
+def admission_sql_literal_lane_spoof(gauntlet: Any) -> AttackResult:
+    """The same spoof rides a SQL string instead of a relation tree."""
+    before = _bypass_count(gauntlet)
+    rows = gauntlet.collect(
+        "alice",
+        proto.sql_relation(
+            f"SELECT id FROM {h.ORDERS} "
+            "WHERE buyer = 'system.access.cache_stats'"
+        ),
+    )
+    if _bypass_count(gauntlet) != before:
+        return leaked("SQL literal 'system.' fragment bypassed admission")
+    return judge(rows, gauntlet.forbidden_tokens(), "SQL spoof stayed throttled")
+
+
+@attack_scenario(
+    name="admission-config-lane-spoof",
+    layer="scheduler",
+    technique="admission-spoofing",
+    expected_containment="session config can pick interactive or batch "
+    "only; a config-claimed 'system' lane is forced back to interactive",
+)
+def admission_config_lane_spoof(gauntlet: Any) -> AttackResult:
+    """Mallory sets workload.lane=system in session config and queries."""
+    client = gauntlet.client_for("mallory")
+    client.set_config(**{"workload.lane": "system"})
+    try:
+        before = _bypass_count(gauntlet)
+        rows = gauntlet.collect(
+            "mallory",
+            proto.local_relation([{"name": "x", "type": "int"}], [[1, 2, 3]]),
+        )
+        if _bypass_count(gauntlet) != before:
+            return leaked("config-claimed system lane bypassed admission")
+    finally:
+        client.set_config(**{"workload.lane": "interactive"})
+    return judge(rows, gauntlet.forbidden_tokens(), "claimed lane demoted")
+
+
+@attack_scenario(
+    name="admission-mixed-join-spoof",
+    layer="scheduler",
+    technique="admission-spoofing",
+    expected_containment="the system lane requires *every* referenced "
+    "table to be system.*; joining governed data against a system table "
+    "keeps the query on admitted lanes",
+)
+def admission_mixed_join_spoof(gauntlet: Any) -> AttackResult:
+    """A join smuggles a governed scan alongside a system-table read."""
+    before = _bypass_count(gauntlet)
+    join = {
+        "@type": "relation.join",
+        "left": proto.read_table("system.access.audit"),
+        "right": proto.read_table(h.ORDERS),
+        "how": "inner",
+        "condition": None,
+    }
+    try:
+        gauntlet.collect("admin", proto.limit(join, 1))
+    except LakeguardError:
+        # Admission ran before analysis; a typed analysis error is fine.
+        pass
+    if _bypass_count(gauntlet) != before:
+        return leaked("mixed join was admitted on the system lane")
+    return contained("mixed plan stayed on admitted lanes")

@@ -1,0 +1,313 @@
+"""Hypothesis-based red-team fuzzer for the Connect enforcement plane.
+
+Registered scenarios encode attacks we already thought of; the fuzzer
+hunts for the ones we did not. It generates arbitrary Connect plan trees —
+valid ones, injection-laced ones, and structurally mangled ones — and runs
+each against the live gauntlet cluster under a single **leak oracle**:
+
+    Any row or byte visible to principal A that a fresh, fault-free run
+    of the same plan as A does not return is a failure. Typed
+    ``LakeguardError`` refusals are containment; any *other* exception
+    is an attacker-reachable crash and also a failure.
+
+The reference run happens on a cache-free twin cluster sharing the same
+catalog (:meth:`GauntletHarness.reference_client_for`), so cached state on
+the attacked cluster can never launder extra rows past the oracle.
+Counterexamples serialize to JSON and land in ``tests/attack_corpus/``,
+which tier-1 replays as deterministic regression cases forever after.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import LakeguardError
+
+#: Columns that exist on the governed table, plus ones that do not —
+#: the fuzzer should exercise both resolution successes and failures.
+_COLUMNS = ("id", "region", "amount", "buyer", "nope", "salary")
+
+#: Literal pool: benign values, ``system.``-lane bait, quote-breakers and
+#: SQL fragments that would change semantics if anything ever re-parsed a
+#: literal as code.
+_LITERALS = (
+    0,
+    1,
+    -1,
+    3.5,
+    True,
+    None,
+    "US",
+    "***",
+    "system.access.audit",
+    "'; DROP TABLE main.sales.orders; --",
+    "x' OR '1'='1",
+    "system.",
+)
+
+_SQL_FRAGMENTS = (
+    "region = 'US'",
+    "amount > 0",
+    "buyer LIKE '%SECRET%'",
+    "1 = 1 OR region <> 'US'",
+    "region = 'US') OR ('1' = '1",
+    "id IN (SELECT id FROM main.sales.salaries)",
+)
+
+_SQL_QUERIES = (
+    "SELECT * FROM main.sales.orders",
+    "SELECT buyer, region FROM main.sales.orders WHERE amount > 5",
+    "SELECT person FROM main.sales.salaries",
+    "SELECT * FROM system.access.audit",
+    "SELECT id FROM main.sales.orders WHERE buyer = 'system.access.audit'",
+)
+
+_BINARY_OPS = ("=", "<", ">", "+", "-", "*", "and", "or")
+
+
+def expression_strategy() -> Any:
+    """Strategy producing Connect expression dicts (JSON-serializable)."""
+    from hypothesis import strategies as st
+
+    column = st.sampled_from(_COLUMNS).map(
+        lambda c: {"@type": "expr.column", "name": c}
+    )
+    literal = st.sampled_from(_LITERALS).map(
+        lambda v: {"@type": "expr.literal", "value": v}
+    )
+    sql = st.sampled_from(_SQL_FRAGMENTS).map(
+        lambda s: {"@type": "expr.sql", "text": s}
+    )
+    base = st.one_of(column, literal, sql)
+
+    def extend(children: Any) -> Any:
+        binary = st.tuples(
+            st.sampled_from(_BINARY_OPS), children, children
+        ).map(
+            lambda t: {
+                "@type": "expr.binary",
+                "op": t[0],
+                "left": t[1],
+                "right": t[2],
+            }
+        )
+        case = st.tuples(children, children, children).map(
+            lambda t: {
+                "@type": "expr.case",
+                "branches": [[t[0], t[1]]],
+                "otherwise": t[2],
+            }
+        )
+        return st.one_of(binary, case)
+
+    return st.recursive(base, extend, max_leaves=6)
+
+
+def relation_strategy() -> Any:
+    """Strategy producing Connect relation dicts: valid trees, governed and
+    system-table reads, SQL plans, and structural mutations (dropped keys,
+    wrong value types, unknown ``@type``)."""
+    from hypothesis import strategies as st
+
+    read = st.sampled_from(
+        (
+            "main.sales.orders",
+            "main.sales.salaries",
+            "system.access.audit",
+            "main.sales.missing",
+        )
+    ).map(lambda t: {"@type": "relation.read", "table": t})
+    sql = st.sampled_from(_SQL_QUERIES).map(
+        lambda q: {"@type": "relation.sql", "query": q}
+    )
+    local = st.just(
+        {
+            "@type": "relation.local",
+            "schema": [{"name": "k", "type": "string"}],
+            "columns": [["system.access.audit", "x"]],
+        }
+    )
+    base = st.one_of(read, sql, local)
+    expr = expression_strategy()
+
+    def wrap(children: Any) -> Any:
+        filt = st.tuples(children, expr).map(
+            lambda t: {"@type": "relation.filter", "input": t[0], "condition": t[1]}
+        )
+        proj = st.tuples(children, st.lists(expr, min_size=1, max_size=3)).map(
+            lambda t: {"@type": "relation.project", "input": t[0], "expressions": t[1]}
+        )
+        lim = st.tuples(children, st.integers(-2, 5)).map(
+            lambda t: {"@type": "relation.limit", "input": t[0], "limit": t[1]}
+        )
+        alias = st.tuples(children, st.sampled_from(("a", "x", "raw"))).map(
+            lambda t: {"@type": "relation.subquery_alias", "input": t[0], "alias": t[1]}
+        )
+        dist = children.map(lambda c: {"@type": "relation.distinct", "input": c})
+        uni = st.tuples(children, children).map(
+            lambda t: {"@type": "relation.union", "inputs": [t[0], t[1]]}
+        )
+        agg = st.tuples(children, expr).map(
+            lambda t: {
+                "@type": "relation.aggregate",
+                "input": t[0],
+                "groupings": [],
+                "aggregates": [
+                    {"@type": "expr.agg", "name": "count", "child": t[1],
+                     "distinct": False}
+                ],
+            }
+        )
+        return st.one_of(filt, proj, lim, alias, dist, uni, agg)
+
+    well_formed = st.recursive(base, wrap, max_leaves=5)
+
+    def mangle(pair: tuple[dict[str, Any], int]) -> dict[str, Any]:
+        plan, pick = pair
+        mutated = dict(plan)
+        keys = sorted(mutated)
+        if pick == 0 and len(keys) > 1:
+            del mutated[keys[-1]]
+        elif pick == 1:
+            mutated[keys[-1]] = 42
+        elif pick == 2:
+            mutated["@type"] = "relation.evil"
+        else:
+            mutated["junk"] = "system.access.audit"
+        return mutated
+
+    mangled = st.tuples(well_formed, st.integers(0, 3)).map(mangle)
+    return st.one_of(well_formed, well_formed, mangled)
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """Verdict of one fuzzed plan: contained refusal, clean rows, or leak."""
+
+    ok: bool
+    note: str
+
+
+class LeakOracle:
+    """Judges one fuzzed plan against the fresh-run-as-A definition."""
+
+    def __init__(self, gauntlet: Any, user: str) -> None:
+        self.gauntlet = gauntlet
+        self.user = user
+        self._token_pattern = re.compile(
+            "|".join(re.escape(t) for t in sorted(gauntlet.static_secrets))
+        )
+
+    def _rows(self, client: Any, plan: dict[str, Any]) -> list[tuple]:
+        schema, columns = client.execute_relation(plan)
+        return list(zip(*columns)) if columns else []
+
+    def judge(self, plan: dict[str, Any]) -> FuzzOutcome:
+        """Run ``plan`` as the attacked principal and apply the leak oracle."""
+        try:
+            rows = self._rows(self.gauntlet.client_for(self.user), plan)
+        except LakeguardError as exc:
+            text = f"{type(exc).__name__}: {exc}"
+            if self._token_pattern.search(text):
+                return FuzzOutcome(False, f"error message leaked a secret: {text}")
+            return FuzzOutcome(True, f"contained ({type(exc).__name__})")
+        except Exception as exc:  # noqa: BLE001 - the oracle's whole point
+            return FuzzOutcome(
+                False, f"untyped crash {type(exc).__name__}: {exc}"
+            )
+        if self._token_pattern.search(str(rows)):
+            return FuzzOutcome(False, f"rows contained a secret: {rows!r}")
+        try:
+            reference = self._rows(
+                self.gauntlet.reference_client_for(self.user), plan
+            )
+        except LakeguardError as exc:
+            return FuzzOutcome(
+                False,
+                f"attacked cluster returned {len(rows)} rows where a fresh "
+                f"run refuses with {type(exc).__name__}",
+            )
+        if sorted(map(repr, rows)) != sorted(map(repr, reference)):
+            return FuzzOutcome(
+                False,
+                f"rows diverge from fresh fault-free run: got {rows!r}, "
+                f"reference {reference!r}",
+            )
+        return FuzzOutcome(True, f"{len(rows)} rows, matches reference")
+
+
+def run_fuzz(
+    gauntlet: Any,
+    user: str,
+    max_examples: int = 50,
+    corpus_dir: str | None = None,
+) -> list[dict[str, Any]]:
+    """Fuzz the gauntlet cluster as ``user``; return found counterexamples.
+
+    Derandomized (fixed seed) so CI runs are reproducible; failures are
+    additionally persisted to ``corpus_dir`` so they become deterministic
+    regression cases even after the fuzzer moves on.
+    """
+    from hypothesis import HealthCheck, given, settings
+
+    oracle = LeakOracle(gauntlet, user)
+    failures: list[dict[str, Any]] = []
+
+    @settings(
+        max_examples=max_examples,
+        database=None,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=list(HealthCheck),
+    )
+    @given(plan=relation_strategy())
+    def probe(plan: dict[str, Any]) -> None:
+        outcome = oracle.judge(plan)
+        if not outcome.ok:
+            record = {"user": user, "plan": plan, "note": outcome.note}
+            failures.append(record)
+            if corpus_dir is not None:
+                save_counterexample(corpus_dir, record)
+            raise AssertionError(f"leak oracle failed: {outcome.note}")
+
+    try:
+        probe()
+    except AssertionError:
+        # The counterexample is already recorded; callers assert on the
+        # returned list so a fuzz run reports every detail it has.
+        pass
+    return failures
+
+
+def save_counterexample(corpus_dir: str, record: dict[str, Any]) -> str:
+    """Persist one counterexample as a stable-named JSON corpus file."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    import hashlib
+
+    digest = hashlib.sha256(
+        json.dumps(record["plan"], sort_keys=True, default=str).encode()
+    ).hexdigest()[:12]
+    path = os.path.join(corpus_dir, f"fuzz-{record['user']}-{digest}.json")
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus(corpus_dir: str) -> list[dict[str, Any]]:
+    """Load every committed counterexample, sorted by filename."""
+    if not os.path.isdir(corpus_dir):
+        return []
+    records = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(corpus_dir, name)) as handle:
+            record = json.load(handle)
+        record["source"] = name
+        records.append(record)
+    return records

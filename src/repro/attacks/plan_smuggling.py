@@ -1,0 +1,178 @@
+"""Hand-crafted Connect plans that try to slip around the analyzer.
+
+The Connect wire protocol accepts arbitrary dict trees; nothing stops an
+attacker from skipping the client DSL and mailing the server whatever plan
+they like. These scenarios do exactly that: raw reads without privileges,
+user predicates hunting pre-mask values, ``SecureView`` unwrap attempts
+through alias nesting, ``expr.sql`` injection payloads, and malformed
+protos designed to crash the decoder into some permissive fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import cloudpickle
+
+from repro.attacks import harness as h
+from repro.attacks.registry import attack_scenario
+from repro.attacks.scenario import AttackResult, contained, judge, leaked
+from repro.connect import proto
+from repro.errors import LakeguardError, PermissionDenied
+
+
+@attack_scenario(
+    name="plan-raw-read-unauthorized",
+    layer="connect",
+    technique="plan-smuggling",
+    expected_containment="resolution authorizes every table reference "
+    "against the catalog regardless of how the plan arrived "
+    "(PermissionDenied)",
+)
+def plan_raw_read_unauthorized(gauntlet: Any) -> AttackResult:
+    """Mallory mails a hand-built read of the governed table, no DSL."""
+    for table in (h.ORDERS, h.SALARIES):
+        try:
+            rows = gauntlet.collect("mallory", proto.read_table(table))
+            return leaked(f"raw read of {table} returned {len(rows)} rows")
+        except PermissionDenied as exc:
+            leak = judge(exc, gauntlet.forbidden_tokens(), "")
+            if not leak.contained:
+                return leak
+        except LakeguardError as exc:
+            return leaked(f"expected PermissionDenied for {table}, got {exc!r}")
+    return contained("raw reads denied for both tables")
+
+
+@attack_scenario(
+    name="plan-filter-pushdown-probe",
+    layer="enforcement",
+    technique="plan-smuggling",
+    expected_containment="SecureView barrier keeps user predicates above "
+    "the injected row filter and masks: the probe predicate only ever "
+    "sees masked values",
+)
+def plan_filter_pushdown_probe(gauntlet: Any) -> AttackResult:
+    """A UDF predicate returns True only if it saw an unmasked secret."""
+    hunt = proto.python_udf(
+        "hunt",
+        "bool",
+        cloudpickle.dumps(lambda buyer: "SECRET" in buyer or "RAW-" in buyer),
+        [proto.column("buyer")],
+    )
+    relation = proto.filter_relation(proto.read_table(h.ORDERS), hunt)
+    try:
+        rows = gauntlet.collect("alice", relation)
+    except LakeguardError as exc:
+        return judge(exc, gauntlet.forbidden_tokens(), "probe predicate refused")
+    if rows:
+        return leaked(
+            f"predicate observed pre-mask values on {len(rows)} rows",
+            rows=len(rows),
+        )
+    return contained("predicate matched nothing: it only saw masked values")
+
+
+@attack_scenario(
+    name="plan-secureview-unwrap",
+    layer="enforcement",
+    technique="plan-smuggling",
+    expected_containment="filters and masks are injected below the "
+    "SecureView during resolution; alias nesting above it cannot reach "
+    "the unmasked scan",
+)
+def plan_secureview_unwrap(gauntlet: Any) -> AttackResult:
+    """Alias/star nesting tries to re-select the raw column under the view."""
+    inner = proto.subquery_alias(proto.read_table(h.ORDERS), "raw")
+    widened = proto.project(inner, [proto.star()])
+    relation = proto.project(
+        proto.subquery_alias(widened, "x"),
+        [proto.column("buyer"), proto.column("region")],
+    )
+    try:
+        rows = gauntlet.collect("alice", relation)
+    except LakeguardError as exc:
+        return judge(exc, gauntlet.forbidden_tokens(), "unwrap refused")
+    regions = {r[1] for r in rows}
+    buyers = {r[0] for r in rows}
+    if regions - {"US"} or buyers - {"***"}:
+        return leaked(
+            f"unwrap saw regions={sorted(regions)} buyers={sorted(buyers)}",
+            rows=len(rows),
+        )
+    return judge(rows, gauntlet.forbidden_tokens(), "view stayed wrapped")
+
+
+@attack_scenario(
+    name="plan-sql-expr-injection",
+    layer="connect",
+    technique="plan-smuggling",
+    expected_containment="raw expr.sql fragments are parsed as expressions "
+    "over the governed (already filtered/masked) relation; injection "
+    "payloads either fail to parse or see only visible rows",
+)
+def plan_sql_expr_injection(gauntlet: Any) -> AttackResult:
+    """Classic injection payloads ride an expr.sql filter condition."""
+    payloads = (
+        "buyer LIKE '%SECRET%'",
+        "1 = 1 OR region <> 'US'",
+        "region = 'US') OR ('1' = '1",
+        "region = 'US' UNION SELECT person FROM main.sales.salaries",
+    )
+    visible = set(gauntlet.VISIBLE_ORDERS)
+    for payload in payloads:
+        relation = proto.filter_relation(
+            proto.read_table(h.ORDERS), proto.sql_expr(payload)
+        )
+        try:
+            rows = gauntlet.collect("alice", relation)
+        except LakeguardError as exc:
+            leak = judge(exc, gauntlet.forbidden_tokens(), "")
+            if not leak.contained:
+                return leak
+            continue
+        extra = set(rows) - visible
+        if extra:
+            return leaked(
+                f"payload {payload!r} surfaced hidden rows {sorted(extra)}",
+                rows=len(extra),
+            )
+        leak = judge(rows, gauntlet.forbidden_tokens(), "")
+        if not leak.contained:
+            return leak
+    return contained("every payload parsed to nothing beyond the visible rows")
+
+
+@attack_scenario(
+    name="plan-malformed-proto",
+    layer="connect",
+    technique="plan-smuggling",
+    expected_containment="malformed plans fail with typed errors "
+    "(ProtocolError/AnalysisError/ParseError) and the service keeps "
+    "serving subsequent queries",
+)
+def plan_malformed_proto(gauntlet: Any) -> AttackResult:
+    """Type-confused and truncated protos hunt for a permissive fallback."""
+    malformed: tuple[dict, ...] = (
+        {"@type": "relation.evil", "table": h.ORDERS},
+        {"@type": "relation.read"},
+        {"@type": "relation.filter", "input": proto.read_table(h.ORDERS),
+         "condition": "region = 'US'"},
+        {"@type": "relation.project", "input": proto.read_table(h.ORDERS),
+         "expressions": 42},
+        proto.filter_relation({"@type": "relation.sql", "query": 17},
+                              proto.literal(True)),
+    )
+    for plan in malformed:
+        try:
+            rows = gauntlet.collect("mallory", plan)
+            return leaked(f"malformed plan {plan.get('@type')} returned {rows}")
+        except LakeguardError as exc:
+            leak = judge(exc, gauntlet.forbidden_tokens(), "")
+            if not leak.contained:
+                return leak
+    # The service must still be alive and correct afterwards.
+    rows = gauntlet.client_for("alice").table(h.ORDERS).collect()
+    if set(rows) != set(gauntlet.VISIBLE_ORDERS):
+        return leaked(f"service degraded after malformed plans: {rows}")
+    return contained("all malformed plans rejected; service kept serving")

@@ -122,6 +122,10 @@ class UnityCatalog:
         self.store.faults = self.faults
         self.vendor = CredentialVendor(clock=self.clock, telemetry=self.telemetry)
         self.vendor.faults = self.faults
+        # Storage checks liveness with the issuing vendor on every access:
+        # revoking a credential (or an identity) takes effect immediately,
+        # even for an attacker replaying a previously captured credential.
+        self.store.vendor = self.vendor
         self.principals = PrincipalDirectory()
         self.grants = PrivilegeStore()
         self._catalogs: dict[str, CatalogObject] = {}
@@ -149,6 +153,9 @@ class UnityCatalog:
         #: Named persistence-tier providers (artifact stores, result
         #: caches) backing ``system.access.store_stats``.
         self._store_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
+        #: Named attack-gauntlet providers (per-scenario runs/contained/
+        #: leaked counters) backing ``system.access.attack_stats``.
+        self._attack_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
         self.register_fault_stats_provider(
             "faults[catalog]", self.faults.stats_snapshot
         )
@@ -261,6 +268,24 @@ class UnityCatalog:
         return {
             name: dict(provider())
             for name, provider in sorted(self._store_stats_providers.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Attack-statistics registry (``system.access.attack_stats``)
+    # ------------------------------------------------------------------
+
+    def register_attack_stats_provider(
+        self, name: str, provider: Callable[[], dict[str, Any]]
+    ) -> None:
+        """Expose one attack-gauntlet run (per-scenario runs/contained/
+        leaked counters) through the introspection table."""
+        self._attack_stats_providers[name] = provider
+
+    def attack_stats(self) -> dict[str, dict[str, Any]]:
+        """Snapshot of every registered gauntlet's counters, by scope."""
+        return {
+            name: dict(provider())
+            for name, provider in sorted(self._attack_stats_providers.items())
         }
 
     # ------------------------------------------------------------------

@@ -125,6 +125,25 @@ def references_system_tables(obj: Any) -> bool:
 _SYSTEM_REF = re.compile(r"(?:^|[^\w.])system\.")
 
 
+def plan_targets_system_tables(plan: dict[str, Any]) -> bool:
+    """Does the plan read any ``system.*`` table — structurally when possible.
+
+    The plan cache uses this to decide the caching bypass (system tables
+    materialize at resolve time; caching would freeze their rows and their
+    per-user admin gating). Classification matches the admission lane's:
+    :func:`referenced_tables` resolves the actual table references, so a
+    ``system.`` substring inside a string literal no longer defeats caching
+    for a perfectly cacheable user query. Only when the plan resists
+    structural resolution (``referenced_tables`` returns ``None``) does the
+    over-broad :func:`references_system_tables` substring scan decide — the
+    conservative direction for a cache bypass.
+    """
+    tables = referenced_tables(plan)
+    if tables is not None:
+        return any(t.startswith("system.") for t in tables)
+    return references_system_tables(plan)
+
+
 def referenced_tables(plan: dict[str, Any]) -> set[str] | None:
     """The table names a wire plan structurally references, or ``None``.
 

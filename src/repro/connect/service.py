@@ -37,6 +37,7 @@ from repro.errors import (
     EgressDenied,
     ExecutionError,
     FaultInjectedError,
+    HostFilesystemDenied,
     LakeguardError,
     OperationGoneError,
     ParseError,
@@ -45,6 +46,7 @@ from repro.errors import (
     RetryableError,
     SandboxDied,
     SandboxError,
+    SandboxPolicyViolation,
     SecurableAlreadyExists,
     SecurableNotFound,
     SessionError,
@@ -52,6 +54,7 @@ from repro.errors import (
     StorageError,
     TransientCredentialError,
     TransientStorageError,
+    TrustDomainViolation,
     UnsupportedOperationError,
     UserCodeError,
     VersionIncompatibleError,
@@ -84,6 +87,7 @@ _ERROR_CLASSES: dict[str, type[LakeguardError]] = {
         EgressDenied,
         ExecutionError,
         FaultInjectedError,
+        HostFilesystemDenied,
         LakeguardError,
         OperationGoneError,
         ParseError,
@@ -92,6 +96,7 @@ _ERROR_CLASSES: dict[str, type[LakeguardError]] = {
         RetryableError,
         SandboxDied,
         SandboxError,
+        SandboxPolicyViolation,
         SecurableAlreadyExists,
         SecurableNotFound,
         SessionError,
@@ -99,6 +104,7 @@ _ERROR_CLASSES: dict[str, type[LakeguardError]] = {
         StorageError,
         TransientCredentialError,
         TransientStorageError,
+        TrustDomainViolation,
         UnsupportedOperationError,
         UserCodeError,
         VersionIncompatibleError,

@@ -99,6 +99,9 @@ class GovernedResolver:
     #: Persistence-tier counters — per-tier hits/misses/bytes, result-cache
     #: hit ratio, dist-KV rebalance moves (admins only).
     STORE_STATS_TABLE = "system.access.store_stats"
+    #: Adversarial-gauntlet counters — per attack scenario, how often it ran
+    #: and whether the stack contained it or leaked (admins only).
+    ATTACK_STATS_TABLE = "system.access.attack_stats"
     #: Every registered ``system.access.*`` table, the single source of
     #: truth for introspection surfaces (README's listing is diffed against
     #: this in tests/test_documentation.py).
@@ -109,6 +112,7 @@ class GovernedResolver:
         WORKLOAD_STATS_TABLE,
         FAULT_STATS_TABLE,
         STORE_STATS_TABLE,
+        ATTACK_STATS_TABLE,
     )
 
     def resolve_relation(
@@ -127,6 +131,8 @@ class GovernedResolver:
             return self._resolve_fault_stats_table()
         if name == self.STORE_STATS_TABLE:
             return self._resolve_store_stats_table()
+        if name == self.ATTACK_STATS_TABLE:
+            return self._resolve_attack_stats_table()
         metadata = self._catalog.relation_metadata(
             name, self.acting_ctx, self._caps
         )
@@ -508,6 +514,49 @@ class GovernedResolver:
         schema = Schema(
             (
                 Field("scope", STRING),
+                Field("metric", STRING),
+                Field("value", FLOAT),
+            )
+        )
+        columns: list[list] = [
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
+        ]
+        return LocalRelation(schema, columns)
+
+    def _resolve_attack_stats_table(self) -> LogicalPlan:
+        """``system.access.attack_stats``: gauntlet outcomes (admins only).
+
+        One ``(scenario, metric, value)`` row per counter from the
+        catalog's attack-stats providers — each registered gauntlet run
+        reports, per attack scenario, how often it ran, how often the
+        stack contained it, and how many rows/bytes leaked. The CI
+        gauntlet job snapshots this table as its artifact; any non-zero
+        ``leaks`` row is a broken security invariant, not a flaky test.
+        """
+        from repro.catalog.privileges import MANAGE
+        from repro.engine.logical import LocalRelation
+        from repro.engine.types import FLOAT, STRING, Field
+        from repro.errors import PermissionDenied
+
+        ctx = self.session_ctx
+        is_admin = (
+            not ctx.is_down_scoped
+            and self._catalog.principals.is_admin(ctx.user)
+        )
+        if not is_admin:
+            raise PermissionDenied(ctx.user, MANAGE, self.ATTACK_STATS_TABLE)
+        rows: list[tuple[str, str, float]] = []
+        for scope, stats in self._catalog.attack_stats().items():
+            for metric, value in sorted(stats.items()):
+                try:
+                    rows.append((scope, metric, float(value)))
+                except (TypeError, ValueError):
+                    continue  # non-numeric provider fields are not metrics
+        schema = Schema(
+            (
+                Field("scenario", STRING),
                 Field("metric", STRING),
                 Field("value", FLOAT),
             )

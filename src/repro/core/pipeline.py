@@ -28,7 +28,7 @@ from typing import Any, Callable, Sequence
 
 from repro.common.context import QueryContext
 from repro.common.telemetry import Span
-from repro.connect.proto import references_system_tables
+from repro.connect.proto import plan_targets_system_tables
 from repro.connect.sessions import SessionState
 from repro.core.plan_cache import (
     CachedSecurePlan,
@@ -193,7 +193,7 @@ def build_enforcement_pipeline(
             span.set_attribute(
                 "relation_type", (state.relation or {}).get("@type", "?")
             )
-            if plan_cache is not None and not references_system_tables(
+            if plan_cache is not None and not plan_targets_system_tables(
                 state.relation
             ):
                 state.cache_key = _cache_key(state)

@@ -52,7 +52,7 @@ from repro.engine.logical import (
 )
 from repro.engine.types import Field, Schema, type_from_name
 from repro.engine.udf import PythonUDF
-from repro.errors import ProtocolError
+from repro.errors import LakeguardError, ProtocolError
 from repro.sql.parser import parse_expression, parse_statement
 from repro.sql import ast_nodes as ast
 from repro.sql.to_plan import FunctionLookup, PlanBuilder
@@ -86,7 +86,20 @@ class PlanDecoder:
     # ------------------------------------------------------------------
 
     def relation(self, msg: dict[str, Any], depth: int = 0) -> LogicalPlan:
-        """Decode a relation message into an (unresolved) logical plan."""
+        """Decode a relation message into an (unresolved) logical plan.
+
+        Malformed messages (missing fields, type-confused values) must
+        surface as typed :class:`ProtocolError`, never as bare Python
+        exceptions — a crash mid-decode is an attacker-reachable path.
+        """
+        try:
+            return self._relation(msg, depth)
+        except (LakeguardError, RecursionError):
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ProtocolError(f"malformed relation message: {exc!r}") from exc
+
+    def _relation(self, msg: dict[str, Any], depth: int) -> LogicalPlan:
         if depth > MAX_VIEW_DEPTH:
             raise ProtocolError("temp-view substitution exceeded maximum depth")
         kind = msg.get("@type")

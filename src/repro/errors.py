@@ -213,6 +213,10 @@ class EgressDenied(SandboxPolicyViolation):
     """User code attempted network egress to a non-allow-listed endpoint."""
 
 
+class HostFilesystemDenied(SandboxPolicyViolation):
+    """User code attempted to read the host filesystem through the broker."""
+
+
 class TrustDomainViolation(SandboxError):
     """Code from different trust domains would have shared a sandbox."""
 

@@ -8,6 +8,17 @@ any "network" is touched.
 
 External services are simulated by registering handlers per host; this gives
 examples and tests a deterministic endpoint (e.g. the air-quality service).
+
+Host-filesystem access works the same way: :func:`fs_read` is the brokered
+read path (the stand-in for a bind mount / FUSE broker on the container
+boundary), gated by the ambient policy's ``allow_host_filesystem`` bit.
+
+The ambient-policy stack is *narrowing-only*: once a sandbox has installed
+its policy around a user-code invocation, nothing running inside that scope
+can install a policy that grants more than the enclosing one. Without this
+rule, malicious UDF code could simply push ``UNISOLATED`` onto its own
+thread's stack and exfiltrate freely (the ``udf-ambient-policy-escalation``
+scenario in ``repro.attacks`` pins the defense).
 """
 
 from __future__ import annotations
@@ -16,7 +27,7 @@ import threading
 from typing import Any, Callable
 from urllib.parse import urlparse
 
-from repro.errors import SandboxError
+from repro.errors import HostFilesystemDenied, SandboxError, SandboxPolicyViolation
 from repro.sandbox.policy import SandboxPolicy
 
 _STATE = threading.local()
@@ -34,6 +45,20 @@ def unregister_service(host: str) -> None:
     _SERVICES.pop(host, None)
 
 
+def _escalates(inner: SandboxPolicy, outer: SandboxPolicy) -> str | None:
+    """The first way ``inner`` grants more than ``outer``, or ``None``."""
+    if inner.allow_network and not outer.allow_network:
+        return "allow_network"
+    if inner.allow_network and "*" not in outer.egress_allowlist:
+        if "*" in inner.egress_allowlist:
+            return "egress_allowlist wildcard"
+        if not inner.egress_allowlist <= outer.egress_allowlist:
+            return "egress_allowlist"
+    if inner.allow_host_filesystem and not outer.allow_host_filesystem:
+        return "allow_host_filesystem"
+    return None
+
+
 class _AmbientPolicy:
     """Context manager the sandbox uses to scope its policy to user code."""
 
@@ -45,6 +70,15 @@ class _AmbientPolicy:
         if stack is None:
             stack = []
             _STATE.stack = stack
+        if stack:
+            # Nested installs may only narrow. The outermost policy is the
+            # cluster manager's decision; user code runs strictly inside it.
+            widened = _escalates(self._policy, stack[-1])
+            if widened is not None:
+                raise SandboxPolicyViolation(
+                    "nested sandbox policy may not escalate the ambient "
+                    f"policy (attempted to widen {widened})"
+                )
         stack.append(self._policy)
 
     def __exit__(self, *exc_info) -> None:
@@ -82,3 +116,20 @@ def http_get(url: str) -> Any:
 def http_post(url: str, payload: Any = None) -> Any:
     """Simulated HTTP POST through the sandbox's egress rules."""
     return _request(url, payload)
+
+
+def fs_read(path: str) -> bytes:
+    """Brokered host-filesystem read, gated by the ambient sandbox policy.
+
+    This is the one sanctioned way user code reaches host files (modelling
+    the broker on a container's bind-mount boundary). A locked-down policy
+    raises :class:`~repro.errors.HostFilesystemDenied` before the path is
+    touched. Outside any sandbox (trusted driver code) the read is allowed.
+    """
+    policy = current_policy()
+    if policy is not None and not policy.allow_host_filesystem:
+        raise HostFilesystemDenied(
+            f"host filesystem access is disabled for this sandbox ('{path}')"
+        )
+    with open(path, "rb") as handle:
+        return handle.read()

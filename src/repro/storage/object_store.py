@@ -23,11 +23,12 @@ from typing import TYPE_CHECKING, Protocol
 
 from repro.common.audit import AuditLog
 from repro.common.clock import Clock, SystemClock
-from repro.errors import StorageAccessDenied, StorageError
-from repro.storage.credentials import DELETE, LIST, READ, WRITE
+from repro.errors import CredentialError, StorageAccessDenied, StorageError
+from repro.storage.credentials import DELETE, LIST, READ, WRITE, TemporaryCredential
 
 if TYPE_CHECKING:
     from repro.common.faults import FaultInjector
+    from repro.storage.credentials import CredentialVendor
 
 
 class StorageCredential(Protocol):
@@ -89,6 +90,13 @@ class ObjectStore:
         #: flake happens on the wire — so byte/object counters only move on
         #: attempts that actually reach the data.
         self.faults: "FaultInjector | None" = None
+        #: Issuing vendor (set by the owning catalog). When present, every
+        #: temporary-credential operation is validated against the vendor's
+        #: live set, so revocation takes effect immediately — a captured
+        #: credential *object* cannot be replayed after ``revoke``. Stores
+        #: constructed stand-alone (no vendor) keep pure capability
+        #: semantics: the credential's own prefix/op/expiry checks decide.
+        self.vendor: "CredentialVendor | None" = None
         self.stats = StorageStats()
 
     @property
@@ -101,6 +109,17 @@ class ObjectStore:
     def _check(self, credential: StorageCredential, path: str, op: str) -> None:
         now = self._clock.now()
         allowed = credential.authorizes(path, op, now)
+        revoked: CredentialError | None = None
+        if (
+            allowed
+            and self.vendor is not None
+            and isinstance(credential, TemporaryCredential)
+        ):
+            try:
+                self.vendor.validate(credential)
+            except CredentialError as exc:
+                allowed = False
+                revoked = exc
         if self._audit is not None:
             self._audit.record(
                 timestamp=now,
@@ -111,6 +130,8 @@ class ObjectStore:
             )
         if not allowed:
             self.stats.denied_ops += 1
+            if revoked is not None:
+                raise revoked
             raise StorageAccessDenied(
                 f"{credential.identity}: {op} denied on '{path}'"
             )

@@ -138,3 +138,37 @@ def test_results_txt_is_generated_from_bench_records():
         "benchmarks/RESULTS.txt drifted from the BENCH_*.json records — "
         "regenerate it with: PYTHONPATH=src python benchmarks/harness.py"
     )
+
+
+def test_design_threat_matrix_matches_attack_registry():
+    """DESIGN.md §12's threat-model matrix names every registered attack
+    scenario, and names no scenario that does not exist.
+
+    The attack registry (``repro.attacks.registry``) is the source of
+    truth; this diff is what keeps the threat-model chapter honest when
+    scenarios are added, renamed or removed.
+    """
+    from repro.attacks import registry as attack_registry
+
+    attack_registry.load_all_scenarios()
+    design = (Path(__file__).parent.parent / "DESIGN.md").read_text()
+    match = re.search(
+        r"## 12\. Threat model.*?(?=\n## 13\.)", design, flags=re.DOTALL
+    )
+    assert match, "DESIGN.md has no '## 12. Threat model' chapter"
+    chapter = match.group(0)
+    families = "|".join(sorted(attack_registry.technique_families()))
+    prefixes = {f.split("-")[0] for f in attack_registry.technique_families()}
+    prefixes |= {"udf", "plan", "credential", "cache", "admission"}
+    documented = {
+        token
+        for token in re.findall(r"`([a-z-]+)`", chapter)
+        if token.split("-")[0] in prefixes and "-" in token
+        and token not in families.split("|")
+    }
+    registered = set(attack_registry.scenario_names())
+    assert documented == registered, (
+        f"DESIGN.md threat matrix is out of sync with the attack registry: "
+        f"missing {sorted(registered - documented)}, "
+        f"stale {sorted(documented - registered)}"
+    )

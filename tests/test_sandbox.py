@@ -6,7 +6,9 @@ from repro.common.clock import VirtualClock
 from repro.engine.udf import udf
 from repro.errors import (
     EgressDenied,
+    HostFilesystemDenied,
     SandboxError,
+    SandboxPolicyViolation,
     TrustDomainViolation,
     UserCodeError,
 )
@@ -374,3 +376,48 @@ class TestSpecializedPools:
         )
         assert results == {1: [3], 2: [2.0]}
         assert runtime.round_trips == 2  # one local, one specialized
+
+
+class TestAmbientPolicyHardening:
+    """PR-9 hardening: the ambient-policy stack is narrowing-only, and host
+    filesystem reads go through the brokered, policy-gated ``net.fs_read``."""
+
+    def test_nested_narrowing_is_allowed(self):
+        wide = SandboxPolicy().with_egress("api.example.com", "cdn.example.com")
+        narrow = SandboxPolicy().with_egress("api.example.com")
+        with net.ambient_policy(wide):
+            with net.ambient_policy(narrow):
+                assert net.current_policy() is narrow
+            assert net.current_policy() is wide
+
+    def test_nested_escalation_raises(self):
+        from repro.sandbox.policy import UNISOLATED
+
+        with net.ambient_policy(SandboxPolicy()):
+            with pytest.raises(SandboxPolicyViolation, match="escalate"):
+                with net.ambient_policy(UNISOLATED):
+                    pass  # pragma: no cover - must not be reached
+
+    def test_widening_the_allowlist_is_escalation(self):
+        narrow = SandboxPolicy().with_egress("api.example.com")
+        wider = SandboxPolicy().with_egress("api.example.com", "evil.example.com")
+        with net.ambient_policy(narrow):
+            with pytest.raises(SandboxPolicyViolation, match="egress_allowlist"):
+                with net.ambient_policy(wider):
+                    pass  # pragma: no cover - must not be reached
+
+    def test_fs_read_denied_under_locked_down(self, tmp_path):
+        secret = tmp_path / "secret.txt"
+        secret.write_text("host-only")
+        with net.ambient_policy(SandboxPolicy()):
+            with pytest.raises(HostFilesystemDenied):
+                net.fs_read(str(secret))
+
+    def test_fs_read_allowed_when_policy_grants_it(self, tmp_path):
+        secret = tmp_path / "secret.txt"
+        secret.write_text("host-only")
+        policy = SandboxPolicy(allow_host_filesystem=True)
+        with net.ambient_policy(policy):
+            assert net.fs_read(str(secret)) == b"host-only"
+        # Trusted driver-side code (no ambient policy) is unrestricted.
+        assert net.fs_read(str(secret)) == b"host-only"

@@ -31,6 +31,7 @@ _SCENARIO_MODULES = (
     "repro.attacks.credential_replay",
     "repro.attacks.cache_oracle",
     "repro.attacks.admission_spoofing",
+    "repro.attacks.write_denial",
 )
 
 

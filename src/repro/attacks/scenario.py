@@ -31,6 +31,7 @@ FAMILIES = (
     "credential-replay",
     "cache-oracle",
     "admission-spoofing",
+    "write-denial",
 )
 
 

@@ -60,6 +60,7 @@ from repro.errors import (
 )
 from repro.storage.credentials import (
     CredentialVendor,
+    DELETE,
     InstanceProfileCredential,
     LIST,
     READ,
@@ -156,6 +157,12 @@ class UnityCatalog:
         #: Named attack-gauntlet providers (per-scenario runs/contained/
         #: leaked counters) backing ``system.access.attack_stats``.
         self._attack_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
+        #: Named transaction-tier providers (commit/abort/conflict/retry
+        #: counters) backing ``system.access.txn_stats``.
+        self._txn_stats_providers: dict[str, Callable[[], dict[str, Any]]] = {}
+        #: The catalog-wide transaction manager, created lazily by the
+        #: :attr:`txn_manager` property (the txn tier imports catalog types).
+        self._txn_manager: Any = None
         self.register_fault_stats_provider(
             "faults[catalog]", self.faults.stats_snapshot
         )
@@ -287,6 +294,38 @@ class UnityCatalog:
             name: dict(provider())
             for name, provider in sorted(self._attack_stats_providers.items())
         }
+
+    # ------------------------------------------------------------------
+    # Transaction-statistics registry (``system.access.txn_stats``)
+    # ------------------------------------------------------------------
+
+    def register_txn_stats_provider(
+        self, name: str, provider: Callable[[], dict[str, Any]]
+    ) -> None:
+        """Expose one transaction manager's counters (begun/committed/
+        aborted/conflicts/retries) through the introspection table."""
+        self._txn_stats_providers[name] = provider
+
+    def txn_stats(self) -> dict[str, dict[str, Any]]:
+        """Snapshot of every registered transaction tier's counters."""
+        return {
+            name: dict(provider())
+            for name, provider in sorted(self._txn_stats_providers.items())
+        }
+
+    @property
+    def txn_manager(self) -> Any:
+        """The catalog-wide transaction manager (created on first use).
+
+        Lazy so the catalog module does not import the transaction tier at
+        definition time (the tier imports catalog types); the first SQL
+        write statement or explicit BEGIN materializes it.
+        """
+        if self._txn_manager is None:
+            from repro.txn import TransactionManager
+
+            self._txn_manager = TransactionManager(self)
+        return self._txn_manager
 
     # ------------------------------------------------------------------
     # Auditing helper
@@ -428,6 +467,21 @@ class UnityCatalog:
     def table_storage(self, table: TableObject) -> LakeTableStorage:
         return LakeTableStorage(self.store, table.storage_root)
 
+    def current_table_version(self, full_name: str) -> int:
+        """Latest *durable* committed version of a managed table.
+
+        Resolved through :meth:`~repro.storage.table_format.LakeTableStorage
+        .snapshot` with the catalog's service identity, so a torn tip left
+        by a crashed writer is skipped — transactions pin their snapshot
+        here and must never pin an unreadable version.
+        """
+        table = self.get_table(full_name)
+        return (
+            self.table_storage(table)
+            .snapshot(self._service_credential)
+            .version
+        )
+
     def write_table(
         self,
         full_name: str,
@@ -438,10 +492,12 @@ class UnityCatalog:
         """Governed write path: requires MODIFY, uses a vended credential."""
         table = self.get_table(full_name)
         self.check_privilege(ctx, MODIFY, full_name)
+        # DELETE rides along so a writer that trips over a torn tip (a
+        # crashed commit occupying the next version) can roll it back.
         credential = self.vendor.issue(
             identity=ctx.user,
             prefixes=[table.storage_root],
-            operations={READ, WRITE, LIST},
+            operations={READ, WRITE, LIST, DELETE},
         )
         storage = self.table_storage(table)
         if overwrite:

@@ -45,17 +45,22 @@ ENV_CHAOS_RATE = "LAKEGUARD_CHAOS_RATE"
 ENV_CHAOS_SEED = "LAKEGUARD_CHAOS_SEED"
 
 #: Fault points the environment schedule arms (storage reads, sandbox
-#: invokes, pool-worker task execution, and persistence-tier reads and
-#: writes — the paths the acceptance workload recovers on). Store faults
-#: are absorbed by the tiered store itself (a failed get is a miss, a
-#: failed put is a skipped write), so arming them must never change
-#: query results.
+#: invokes, pool-worker task execution, persistence-tier reads and
+#: writes, and the transactional write path — the paths the acceptance
+#: workload recovers on). Store faults are absorbed by the tiered store
+#: itself (a failed get is a miss, a failed put is a skipped write), and
+#: ``txn.*`` faults fire *before* their step touches state, so the
+#: transaction tier's bounded retries absorb them — arming any of these
+#: must never change query results or committed table state.
 ENV_CHAOS_POINTS = (
     "storage.get",
     "sandbox.invoke",
     "worker.task",
     "store.get",
     "store.put",
+    "txn.commit",
+    "txn.write_file",
+    "txn.conflict_check",
 )
 
 

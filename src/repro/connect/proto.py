@@ -218,6 +218,15 @@ def _collect_statement_tables(statement: Any, out: set[str]) -> bool:
         return True
     if isinstance(statement, ast.InsertStatement):
         out.add(statement.table)
+        if statement.query_sql is not None:
+            return _collect_sql_tables(statement.query_sql, out)
+        return True
+    if isinstance(statement, (ast.UpdateStatement, ast.DeleteStatement)):
+        out.add(statement.table)
+        return True
+    if isinstance(statement, ast.MergeStatement):
+        out.add(statement.target)
+        out.add(statement.source)
         return True
     # DDL/DCL/introspection statements: not structurally resolvable here,
     # and never candidates for the system lane anyway.

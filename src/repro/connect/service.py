@@ -32,6 +32,7 @@ from repro.errors import (
     CircuitOpenError,
     ClusterAttachDenied,
     ClusterError,
+    CommitConflictError,
     CorruptObjectError,
     CredentialError,
     EgressDenied,
@@ -52,12 +53,14 @@ from repro.errors import (
     SessionError,
     StorageAccessDenied,
     StorageError,
+    TransactionAbortedError,
     TransientCredentialError,
     TransientStorageError,
     TrustDomainViolation,
     UnsupportedOperationError,
     UserCodeError,
     VersionIncompatibleError,
+    WriteDeniedError,
 )
 from repro.scheduler.workload import LANE_INTERACTIVE, LANE_PRIORITY, LANE_SYSTEM
 
@@ -82,6 +85,7 @@ _ERROR_CLASSES: dict[str, type[LakeguardError]] = {
         CircuitOpenError,
         ClusterAttachDenied,
         ClusterError,
+        CommitConflictError,
         CorruptObjectError,
         CredentialError,
         EgressDenied,
@@ -102,12 +106,14 @@ _ERROR_CLASSES: dict[str, type[LakeguardError]] = {
         SessionError,
         StorageAccessDenied,
         StorageError,
+        TransactionAbortedError,
         TransientCredentialError,
         TransientStorageError,
         TrustDomainViolation,
         UnsupportedOperationError,
         UserCodeError,
         VersionIncompatibleError,
+        WriteDeniedError,
     )
 }
 

@@ -77,6 +77,12 @@ class SessionState:
     admitted_queries: int = 0
     rejected_queries: int = 0
     queue_wait_seconds: float = 0.0
+    #: The open multi-statement transaction (a :class:`repro.txn.Transaction`)
+    #: after BEGIN, or ``None``. While set, reads resolve at the
+    #: transaction's pinned snapshots and writes stage into it; plan/result
+    #: caches are bypassed (cached artifacts must never capture a pinned
+    #: view of the data).
+    active_txn: Any = None
 
     def bump_temp_state(self) -> None:
         self.temp_state_version += 1

@@ -64,10 +64,16 @@ class GovernedResolver:
         user_ctx: UserContext,
         caps: ComputeCapabilities,
         remote_schema_resolver: RemoteSchemaResolver | None = None,
+        version_pin: Callable[[str], int | None] | None = None,
     ):
         self._catalog = catalog
         self._caps = caps
         self._remote_schema_resolver = remote_schema_resolver
+        #: Snapshot-isolation hook: when an open transaction is bound to the
+        #: session, this maps a table name to the version its reads must
+        #: resolve at (``None`` for unpinnable relations). Explicit time
+        #: travel (``options["version"]``) wins over the pin.
+        self._version_pin = version_pin
         #: Acting-context stack: top is used for privilege checks. View
         #: expansion pushes the view owner (definer rights).
         self._acting: list[UserContext] = [user_ctx]
@@ -102,6 +108,10 @@ class GovernedResolver:
     #: Adversarial-gauntlet counters — per attack scenario, how often it ran
     #: and whether the stack contained it or leaked (admins only).
     ATTACK_STATS_TABLE = "system.access.attack_stats"
+    #: Transaction-tier counters — transactions begun/committed/aborted,
+    #: commit conflicts, absorbed retries, crash-recovery repairs (admins
+    #: only).
+    TXN_STATS_TABLE = "system.access.txn_stats"
     #: Every registered ``system.access.*`` table, the single source of
     #: truth for introspection surfaces (README's listing is diffed against
     #: this in tests/test_documentation.py).
@@ -113,6 +123,7 @@ class GovernedResolver:
         FAULT_STATS_TABLE,
         STORE_STATS_TABLE,
         ATTACK_STATS_TABLE,
+        TXN_STATS_TABLE,
     )
 
     def resolve_relation(
@@ -133,6 +144,8 @@ class GovernedResolver:
             return self._resolve_store_stats_table()
         if name == self.ATTACK_STATS_TABLE:
             return self._resolve_attack_stats_table()
+        if name == self.TXN_STATS_TABLE:
+            return self._resolve_txn_stats_table()
         metadata = self._catalog.relation_metadata(
             name, self.acting_ctx, self._caps
         )
@@ -165,6 +178,11 @@ class GovernedResolver:
             # rights (the analysis already authorized this acting context).
             table_ref = replace(table_ref, auth_delegate=self.acting_ctx.user)
         version = options.get("version")
+        if version is None and self._version_pin is not None:
+            # Open transaction: reads resolve at the snapshot pinned when
+            # the transaction first touched this table (snapshot
+            # isolation). Explicit time travel overrides the pin.
+            version = self._version_pin(metadata.full_name)
         if version is not None:
             # Delta time travel: pin the scan, policies still apply below.
             table_ref = replace(table_ref, snapshot_version=int(version))
@@ -557,6 +575,49 @@ class GovernedResolver:
         schema = Schema(
             (
                 Field("scenario", STRING),
+                Field("metric", STRING),
+                Field("value", FLOAT),
+            )
+        )
+        columns: list[list] = [
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
+        ]
+        return LocalRelation(schema, columns)
+
+    def _resolve_txn_stats_table(self) -> LogicalPlan:
+        """``system.access.txn_stats``: transaction-tier counters (admins).
+
+        One ``(scope, metric, value)`` row per counter from the catalog's
+        transaction-stats providers — transactions begun/committed/aborted,
+        commit conflicts, retries absorbed by backoff, torn commits rolled
+        back and orphan files swept by recovery. The write-path chaos CI
+        leg watches this table to confirm every injected fault was either
+        absorbed or turned into a clean abort.
+        """
+        from repro.catalog.privileges import MANAGE
+        from repro.engine.logical import LocalRelation
+        from repro.engine.types import FLOAT, STRING, Field
+        from repro.errors import PermissionDenied
+
+        ctx = self.session_ctx
+        is_admin = (
+            not ctx.is_down_scoped
+            and self._catalog.principals.is_admin(ctx.user)
+        )
+        if not is_admin:
+            raise PermissionDenied(ctx.user, MANAGE, self.TXN_STATS_TABLE)
+        rows: list[tuple[str, str, float]] = []
+        for scope, stats in self._catalog.txn_stats().items():
+            for metric, value in sorted(stats.items()):
+                try:
+                    rows.append((scope, metric, float(value)))
+                except (TypeError, ValueError):
+                    continue  # non-numeric provider fields are not metrics
+        schema = Schema(
+            (
+                Field("scope", STRING),
                 Field("metric", STRING),
                 Field("value", FLOAT),
             )

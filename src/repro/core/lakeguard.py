@@ -420,11 +420,15 @@ class LakeguardCluster:
 
     def engine_for(self, session: SessionState) -> QueryEngine:
         """Assemble the governed query engine for one session."""
+        txn = session.active_txn
         resolver = GovernedResolver(
             self.catalog,
             session.user_ctx,
             self.caps,
             remote_schema_resolver=self._remote_schema_resolver(),
+            # Open transaction: every table read resolves at the snapshot
+            # the transaction pinned (snapshot isolation for reads).
+            version_pin=txn.pin_for_read if txn is not None else None,
         )
         extra_rules = () if self.caps.can_enforce_fgac_locally else tuple(efgac_rules())
         return QueryEngine(
@@ -680,21 +684,92 @@ class LakeguardCluster:
             return {"status": "ok", "operation": "create_view", "name": stmt.name}
 
         if isinstance(stmt, ast.InsertStatement):
-            table = self.catalog.get_table(stmt.table)
-            columns: dict[str, list[Any]] = {name: [] for name in table.schema.names}
-            for row in stmt.rows:
-                if len(row) != len(table.schema):
-                    raise AnalysisError(
-                        f"INSERT row has {len(row)} values; table has "
-                        f"{len(table.schema)} columns"
-                    )
-                for name, value in zip(table.schema.names, row):
-                    columns[name].append(value)
-            self.catalog.write_table(stmt.table, columns, ctx)
+            rows: list[tuple] = [tuple(r) for r in stmt.rows]
+            if stmt.query_sql is not None:
+                _, source_columns = self._materialize_query(
+                    session, stmt.query_sql
+                )
+                rows = list(zip(*source_columns.values())) if source_columns else []
+            return self._run_write(
+                session, "insert", lambda txn: txn.insert(stmt.table, rows)
+            )
+
+        if isinstance(stmt, ast.UpdateStatement):
+            return self._run_write(
+                session,
+                "update",
+                lambda txn: txn.update(
+                    stmt.table, dict(stmt.assignments), stmt.where
+                ),
+            )
+
+        if isinstance(stmt, ast.DeleteStatement):
+            return self._run_write(
+                session,
+                "delete",
+                lambda txn: txn.delete(stmt.table, stmt.where),
+            )
+
+        if isinstance(stmt, ast.MergeStatement):
+            # The source is read up front through the full governed pipeline
+            # (its row filters / masks / privileges all apply), so the
+            # transaction tier only has to govern the target side.
+            source_schema, source_columns = self._materialize_query(
+                session, f"SELECT * FROM {stmt.source}"
+            )
+            source_alias = stmt.source_alias or stmt.source.rpartition(".")[2]
+            target_alias = stmt.target_alias or stmt.target.rpartition(".")[2]
+            return self._run_write(
+                session,
+                "merge",
+                lambda txn: txn.merge(
+                    stmt.target,
+                    target_alias,
+                    source_schema,
+                    source_columns,
+                    source_alias,
+                    stmt.on,
+                    None if stmt.matched_assignments is None
+                    else dict(stmt.matched_assignments),
+                    stmt.matched_delete,
+                    stmt.insert_values,
+                ),
+            )
+
+        if isinstance(stmt, ast.BeginStatement):
+            if session.active_txn is not None:
+                raise AnalysisError(
+                    "a transaction is already open in this session "
+                    f"({session.active_txn.txn_id}); COMMIT or ROLLBACK first"
+                )
+            txn = self.catalog.txn_manager.begin(session.user_ctx)
+            session.active_txn = txn
+            # Plans compiled outside the transaction must not be reused
+            # inside it (and vice versa): reads now resolve at pinned
+            # snapshots.
+            session.bump_temp_state()
+            return {"status": "ok", "operation": "begin", "txn_id": txn.txn_id}
+
+        if isinstance(stmt, ast.CommitStatement):
+            txn = session.active_txn
+            if txn is None:
+                raise AnalysisError("COMMIT without an open transaction")
+            session.active_txn = None
+            session.bump_temp_state()
+            txn.commit()
+            return {"status": "ok", "operation": "commit", "txn_id": txn.txn_id}
+
+        if isinstance(stmt, ast.RollbackStatement):
+            txn = session.active_txn
+            if txn is None:
+                raise AnalysisError("ROLLBACK without an open transaction")
+            session.active_txn = None
+            session.bump_temp_state()
+            txn.rollback()
             return {
                 "status": "ok",
-                "operation": "insert",
-                "rows": len(stmt.rows),
+                "operation": "rollback",
+                "txn_id": txn.txn_id,
             }
 
         if isinstance(stmt, ast.GrantStatement):
@@ -736,6 +811,58 @@ class LakeguardCluster:
         raise UnsupportedOperationError(
             f"statement {type(stmt).__name__} is not an executable command"
         )
+
+    def _run_write(
+        self,
+        session: SessionState,
+        operation: str,
+        body: Callable[[Any], Any],
+    ) -> dict[str, Any]:
+        """Stage ``body`` into the session's open transaction, or auto-commit.
+
+        Outside BEGIN/COMMIT every write statement is its own transaction:
+        staged, conflict-checked and committed (with conflict retry) before
+        the command returns. Inside an open transaction the write only
+        stages; nothing becomes visible until COMMIT.
+        """
+        txn = session.active_txn
+        if txn is not None:
+            staged_rows = body(txn)
+            response: dict[str, Any] = {
+                "status": "ok",
+                "operation": operation,
+                "staged": True,
+                "txn_id": txn.txn_id,
+            }
+        else:
+            staged_rows = self.catalog.txn_manager.run(session.user_ctx, body)
+            response = {"status": "ok", "operation": operation}
+        if isinstance(staged_rows, int):
+            response["rows"] = staged_rows
+        return response
+
+    def _materialize_query(
+        self, session: SessionState, sql: str
+    ) -> tuple[Schema, dict[str, list[Any]]]:
+        """Run a SELECT through the governed pipeline; return its bare output.
+
+        Used by INSERT INTO ... SELECT and by MERGE source materialization:
+        the source relation is read under the caller's full policy set (row
+        filters, masks, privileges) before the transaction tier ever sees it.
+        """
+        query = parse_statement(sql)
+        from repro.sql.to_plan import PlanBuilder
+
+        plan = PlanBuilder(self._function_lookup(session)).build(query)
+        result = self._execute_plan(session, plan)
+        bare = Schema(
+            tuple(Field(f.name, f.dtype) for f in result.batch.schema)
+        )
+        columns = {
+            f.name: list(col)
+            for f, col in zip(result.batch.schema, result.batch.columns)
+        }
+        return bare, columns
 
     # ------------------------------------------------------------------
     # Materialized views

@@ -173,7 +173,9 @@ def build_enforcement_pipeline(
     miss executes normally and stores the encoded batch. Plans containing
     user code, non-deterministic expressions or eFGAC remote scans are
     excluded by construction (:func:`repro.store.plan_is_cacheable`), as is
-    any query without a cache key (system tables, prebuilt-plan paths).
+    any query without a cache key (system tables, prebuilt-plan paths, and
+    sessions with an open transaction — pinned-snapshot reads must never
+    populate or hit either cache).
     """
 
     def _cache_key(state: PipelineState) -> PlanCacheKey:
@@ -193,8 +195,10 @@ def build_enforcement_pipeline(
             span.set_attribute(
                 "relation_type", (state.relation or {}).get("@type", "?")
             )
-            if plan_cache is not None and not plan_targets_system_tables(
-                state.relation
+            if (
+                plan_cache is not None
+                and state.session.active_txn is None
+                and not plan_targets_system_tables(state.relation)
             ):
                 state.cache_key = _cache_key(state)
                 entry = plan_cache.lookup(state.cache_key, state.relation)

@@ -157,6 +157,41 @@ class TransientCredentialError(CredentialError, RetryableError):
 
 
 # ---------------------------------------------------------------------------
+# Transactions (governed write path)
+# ---------------------------------------------------------------------------
+
+
+class CommitConflictError(StorageError, RetryableError):
+    """An atomic commit lost the race: the target log version exists.
+
+    Raised by :meth:`~repro.storage.object_store.ObjectStore.put_if_absent`
+    when another writer committed the same version first. Retryable by
+    design: a blind append can rebase onto the new tip and recommit, and a
+    read-dependent transaction can re-run its body against the fresh
+    snapshot — both ride the bounded jittered-backoff retry ladder.
+    """
+
+
+class TransactionAbortedError(LakeguardError):
+    """A multi-statement transaction was rolled back and cannot commit.
+
+    Raised when commit is attempted on a transaction that already aborted
+    (conflict retries exhausted, explicit rollback, or a mid-commit
+    failure whose staged files were garbage-collected).
+    """
+
+
+class WriteDeniedError(LakeguardError):
+    """A write statement was refused by fine-grained governance.
+
+    Distinct from :class:`PermissionDenied` (which is about missing
+    privileges): the principal *holds* MODIFY, but the statement touches
+    policy-protected data — assigning to or reading a masked column from
+    UPDATE/MERGE, for example — and the trusted write tier refuses it.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Spark Connect
 # ---------------------------------------------------------------------------
 

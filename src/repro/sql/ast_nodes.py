@@ -144,10 +144,67 @@ class DescribeStatement:
 
 @dataclass
 class InsertStatement:
-    """``INSERT INTO ... VALUES ...``."""
+    """``INSERT INTO ... VALUES ...`` or ``INSERT INTO ... SELECT ...``.
+
+    Exactly one of ``rows`` (literal tuples) and ``query_sql`` (the raw
+    text of a source query, executed through the governed read pipeline)
+    is populated.
+    """
 
     table: str
     rows: list[list[Any]]
+    query_sql: str | None = None
+
+
+@dataclass
+class UpdateStatement:
+    """``UPDATE <table> SET col = expr [, ...] [WHERE <predicate>]``."""
+
+    table: str
+    assignments: list[tuple[str, Expression]]
+    where: Expression | None = None
+
+
+@dataclass
+class DeleteStatement:
+    """``DELETE FROM <table> [WHERE <predicate>]``."""
+
+    table: str
+    where: Expression | None = None
+
+
+@dataclass
+class MergeStatement:
+    """``MERGE INTO <target> USING <source> ON ... WHEN [NOT] MATCHED ...``.
+
+    At most one matched clause (``UPDATE SET`` *or* ``DELETE``) and one
+    not-matched clause (``INSERT VALUES``); the source is a named relation
+    read through the governed pipeline.
+    """
+
+    target: str
+    source: str
+    on: Expression
+    target_alias: str | None = None
+    source_alias: str | None = None
+    matched_assignments: list[tuple[str, Expression]] | None = None
+    matched_delete: bool = False
+    insert_values: list[Expression] | None = None
+
+
+@dataclass
+class BeginStatement:
+    """``BEGIN [TRANSACTION]`` — open a multi-statement transaction."""
+
+
+@dataclass
+class CommitStatement:
+    """``COMMIT`` — atomically publish the open transaction."""
+
+
+@dataclass
+class RollbackStatement:
+    """``ROLLBACK`` — discard the open transaction."""
 
 
 @dataclass
@@ -207,6 +264,12 @@ Statement = (
     | CreateTableStatement
     | CreateTableAsSelectStatement
     | InsertStatement
+    | UpdateStatement
+    | DeleteStatement
+    | MergeStatement
+    | BeginStatement
+    | CommitStatement
+    | RollbackStatement
     | GrantStatement
     | RevokeStatement
     | SetRowFilterStatement

@@ -15,7 +15,8 @@ KEYWORDS = {
     "VIEW", "TABLE", "INSERT", "INTO", "VALUES", "GRANT", "REVOKE", "TO",
     "ALTER", "COLUMN", "SET", "DROP", "ROW", "FILTER", "MASK", "FUNCTION",
     "NULLS", "FIRST", "LAST", "EXISTS", "IF", "SHOW", "GRANTS", "DESCRIBE",
-    "LIKE", "BETWEEN",
+    "LIKE", "BETWEEN", "UPDATE", "DELETE", "MERGE", "USING", "MATCHED",
+    "BEGIN", "TRANSACTION", "COMMIT", "ROLLBACK",
 }
 
 # Token kinds

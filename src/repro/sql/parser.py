@@ -139,6 +139,22 @@ class _Parser:
             stmt = self._parse_create()
         elif token.matches_keyword("INSERT"):
             stmt = self._parse_insert()
+        elif token.matches_keyword("UPDATE"):
+            stmt = self._parse_update()
+        elif token.matches_keyword("DELETE"):
+            stmt = self._parse_delete()
+        elif token.matches_keyword("MERGE"):
+            stmt = self._parse_merge()
+        elif token.matches_keyword("BEGIN"):
+            self.advance()
+            self.accept_kw("TRANSACTION")
+            stmt = ast.BeginStatement()
+        elif token.matches_keyword("COMMIT"):
+            self.advance()
+            stmt = ast.CommitStatement()
+        elif token.matches_keyword("ROLLBACK"):
+            self.advance()
+            stmt = ast.RollbackStatement()
         elif token.matches_keyword("GRANT"):
             stmt = self._parse_grant(revoke=False)
         elif token.matches_keyword("REVOKE"):
@@ -210,6 +226,11 @@ class _Parser:
         self.expect_kw("INSERT")
         self.expect_kw("INTO")
         table = self.qualified_name()
+        if self.peek().matches_keyword("SELECT"):
+            query_start = self.peek().position
+            self.parse_query()  # validate; keep the raw text
+            query_sql = self.text[query_start:].rstrip().rstrip(";")
+            return ast.InsertStatement(table=table, rows=[], query_sql=query_sql)
         self.expect_kw("VALUES")
         rows: list[list[Any]] = []
         while True:
@@ -237,6 +258,100 @@ class _Parser:
         from repro.engine.expressions import EvalContext
 
         return expr.eval(ONE_ROW, EvalContext())[0]
+
+    def _parse_assignments(self) -> list[tuple[str, Expression]]:
+        """``col = expr [, ...]`` after SET (UPDATE and MERGE share it)."""
+        assignments: list[tuple[str, Expression]] = []
+        while True:
+            column = self.qualified_name()
+            self.expect_op("=")
+            assignments.append((column, self.parse_expr()))
+            if not self.accept_op(","):
+                break
+        return assignments
+
+    def _parse_update(self) -> ast.UpdateStatement:
+        self.expect_kw("UPDATE")
+        table = self.qualified_name()
+        self.expect_kw("SET")
+        assignments = self._parse_assignments()
+        where = self.parse_expr() if self.accept_kw("WHERE") else None
+        return ast.UpdateStatement(table=table, assignments=assignments,
+                                   where=where)
+
+    def _parse_delete(self) -> ast.DeleteStatement:
+        self.expect_kw("DELETE")
+        self.expect_kw("FROM")
+        table = self.qualified_name()
+        where = self.parse_expr() if self.accept_kw("WHERE") else None
+        return ast.DeleteStatement(table=table, where=where)
+
+    def _parse_merge(self) -> ast.MergeStatement:
+        self.expect_kw("MERGE")
+        self.expect_kw("INTO")
+        target = self.qualified_name()
+        target_alias = self._accept_alias()
+        self.expect_kw("USING")
+        source = self.qualified_name()
+        source_alias = self._accept_alias()
+        self.expect_kw("ON")
+        on = self.parse_expr()
+        matched_assignments: list[tuple[str, Expression]] | None = None
+        matched_delete = False
+        insert_values: list[Expression] | None = None
+        saw_when = False
+        while self.accept_kw("WHEN"):
+            saw_when = True
+            if self.accept_kw("MATCHED"):
+                if matched_assignments is not None or matched_delete:
+                    raise ParseError(
+                        "MERGE supports at most one WHEN MATCHED clause",
+                        self.peek().position,
+                    )
+                self.expect_kw("THEN")
+                if self.accept_kw("UPDATE"):
+                    self.expect_kw("SET")
+                    matched_assignments = self._parse_assignments()
+                else:
+                    self.expect_kw("DELETE")
+                    matched_delete = True
+                continue
+            self.expect_kw("NOT")
+            self.expect_kw("MATCHED")
+            if insert_values is not None:
+                raise ParseError(
+                    "MERGE supports at most one WHEN NOT MATCHED clause",
+                    self.peek().position,
+                )
+            self.expect_kw("THEN")
+            self.expect_kw("INSERT")
+            self.expect_kw("VALUES")
+            self.expect_op("(")
+            insert_values = [self.parse_expr()]
+            while self.accept_op(","):
+                insert_values.append(self.parse_expr())
+            self.expect_op(")")
+        if not saw_when:
+            raise ParseError(
+                "MERGE requires at least one WHEN clause", self.peek().position
+            )
+        return ast.MergeStatement(
+            target=target,
+            source=source,
+            on=on,
+            target_alias=target_alias,
+            source_alias=source_alias,
+            matched_assignments=matched_assignments,
+            matched_delete=matched_delete,
+            insert_values=insert_values,
+        )
+
+    def _accept_alias(self) -> str | None:
+        if self.accept_kw("AS"):
+            return self.expect_ident()
+        if self.peek().kind == IDENT:
+            return self.expect_ident()
+        return None
 
     def _parse_grant(self, revoke: bool) -> ast.Statement:
         self.expect_kw("REVOKE" if revoke else "GRANT")

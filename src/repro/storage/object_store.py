@@ -17,13 +17,19 @@ reading the full object.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol
 
 from repro.common.audit import AuditLog
 from repro.common.clock import Clock, SystemClock
-from repro.errors import CredentialError, StorageAccessDenied, StorageError
+from repro.errors import (
+    CommitConflictError,
+    CredentialError,
+    StorageAccessDenied,
+    StorageError,
+)
 from repro.storage.credentials import DELETE, LIST, READ, WRITE, TemporaryCredential
 
 if TYPE_CHECKING:
@@ -79,6 +85,9 @@ class ObjectStore:
         self._clock = clock or SystemClock()
         self._audit = audit
         self._objects: dict[str, bytes] = {}
+        #: Serializes conditional writes: ``put_if_absent`` must observe and
+        #: claim a path atomically, or two racing commits could both win.
+        self._mutex = threading.Lock()
         #: Modelled per-object fetch latency (cloud stores are remote; a GET
         #: is a network round-trip). A real ``time.sleep`` — it releases the
         #: GIL, so concurrent scan tasks genuinely overlap their reads, the
@@ -146,6 +155,33 @@ class ObjectStore:
             self.faults.fire("storage.put")
         self._check(credential, path, StorageOp.WRITE)
         self._objects[path] = data
+        self.stats.bytes_written += len(data)
+        self.stats.objects_written += 1
+
+    def put_if_absent(
+        self, path: str, data: bytes, credential: StorageCredential
+    ) -> None:
+        """Write an object only if ``path`` is unclaimed (atomic).
+
+        The conditional-write primitive real object stores expose (S3
+        ``If-None-Match: *``, ADLS/GCS preconditions) and the foundation of
+        the table format's atomic commit protocol: exactly one of N racing
+        writers claims a log version; the losers get a typed
+        :class:`~repro.errors.CommitConflictError` and rebase. Faults fire
+        *before* the object is touched, so a raised injection never leaves
+        a half-claimed path.
+        """
+        if not isinstance(data, bytes):
+            raise StorageError(f"object data must be bytes, got {type(data).__name__}")
+        if self.faults is not None:
+            self.faults.fire("storage.put")
+        self._check(credential, path, StorageOp.WRITE)
+        with self._mutex:
+            if path in self._objects:
+                raise CommitConflictError(
+                    f"object already exists at '{path}': commit lost the race"
+                )
+            self._objects[path] = data
         self.stats.bytes_written += len(data)
         self.stats.objects_written += 1
 

@@ -22,7 +22,12 @@ import pickle
 from dataclasses import dataclass
 
 from repro.common.ids import sequential_id
-from repro.errors import CorruptObjectError, RetryableError, StorageError
+from repro.errors import (
+    CommitConflictError,
+    CorruptObjectError,
+    RetryableError,
+    StorageError,
+)
 from repro.storage.object_store import ObjectStore, StorageCredential
 
 #: Bounded retries for transaction-log reads. The log is tiny JSON read on
@@ -31,6 +36,18 @@ from repro.storage.object_store import ObjectStore, StorageCredential
 #: absorbs it locally (deadline-aware via the ambient query context).
 LOG_READ_RETRIES = 4
 LOG_READ_RETRY_BASE = 0.01
+
+#: Bounded rebase-and-recommit attempts after a lost commit race. Blind
+#: appends/overwrites are position-independent, so losing the race to
+#: version N just means recommitting the same file set at N+1.
+COMMIT_RETRIES = 4
+
+#: Extra confirming reads before a corrupt tip commit is classified as
+#: *torn* (a crashed writer's partial commit) rather than a transient
+#: corrupt GET. Injected corruption re-draws per read, so consecutive
+#: corrupt reads of a durable commit are vanishingly unlikely; a torn
+#: object is corrupt on every read.
+TORN_CONFIRM_READS = 2
 
 
 def _log_path(root: str, version: int) -> str:
@@ -114,10 +131,63 @@ class LakeTableStorage:
         column_names: list[str],
         credential: StorageCredential,
     ) -> None:
+        """Atomically claim ``version`` in the log (the commit point).
+
+        Routed through :meth:`~repro.storage.object_store.ObjectStore
+        .put_if_absent`: of N writers racing for the same version, exactly
+        one wins; the rest get :class:`~repro.errors.CommitConflictError`
+        and must rebase onto the new tip instead of clobbering it.
+        """
         payload = json.dumps(
             {"version": version, "columns": column_names, "actions": actions}
         ).encode("utf-8")
-        self._store.put(_log_path(self.root, version), payload, credential)
+        path = _log_path(self.root, version)
+        try:
+            self._store.put_if_absent(path, payload, credential)
+        except CommitConflictError:
+            # Usually a racing commit won the version. But if the claimant
+            # is a *torn* entry from a crashed writer, the version never
+            # became durable — roll it back and claim it for real (needs
+            # DELETE; without it the conflict propagates and recovery is
+            # left to an explicit ``recover()``).
+            if not self._tip_is_torn(version, credential):
+                raise
+            try:
+                self._store.delete(path, credential)
+            except StorageError:
+                raise CommitConflictError(
+                    f"version {version} of '{self.root}' is torn and this "
+                    "credential cannot roll it back"
+                ) from None
+            self._store.put_if_absent(path, payload, credential)
+
+    def commit_version(
+        self,
+        version: int,
+        actions: list[dict],
+        column_names: list[str],
+        credential: StorageCredential,
+    ) -> None:
+        """Public atomic commit at an explicit version (transaction tier).
+
+        The transaction manager materializes its write set first, then
+        calls this to publish it; a :class:`~repro.errors
+        .CommitConflictError` means another commit claimed the version and
+        the transaction must conflict-check against the new tip.
+        """
+        self._commit(version, actions, list(column_names), credential)
+
+    def _with_commit_retry(self, fn):
+        """Run one commit attempt, rebasing onto the new tip on a lost race."""
+        from repro.scheduler.circuit_breaker import retry_with_backoff
+
+        return retry_with_backoff(
+            fn,
+            clock=self._store.clock,
+            retries=COMMIT_RETRIES,
+            base_delay=LOG_READ_RETRY_BASE,
+            retry_on=(CommitConflictError,),
+        )
 
     # -- writes ---------------------------------------------------------------
 
@@ -142,33 +212,65 @@ class LakeTableStorage:
         self._store.put(path, blob, credential)
         return DataFile(path=path, num_rows=num_rows, size_bytes=len(blob))
 
+    def stage_data_file(
+        self, columns: dict[str, list], credential: StorageCredential
+    ) -> DataFile:
+        """Write one data file without committing it (transaction tier).
+
+        The file stays invisible until a later :meth:`commit_version` adds
+        it; a crash or abort between the two leaves an orphan that
+        :meth:`recover` garbage-collects.
+        """
+        return self._write_data_file(columns, credential)
+
     def append(
         self, columns: dict[str, list], credential: StorageCredential
     ) -> TableSnapshot:
-        """Commit a new version adding one data file with ``columns``."""
+        """Commit a new version adding one data file with ``columns``.
+
+        Concurrency-safe: the data file is written once, then the commit
+        rebases onto whatever tip it finds — an append is position-
+        independent, so losing the race to version N just means claiming
+        N+1 instead (bounded by :data:`COMMIT_RETRIES`).
+        """
         snapshot = self.snapshot(credential)
         self._validate_columns(columns, snapshot.column_names)
         data_file = self._write_data_file(columns, credential)
-        self._commit(
-            snapshot.version + 1,
-            [self._add_action(data_file)],
-            list(snapshot.column_names),
-            credential,
-        )
+
+        def attempt() -> None:
+            tip = self.snapshot(credential)
+            self._commit(
+                tip.version + 1,
+                [self._add_action(data_file)],
+                list(tip.column_names),
+                credential,
+            )
+
+        self._with_commit_retry(attempt)
         return self.snapshot(credential)
 
     def overwrite(
         self, columns: dict[str, list], credential: StorageCredential
     ) -> TableSnapshot:
-        """Commit a version replacing all live files with one new file."""
+        """Commit a version replacing all live files with one new file.
+
+        The remove set is recomputed against the fresh tip on every commit
+        attempt, so a lost race never resurrects files another writer
+        already replaced.
+        """
         snapshot = self.snapshot(credential)
         self._validate_columns(columns, snapshot.column_names)
         data_file = self._write_data_file(columns, credential)
-        actions = [{"remove": f.path} for f in snapshot.files]
-        actions.append(self._add_action(data_file))
-        self._commit(
-            snapshot.version + 1, actions, list(snapshot.column_names), credential
-        )
+
+        def attempt() -> None:
+            tip = self.snapshot(credential)
+            actions = [{"remove": f.path} for f in tip.files]
+            actions.append(self._add_action(data_file))
+            self._commit(
+                tip.version + 1, actions, list(tip.column_names), credential
+            )
+
+        self._with_commit_retry(attempt)
         return self.snapshot(credential)
 
     @staticmethod
@@ -194,7 +296,15 @@ class LakeTableStorage:
     def snapshot(
         self, credential: StorageCredential, version: int | None = None
     ) -> TableSnapshot:
-        """Resolve the live file set at ``version`` (default: latest)."""
+        """Resolve the live file set at ``version`` (default: latest).
+
+        Crash recovery, reader half: a *torn tip* — the newest log entry is
+        stably corrupt, i.e. a writer crashed mid-commit — is treated as if
+        the commit never happened, and the snapshot resolves to the last
+        durable version. Readers never see a partial commit. (The physical
+        rollback — deleting the torn entry and sweeping its orphaned data
+        files — needs write/delete rights and happens in :meth:`recover`.)
+        """
         latest = self.latest_version(credential)
         if latest < 0:
             raise StorageError(f"no table at '{self.root}'")
@@ -205,8 +315,24 @@ class LakeTableStorage:
             )
         live: dict[str, DataFile] = {}
         column_names: tuple[str, ...] = ()
-        for v in range(target + 1):
-            commit = self._read_commit(v, credential)
+        v = 0
+        while v <= target:
+            try:
+                commit = self._read_commit(v, credential)
+            except CorruptObjectError:
+                if (
+                    version is None
+                    and v == target
+                    and self._tip_is_torn(v, credential)
+                ):
+                    target -= 1
+                    if target < 0:
+                        raise StorageError(
+                            f"no durable commit at '{self.root}' "
+                            "(version 0 is torn)"
+                        ) from None
+                    break
+                raise
             column_names = tuple(commit["columns"])
             for action in commit["actions"]:
                 if "add" in action:
@@ -217,12 +343,69 @@ class LakeTableStorage:
                     )
                 elif "remove" in action:
                     live.pop(action["remove"], None)
+            v += 1
         return TableSnapshot(
             root=self.root,
             version=target,
             column_names=column_names,
             files=tuple(live[p] for p in sorted(live)),
         )
+
+    def _tip_is_torn(self, version: int, credential: StorageCredential) -> bool:
+        """Confirm a corrupt tip read is a torn commit, not a flaky GET.
+
+        Re-reads the entry :data:`TORN_CONFIRM_READS` more times; only a
+        commit that is corrupt on *every* read is torn. Injected corruption
+        is drawn independently per read, so this misclassifies a durable
+        commit with probability ``rate^(1+TORN_CONFIRM_READS)``.
+        """
+        for _ in range(TORN_CONFIRM_READS):
+            try:
+                self._read_commit(version, credential)
+            except CorruptObjectError:
+                continue
+            return False
+        return True
+
+    def recover(self, credential: StorageCredential) -> dict[str, int]:
+        """Crash recovery, writer half: roll back torn tips, sweep orphans.
+
+        Needs a credential with WRITE/DELETE on the table prefix. Deletes
+        stably-corrupt tip commits (a crashed writer's partial publish),
+        then garbage-collects every data file no surviving commit ever
+        added — files staged by crashed or aborted transactions. Returns
+        ``{"torn_commits_rolled_back": n, "orphan_files_swept": m}``.
+
+        Invoked explicitly (table repair / reopening a table after a crash)
+        rather than on every commit: a concurrent writer that has staged
+        data files but not yet committed would look exactly like a crash.
+        """
+        report = {"torn_commits_rolled_back": 0, "orphan_files_swept": 0}
+        latest = self.latest_version(credential)
+        while latest >= 0:
+            try:
+                self._read_commit(latest, credential)
+                break
+            except CorruptObjectError:
+                if not self._tip_is_torn(latest, credential):
+                    break  # transient corrupt read of a durable commit
+                self._store.delete(_log_path(self.root, latest), credential)
+                report["torn_commits_rolled_back"] += 1
+                latest -= 1
+        referenced: set[str] = set()
+        for v in range(latest + 1):
+            commit = self._read_commit(v, credential)
+            for action in commit["actions"]:
+                if "add" in action:
+                    referenced.add(action["add"])
+        data_files = self._with_log_retry(
+            lambda: self._store.list(f"{self.root}/data/", credential)
+        )
+        for path in data_files:
+            if path not in referenced:
+                self._store.delete(path, credential)
+                report["orphan_files_swept"] += 1
+        return report
 
     def read_file(
         self, data_file: DataFile, credential: StorageCredential

@@ -1,0 +1,379 @@
+"""Staged write operations and their governed materialization.
+
+A transaction never mutates table bytes while statements execute; each
+INSERT / UPDATE / DELETE / MERGE is checked against fine-grained governance
+*at staging time* and recorded as a :class:`WriteOp`. At commit, the
+transaction manager reads the pinned base snapshot and calls
+:func:`apply_ops` to fold the staged ops into the result row set.
+
+Write-side FGAC rules (enforced by :func:`check_write`):
+
+- every write needs ``MODIFY`` on the target table;
+- UPDATE / DELETE / MERGE additionally need ``SELECT`` (they read existing
+  rows to decide what to touch);
+- a statement that *assigns to* or *references* a masked column of the
+  target is refused with :class:`~repro.errors.WriteDeniedError` — the
+  writer would otherwise read (or clobber based on) values the mask hides.
+  Plain INSERT into a masked table stays legal: it reads nothing;
+- the target's row filter becomes a *visibility mask* during
+  materialization: rows the writer cannot see are never updated, deleted,
+  or merge-matched, exactly as if they were not in the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import TYPE_CHECKING
+
+from repro.catalog.privileges import MODIFY, SELECT, UserContext
+from repro.engine.batch import ColumnBatch
+from repro.engine.expressions import (
+    BoundRef,
+    EvalContext,
+    Expression,
+    UnresolvedColumn,
+    contains_user_code,
+)
+from repro.engine.types import Field, Schema
+from repro.errors import AnalysisError, TransactionAbortedError, WriteDeniedError
+
+if TYPE_CHECKING:
+    from repro.catalog.metastore import UnityCatalog
+
+
+# ---------------------------------------------------------------------------
+# Expression binding
+# ---------------------------------------------------------------------------
+
+
+def _strip(name: str) -> str:
+    return name.rpartition(".")[2]
+
+
+def bind_expression(expr: Expression, schema: Schema) -> Expression:
+    """Resolve column references in ``expr`` to positions in ``schema``.
+
+    Qualified names (``t.col`` or an alias prefix) fall back to the bare
+    column name; the transaction tier evaluates expressions over raw table
+    rows, where a qualifier carries no information.
+    """
+
+    def resolve(node: Expression) -> Expression:
+        if isinstance(node, UnresolvedColumn):
+            try:
+                index = schema.field_index(node.name)
+            except AnalysisError:
+                index = schema.field_index(_strip(node.name))
+            f = schema[index]
+            return BoundRef(index, f.name, f.dtype)
+        return node
+
+    return expr.transform(resolve)
+
+
+def referenced_columns(expr: Expression | None, schema: Schema) -> set[str]:
+    """Bare names of ``schema`` columns that ``expr`` references."""
+    if expr is None:
+        return set()
+    out: set[str] = set()
+    for node in expr.walk():
+        name: str | None = None
+        if isinstance(node, UnresolvedColumn):
+            name = _strip(node.name)
+        elif isinstance(node, BoundRef):
+            name = node.name
+        if name is not None and schema.contains(name):
+            out.add(name)
+    return out
+
+
+def _eval(expr: Expression, batch: ColumnBatch, ctx: EvalContext) -> list:
+    return expr.eval(batch, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Staged operations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InsertOp:
+    """Append literal rows (in table column order)."""
+
+    rows: list[tuple]
+
+
+@dataclass
+class UpdateOp:
+    """Assign expressions to columns on visible rows matching ``where``."""
+
+    assignments: dict[str, Expression]
+    where: Expression | None
+
+
+@dataclass
+class DeleteOp:
+    """Remove visible rows matching ``where``."""
+
+    where: Expression | None
+
+
+@dataclass
+class MergeOp:
+    """MERGE: match target rows against a source relation on a predicate.
+
+    ``on``, and the matched-clause assignment expressions, are bound over
+    the *combined* schema ``target fields + source fields``; not-matched
+    insert values are bound over the source schema alone.
+    """
+
+    source_schema: Schema
+    source_columns: dict[str, list]
+    on: Expression
+    matched_assignments: dict[str, Expression] | None
+    matched_delete: bool
+    insert_values: list[Expression] | None
+
+
+WriteOp = InsertOp | UpdateOp | DeleteOp | MergeOp
+
+
+@dataclass
+class StagedWrite:
+    """Everything :func:`apply_ops` needs to materialize one table's ops."""
+
+    table: str
+    schema: Schema
+    row_filter: Expression | None
+    ops: list[WriteOp] = dc_field(default_factory=list)
+
+    @property
+    def read_dependent(self) -> bool:
+        """Does any op read existing rows (update/delete/merge)?"""
+        return any(not isinstance(op, InsertOp) for op in self.ops)
+
+
+# ---------------------------------------------------------------------------
+# Write-side FGAC
+# ---------------------------------------------------------------------------
+
+
+def check_write(
+    catalog: "UnityCatalog",
+    ctx: UserContext,
+    table_name: str,
+    *,
+    reads_rows: bool,
+    assigned: set[str] = frozenset(),
+    referenced: set[str] = frozenset(),
+) -> None:
+    """Authorize one write statement against the target's governance.
+
+    Raises :class:`~repro.errors.PermissionDenied` when the principal lacks
+    MODIFY (or SELECT for row-reading statements), and
+    :class:`~repro.errors.WriteDeniedError` when the statement assigns to or
+    references a masked column.
+    """
+    catalog.check_privilege(ctx, MODIFY, table_name)
+    if reads_rows:
+        catalog.check_privilege(ctx, SELECT, table_name)
+    masked = {m.column for m in catalog.column_masks_of(table_name)}
+    hit = sorted(masked & set(assigned))
+    if hit:
+        raise WriteDeniedError(
+            f"{ctx.user}: cannot write to masked column(s) {hit} of "
+            f"'{table_name}'"
+        )
+    hit = sorted(masked & set(referenced))
+    if hit:
+        raise WriteDeniedError(
+            f"{ctx.user}: write statement reads masked column(s) {hit} of "
+            f"'{table_name}'; masked values must not feed a write"
+        )
+
+
+def bound_row_filter(
+    catalog: "UnityCatalog", table_name: str, schema: Schema
+) -> Expression | None:
+    """The target's effective row filter, bound over its raw schema."""
+    rf = catalog.row_filter_of(table_name)
+    if rf is None:
+        return None
+    if contains_user_code(rf.condition):
+        # Policies are validated against this at creation; defend anyway.
+        raise WriteDeniedError(
+            f"row filter of '{table_name}' contains user code; refusing to "
+            "evaluate it in the transaction tier"
+        )
+    return bind_expression(rf.condition, schema)
+
+
+# ---------------------------------------------------------------------------
+# Materialization
+# ---------------------------------------------------------------------------
+
+
+def _as_rows(columns: dict[str, list], names: list[str]) -> list[list]:
+    count = len(columns[names[0]]) if names else 0
+    return [[columns[n][i] for n in names] for i in range(count)]
+
+
+def _as_columns(rows: list[list], names: list[str]) -> dict[str, list]:
+    return {n: [row[i] for row in rows] for i, n in enumerate(names)}
+
+
+def _visible(
+    rows: list[list],
+    schema: Schema,
+    row_filter: Expression | None,
+    eval_ctx: EvalContext,
+) -> list[bool]:
+    if row_filter is None or not rows:
+        return [True] * len(rows)
+    batch = ColumnBatch.from_rows(schema, rows)
+    return [bool(v) for v in _eval(row_filter, batch, eval_ctx)]
+
+
+def apply_ops(
+    base: dict[str, list],
+    staged: StagedWrite,
+    eval_ctx: EvalContext,
+) -> dict[str, list]:
+    """Fold the staged ops into ``base`` and return the result columns.
+
+    The row filter is re-evaluated against the *current* working rows
+    before each row-reading op, so an op only ever touches rows the writer
+    is allowed to see — including rows produced by its own earlier ops.
+    """
+    names = list(staged.schema.names)
+    rows = _as_rows(base, names)
+    for op in staged.ops:
+        if isinstance(op, InsertOp):
+            rows.extend(list(r) for r in op.rows)
+        elif isinstance(op, UpdateOp):
+            rows = _apply_update(rows, staged, op, eval_ctx)
+        elif isinstance(op, DeleteOp):
+            rows = _apply_delete(rows, staged, op, eval_ctx)
+        elif isinstance(op, MergeOp):
+            rows = _apply_merge(rows, staged, op, eval_ctx)
+        else:  # pragma: no cover - op union is closed
+            raise TransactionAbortedError(f"unknown write op {type(op).__name__}")
+    return _as_columns(rows, names)
+
+
+def _predicate_mask(
+    rows: list[list],
+    schema: Schema,
+    where: Expression | None,
+    eval_ctx: EvalContext,
+) -> list[bool]:
+    if where is None or not rows:
+        return [True] * len(rows)
+    batch = ColumnBatch.from_rows(schema, rows)
+    return [bool(v) for v in _eval(where, batch, eval_ctx)]
+
+
+def _apply_update(
+    rows: list[list], staged: StagedWrite, op: UpdateOp, eval_ctx: EvalContext
+) -> list[list]:
+    if not rows:
+        return rows
+    visible = _visible(rows, staged.schema, staged.row_filter, eval_ctx)
+    matches = _predicate_mask(rows, staged.schema, op.where, eval_ctx)
+    batch = ColumnBatch.from_rows(staged.schema, rows)
+    new_values = {
+        staged.schema.field_index(col): _eval(expr, batch, eval_ctx)
+        for col, expr in op.assignments.items()
+    }
+    for i, row in enumerate(rows):
+        if visible[i] and matches[i]:
+            for index, values in new_values.items():
+                row[index] = values[i]
+    return rows
+
+
+def _apply_delete(
+    rows: list[list], staged: StagedWrite, op: DeleteOp, eval_ctx: EvalContext
+) -> list[list]:
+    if not rows:
+        return rows
+    visible = _visible(rows, staged.schema, staged.row_filter, eval_ctx)
+    matches = _predicate_mask(rows, staged.schema, op.where, eval_ctx)
+    return [row for i, row in enumerate(rows) if not (visible[i] and matches[i])]
+
+
+def _apply_merge(
+    rows: list[list], staged: StagedWrite, op: MergeOp, eval_ctx: EvalContext
+) -> list[list]:
+    source_names = list(op.source_schema.names)
+    source_rows = _as_rows(op.source_columns, source_names)
+    visible = _visible(rows, staged.schema, staged.row_filter, eval_ctx)
+    combined_fields = tuple(staged.schema.fields) + tuple(op.source_schema.fields)
+    combined = Schema(combined_fields)
+
+    # For each source row: evaluate ON over (every target row) x (this
+    # source row) in one batch — m evaluations of n-row batches instead of
+    # an n*m cross product held in memory at once.
+    matched_by_target: dict[int, int] = {}
+    matched_sources: set[int] = set()
+    for j, srow in enumerate(source_rows):
+        if not rows:
+            break
+        combined_rows = [row + srow for row in rows]
+        batch = ColumnBatch.from_rows(combined, combined_rows)
+        hits = _eval(op.on, batch, eval_ctx)
+        for i, hit in enumerate(hits):
+            if not (visible[i] and bool(hit)):
+                continue
+            if i in matched_by_target:
+                raise TransactionAbortedError(
+                    f"MERGE into '{staged.table}': target row matched by "
+                    "multiple source rows (ambiguous matched-clause result)"
+                )
+            matched_by_target[i] = j
+            matched_sources.add(j)
+
+    out: list[list] = []
+    for i, row in enumerate(rows):
+        j = matched_by_target.get(i)
+        if j is None:
+            out.append(row)
+            continue
+        if op.matched_delete:
+            continue
+        if op.matched_assignments is not None:
+            combined_row = row + source_rows[j]
+            batch = ColumnBatch.from_rows(combined, [combined_row])
+            new_row = list(row)
+            for col, expr in op.matched_assignments.items():
+                index = staged.schema.field_index(col)
+                new_row[index] = _eval(expr, batch, eval_ctx)[0]
+            out.append(new_row)
+        else:
+            out.append(row)
+
+    if op.insert_values is not None:
+        for j, srow in enumerate(source_rows):
+            if j in matched_sources:
+                continue
+            batch = ColumnBatch.from_rows(op.source_schema, [srow])
+            out.append([_eval(e, batch, eval_ctx)[0] for e in op.insert_values])
+    return out
+
+
+def eval_context_for(ctx: UserContext) -> EvalContext:
+    """Policy-evaluation context for a writer (mirrors the read pipeline)."""
+    return EvalContext(user=ctx.user, groups=frozenset(ctx.groups))
+
+
+def combined_schema(target: Schema, source: Schema) -> Schema:
+    """Target fields followed by source fields (MERGE binding layout)."""
+    return Schema(tuple(target.fields) + tuple(source.fields))
+
+
+def qualified_schema(schema: Schema, qualifier: str | None) -> Schema:
+    """Re-qualify every field (so ``alias.col`` binds in MERGE clauses)."""
+    if qualifier is None:
+        return schema
+    return Schema(tuple(Field(f.name, f.dtype, f.nullable, qualifier)
+                        for f in schema.fields))

@@ -1,0 +1,203 @@
+"""Crash recovery for the governed write path (PR-10, tentpole part 2).
+
+Models a writer killed at the ``txn.commit`` chaos point: the staged data
+file survives (a killed process runs no cleanup), the log either never
+gained the version or gained a torn (partially published) entry. A fresh
+cluster over the same store must resolve the snapshot to the last durable
+commit, and an explicit recovery sweep must roll torn tips back and
+garbage-collect the orphans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.faults import FaultSpec
+from repro.errors import TransactionAbortedError
+from repro.platform import Workspace
+from repro.storage.object_store import ObjectStore
+
+ORDERS = "main.sales.orders"
+
+
+@pytest.fixture
+def workspace():
+    ws = Workspace()
+    ws.add_user("admin", admin=True)
+    cat = ws.catalog
+    cat.create_catalog("main", owner="admin")
+    cat.create_schema("main.sales", owner="admin")
+    yield ws
+    ws.shutdown()
+
+
+@pytest.fixture
+def admin(workspace):
+    client = workspace.create_standard_cluster().connect("admin")
+    client.sql(
+        f"CREATE TABLE {ORDERS} (id int, region string, amount float)"
+    )
+    client.sql(
+        f"INSERT INTO {ORDERS} VALUES (1,'US',10.0),(2,'EU',20.0)"
+    )
+    return client
+
+
+def rows(client, sql):
+    return sorted(client.sql(sql).collect())
+
+
+def _kill_writer_at_commit(workspace, client, monkeypatch, sql):
+    """Run ``sql`` with the writer dying at ``txn.commit``.
+
+    The fault injector raises at the commit point on every attempt (so the
+    retry ladder cannot absorb it), and the abort path's cleanup deletes
+    are suppressed — a killed process runs no ``except`` blocks, so its
+    staged files stay behind as orphans.
+    """
+    catalog = workspace.catalog
+    catalog.faults.arm(
+        "txn.commit", FaultSpec(kind="raise", probability=1.0)
+    )
+    monkeypatch.setattr(
+        ObjectStore, "delete", lambda self, path, credential: None
+    )
+    try:
+        with pytest.raises(TransactionAbortedError):
+            client.sql(sql)
+    finally:
+        monkeypatch.undo()
+        catalog.faults.disarm("txn.commit")
+
+
+class TestGracefulAbortAtCommit:
+    def test_fault_exhaustion_aborts_and_cleans_up(self, workspace, admin):
+        catalog = workspace.catalog
+        catalog.faults.arm(
+            "txn.commit", FaultSpec(kind="raise", probability=1.0)
+        )
+        try:
+            with pytest.raises(TransactionAbortedError):
+                admin.sql(f"INSERT INTO {ORDERS} VALUES (3,'US',3.0)")
+        finally:
+            catalog.faults.disarm("txn.commit")
+        # The abort path discarded its staged file; nothing to recover.
+        ctx = catalog.principals.context_for("admin")
+        report = catalog.txn_manager.recover_table(ctx, ORDERS)
+        assert report == {
+            "torn_commits_rolled_back": 0,
+            "orphan_files_swept": 0,
+        }
+        assert rows(admin, f"SELECT id FROM {ORDERS}") == [(1,), (2,)]
+
+    def test_transient_commit_fault_is_absorbed(self, workspace, admin):
+        catalog = workspace.catalog
+        catalog.faults.arm(
+            "txn.commit",
+            FaultSpec(kind="raise", probability=1.0, max_triggers=2),
+        )
+        try:
+            admin.sql(f"INSERT INTO {ORDERS} VALUES (4,'US',4.0)")
+        finally:
+            catalog.faults.disarm("txn.commit")
+        assert (4,) in rows(admin, f"SELECT id FROM {ORDERS}")
+        stats = catalog.txn_manager.stats_snapshot()
+        assert stats["retries"] >= 2
+
+
+class TestKilledWriterRecovery:
+    def test_orphan_swept_and_snapshot_durable(
+        self, workspace, admin, monkeypatch
+    ):
+        catalog = workspace.catalog
+        table = catalog.get_table(ORDERS)
+        storage = catalog.table_storage(table)
+        cred = catalog._service_credential
+        snap = storage.snapshot(cred)
+        durable_version = snap.version
+        files_before = {f.path for f in snap.files}
+
+        _kill_writer_at_commit(
+            workspace, admin, monkeypatch,
+            f"INSERT INTO {ORDERS} VALUES (9,'US',9.0)",
+        )
+
+        # The killed writer staged a data file but never claimed a version.
+        data_files = set(
+            catalog.store.list(f"{table.storage_root}/data/", cred)
+        )
+        orphans = data_files - files_before
+        assert len(orphans) == 1
+
+        # A fresh cluster over the same store resolves the durable tip.
+        fresh = workspace.create_standard_cluster(name="fresh").connect(
+            "admin"
+        )
+        assert catalog.current_table_version(ORDERS) == durable_version
+        assert rows(fresh, f"SELECT id FROM {ORDERS}") == [(1,), (2,)]
+
+        # Explicit recovery sweeps the orphan; the snapshot is unchanged.
+        ctx = catalog.principals.context_for("admin")
+        report = catalog.txn_manager.recover_table(ctx, ORDERS)
+        assert report["orphan_files_swept"] == 1
+        remaining = set(
+            catalog.store.list(f"{table.storage_root}/data/", cred)
+        )
+        assert remaining == files_before
+        assert rows(fresh, f"SELECT id FROM {ORDERS}") == [(1,), (2,)]
+        stats = catalog.txn_manager.stats_snapshot()
+        assert stats["orphans_swept"] >= 1
+
+    def test_torn_tip_skipped_by_readers_and_rolled_back(
+        self, workspace, admin
+    ):
+        catalog = workspace.catalog
+        table = catalog.get_table(ORDERS)
+        storage = catalog.table_storage(table)
+        cred = catalog._service_credential
+        durable_version = storage.snapshot(cred).version
+
+        # A crashed writer's partial publish: garbage bytes occupy the
+        # next log version (the non-atomic half of a real torn commit).
+        torn = durable_version + 1
+        catalog.store.put(
+            f"{table.storage_root}/_txn_log/{torn:010d}.json",
+            b"\x00garbage: interrupted mid-write",
+            cred,
+        )
+
+        # Readers (and the transaction pin) resolve the durable tip.
+        assert storage.snapshot(cred).version == durable_version
+        assert catalog.current_table_version(ORDERS) == durable_version
+        fresh = workspace.create_standard_cluster(name="fresh2").connect(
+            "admin"
+        )
+        assert rows(fresh, f"SELECT id FROM {ORDERS}") == [(1,), (2,)]
+
+        # Recovery rolls the torn claimant back.
+        ctx = catalog.principals.context_for("admin")
+        report = catalog.txn_manager.recover_table(ctx, ORDERS)
+        assert report["torn_commits_rolled_back"] == 1
+        assert storage.latest_version(cred) == durable_version
+
+        # And the table accepts new commits normally afterwards.
+        fresh.sql(f"INSERT INTO {ORDERS} VALUES (5,'US',5.0)")
+        assert (5,) in rows(fresh, f"SELECT id FROM {ORDERS}")
+
+    def test_new_writer_rolls_torn_tip_back_inline(self, workspace, admin):
+        catalog = workspace.catalog
+        table = catalog.get_table(ORDERS)
+        cred = catalog._service_credential
+        storage = catalog.table_storage(table)
+        torn = storage.snapshot(cred).version + 1
+        catalog.store.put(
+            f"{table.storage_root}/_txn_log/{torn:010d}.json",
+            b"\x00torn",
+            cred,
+        )
+        # No explicit recovery: the next committer detects the torn
+        # claimant at its target version and rolls it back inline.
+        admin.sql(f"INSERT INTO {ORDERS} VALUES (6,'US',6.0)")
+        assert (6,) in rows(admin, f"SELECT id FROM {ORDERS}")
+        snap = storage.snapshot(cred)
+        assert snap.version == torn
